@@ -1,0 +1,20 @@
+"""Shared fixtures for the experiment benchmarks (E1-E11 in DESIGN.md).
+
+Each benchmark file regenerates one paper artifact (figure, claim or
+companion-study table) and times the key computation with
+pytest-benchmark.  Expensive experiments run a single round
+(``benchmark.pedantic(..., rounds=1)``): the numbers of interest are
+the *reproduced verdicts and shapes*, not micro-timing stability.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (expensive experiments)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

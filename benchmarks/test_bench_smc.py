@@ -1,0 +1,88 @@
+"""E8: SMC-based analysis (paper Fig. 2 left loop, [11]-[13]).
+
+Statistical model checking under probabilistic initial states: BLTL
+probability estimation (Chernoff and Bayesian), SPRT hypothesis
+testing, and SMC-driven parameter estimation -- the fallback analysis
+route the framework takes when SMT calibration rejects or stalls.
+"""
+
+from repro.expr import var
+from repro.models import sir
+from repro.odes import rk45
+from repro.smc import (
+    F,
+    G,
+    InitialDistribution,
+    StatisticalModelChecker,
+    cross_entropy_search,
+    robustness,
+)
+
+i_var = var("i")
+
+
+def _checker(seed=4, horizon=120.0, **model_kwargs):
+    model = sir(**model_kwargs)
+    init = InitialDistribution(
+        {"s": 0.99, "i": (0.005, 0.03), "r": 0.0, "beta": (0.25, 0.5)}
+    )
+    return StatisticalModelChecker(model, init, horizon=horizon, seed=seed)
+
+
+def test_probability_estimation(once):
+    """Chernoff-guaranteed outbreak probability."""
+    checker = _checker()
+    phi = F(120.0, i_var >= 0.3)
+    p_hat, n = once(checker.probability, phi, epsilon=0.1, alpha=0.05)
+    assert n == 185  # ln(2/0.05) / (2 * 0.01)
+    assert 0.5 < p_hat <= 1.0  # outbreaks dominate at these betas
+
+
+def test_sprt_efficiency(once):
+    """SPRT needs far fewer samples than fixed-size estimation for an
+    easy hypothesis -- the sequential-testing advantage."""
+    checker = _checker(seed=7)
+    phi = F(120.0, i_var >= 0.3)
+    res = once(checker.hypothesis_test, phi, 0.2, 0.01, 0.01, 0.05)
+    assert res.accept
+    assert res.samples_used < 185  # beats the Chernoff bound
+
+
+def test_bayesian_posterior(once):
+    checker = _checker(seed=9)
+    phi = F(120.0, i_var >= 0.3)
+    est = once(checker.bayesian, phi, 120)
+    assert est.ci_low < est.mean < est.ci_high
+    assert est.ci_high - est.ci_low < 0.35
+
+
+def test_safety_under_fast_recovery(once):
+    """R0 < 1: prevalence stays below 5% with probability ~1."""
+    model = sir(beta=0.3, gamma=0.4)
+    init = InitialDistribution({"s": 0.99, "i": (0.005, 0.03), "r": 0.0})
+    checker = StatisticalModelChecker(model, init, horizon=120.0, seed=5)
+    p_hat, _n = once(checker.probability, G(120.0, i_var <= 0.05), 0.1, 0.05)
+    assert p_hat > 0.9
+
+
+def test_smc_parameter_estimation(once):
+    """Cross-entropy search recovers beta from a peak-prevalence band."""
+    truth = 0.42
+    model = sir()
+    ref = rk45(model, {"s": 0.99, "i": 0.01, "r": 0.0}, (0.0, 120.0),
+               params={"beta": truth, "gamma": 0.1})
+    peak = ref.column("i").max()
+    band = (i_var >= peak - 0.02) & (i_var <= peak + 0.02)
+    phi = F(120.0, band) & G(120.0, i_var <= peak + 0.02)
+
+    def objective(params):
+        traj = rk45(model, {"s": 0.99, "i": 0.01, "r": 0.0}, (0.0, 120.0),
+                    params={"beta": params["beta"], "gamma": 0.1})
+        return robustness(phi, traj)
+
+    res = once(
+        cross_entropy_search, objective, {"beta": (0.2, 0.8)},
+        24, 0.25, 10, 0,
+    )
+    assert res.satisfied
+    assert abs(res.best_params["beta"] - truth) < 0.05

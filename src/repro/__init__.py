@@ -1,0 +1,28 @@
+"""repro -- a model checking-based analysis framework for systems
+biology models.
+
+A from-scratch Python reproduction of Liu, "A Model Checking-based
+Analysis Framework for Systems Biology Models" (DAC 2020): nonlinear
+ODE and hybrid-automaton models analyzed with delta-decision procedures
+(ICP-based delta-complete solving, dReach-style bounded reachability),
+statistical model checking, and Lyapunov stability analysis.
+
+Subpackages
+-----------
+- :mod:`repro.intervals`  outward-rounded interval arithmetic
+- :mod:`repro.expr`       symbolic expressions (terms of L_RF)
+- :mod:`repro.logic`      L_RF formulas, bounded quantifiers, delta-weakening
+- :mod:`repro.solver`     delta-complete ICP solver + exists-forall CEGIS
+- :mod:`repro.odes`       ODE systems, integrators, validated enclosures
+- :mod:`repro.hybrid`     hybrid automata and simulation
+- :mod:`repro.bmc`        bounded reachability / parameter synthesis
+- :mod:`repro.smc`        statistical model checking (BLTL, SPRT, search)
+- :mod:`repro.lyapunov`   Lyapunov synthesis and certification
+- :mod:`repro.models`     cardiac / prostate / radiation / mass-action models
+- :mod:`repro.apps`       calibration, falsification, therapy, robustness
+- :mod:`repro.io`         SBML-subset and native JSON model formats
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

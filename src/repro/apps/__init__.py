@@ -1,0 +1,51 @@
+"""Application layer (S11 in DESIGN.md): the paper's analysis tasks.
+
+Model calibration and falsification (Section IV-A), therapeutic
+strategy identification (IV-B), robustness checking (IV-C), and the
+end-to-end Fig. 2 workflow.
+"""
+
+from .calibration import (
+    CalibrationResult,
+    CalibrationStatus,
+    Checkpoint,
+    SMTCalibrator,
+    TimeSeriesData,
+)
+from .falsification import (
+    FalsificationVerdict,
+    falsify_ascent,
+    falsify_reachability,
+    falsify_with_data,
+)
+from .therapy import (
+    PolicyResult,
+    TherapyPlan,
+    evaluate_policy,
+    synthesize_reach_therapy,
+    synthesize_threshold_policy,
+)
+from .robustness import RobustnessResult, check_robustness, stimulus_threshold
+from .pipeline import AnalysisPipeline, PipelineReport
+
+__all__ = [
+    "Checkpoint",
+    "TimeSeriesData",
+    "SMTCalibrator",
+    "CalibrationResult",
+    "CalibrationStatus",
+    "FalsificationVerdict",
+    "falsify_with_data",
+    "falsify_reachability",
+    "falsify_ascent",
+    "TherapyPlan",
+    "synthesize_reach_therapy",
+    "PolicyResult",
+    "synthesize_threshold_policy",
+    "evaluate_policy",
+    "RobustnessResult",
+    "check_robustness",
+    "stimulus_threshold",
+    "AnalysisPipeline",
+    "PipelineReport",
+]

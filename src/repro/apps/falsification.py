@@ -1,0 +1,183 @@
+"""Model falsification (paper Section IV-A, the "unsat branch").
+
+"If unsat is returned, the model is unfeasible, which means that the
+model is unable to satisfy a desired behavior no matter which parameter
+values are used.  This can be used to reject model hypotheses."
+
+Two entry points:
+
+* :func:`falsify_with_data` -- the calibration encoding: the model is
+  rejected when *no* parameters in the given ranges thread the data
+  bands (this is how the paper shows Fenton-Karma cannot reproduce the
+  epicardial spike-and-dome morphology).
+* :func:`falsify_reachability` -- the BMC encoding: the model is
+  rejected when a behavioral goal region is unreachable for all
+  parameter values within bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.bmc import BMCChecker, BMCOptions, BMCStatus, ReachSpec
+from repro.expr import var
+from repro.hybrid import HybridAutomaton
+from repro.intervals import Box
+from repro.logic import Atom
+from repro.odes import ODESystem
+from repro.solver import DeltaSolver, Status
+
+from .calibration import CalibrationStatus, SMTCalibrator, TimeSeriesData
+
+__all__ = [
+    "FalsificationVerdict",
+    "falsify_with_data",
+    "falsify_reachability",
+    "falsify_ascent",
+]
+
+
+@dataclass
+class FalsificationVerdict:
+    """Outcome of a falsification attempt.
+
+    ``rejected=True`` carries the full one-sided guarantee: the desired
+    behavior is infeasible for every parameter value in the ranges.
+    ``rejected=False`` with a witness means the behavior was realized
+    (model survives); ``rejected=False`` without a witness means the
+    budget ran out (inconclusive).
+    """
+
+    rejected: bool
+    conclusive: bool
+    witness_params: dict[str, float] | None = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.rejected
+
+
+def falsify_with_data(
+    system: ODESystem,
+    data: TimeSeriesData,
+    param_ranges: Mapping[str, tuple[float, float]],
+    x0: Mapping[str, float] | Box,
+    delta: float = 0.05,
+    max_boxes: int = 600,
+    enclosure_step: float = 0.05,
+) -> FalsificationVerdict:
+    """Reject ``system`` if no parameters can reproduce ``data``."""
+    calib = SMTCalibrator(
+        system, data, param_ranges, x0,
+        delta=delta, max_boxes=max_boxes, enclosure_step=enclosure_step,
+    )
+    res = calib.calibrate()
+    if res.status is CalibrationStatus.UNSAT:
+        return FalsificationVerdict(
+            True, True, detail="no parameter value fits the data bands"
+        )
+    if res.status is CalibrationStatus.DELTA_SAT:
+        return FalsificationVerdict(
+            False, True, witness_params=res.params,
+            detail="model reproduces the data (delta-sat witness found)",
+        )
+    return FalsificationVerdict(False, False, detail="budget exhausted (unknown)")
+
+
+def falsify_reachability(
+    automaton: HybridAutomaton,
+    spec: ReachSpec,
+    param_ranges: Mapping[str, tuple[float, float]] | None = None,
+    options: BMCOptions | None = None,
+) -> FalsificationVerdict:
+    """Reject ``automaton`` if the behavioral goal of ``spec`` is
+    unreachable for every parameter value in ``param_ranges``."""
+    res = BMCChecker(automaton, options).check(spec, param_ranges)
+    if res.status is BMCStatus.UNSAT:
+        return FalsificationVerdict(
+            True, True,
+            detail=f"goal unreachable within k={spec.max_jumps}, M={spec.time_bound}",
+        )
+    if res.status is BMCStatus.DELTA_SAT:
+        return FalsificationVerdict(
+            False, True, witness_params=res.witness_params,
+            detail=f"goal reached via {'->'.join(res.mode_path())}",
+        )
+    return FalsificationVerdict(False, False, detail="budget exhausted (unknown)")
+
+
+def falsify_ascent(
+    system: ODESystem,
+    variable: str,
+    from_level: float,
+    to_level: float,
+    state_bounds: Mapping[str, tuple[float, float]],
+    param_ranges: Mapping[str, tuple[float, float]] | None = None,
+    delta: float = 1e-4,
+    max_boxes: int = 200_000,
+) -> FalsificationVerdict:
+    """Barrier falsification: can ``variable`` ever climb from
+    ``from_level`` to ``to_level``?
+
+    By the mean value theorem, a continuous trajectory ascending from
+    ``variable <= from_level`` to ``variable >= to_level`` must pass
+    through the region ``from_level <= variable <= to_level`` with a
+    nonnegative derivative; the other states are constrained only by
+    their physical bounds (e.g. gating variables in [0, 1]).  We ask the
+    delta-decision procedure for such a point::
+
+        exists x in bounds, p in ranges :
+            from_level <= x_var <= to_level  and  f_var(x, p) >= 0
+
+    **unsat** proves the ascent impossible for *every* parameter value
+    -- a rigorous morphology falsification that needs no flow
+    enclosures.  This is the encoding behind the paper's Fenton-Karma
+    spike-and-dome result (Section IV-A): the FK voltage cannot re-rise
+    through the dome window, for any parameters in physiological
+    ranges.  ``delta-sat`` returns a state/parameter witness where the
+    ascent is (delta-)possible.
+
+    ``to_level < from_level`` checks the symmetric descent barrier.
+    """
+    if variable not in system.state_names:
+        raise ValueError(f"unknown state variable {variable!r}")
+    unknown = set(param_ranges or {}) - set(system.params)
+    if unknown:
+        raise ValueError(f"unknown parameters: {sorted(unknown)}")
+    missing = set(system.state_names) - set(state_bounds)
+    if missing:
+        raise ValueError(f"state bounds missing for {sorted(missing)}")
+
+    # inline parameters that are not searched
+    searched = dict(param_ranges or {})
+    fixed = [p for p in system.params if p not in searched]
+    inlined = system.substitute_params(fixed) if fixed else system
+
+    field = inlined.derivatives[variable]
+    lo, hi = (from_level, to_level) if to_level >= from_level else (to_level, from_level)
+    rate_atom = Atom(field, strict=False) if to_level >= from_level else Atom(-field, strict=False)
+    passage = (var(variable) >= lo) & (var(variable) <= hi)
+    query = passage & rate_atom
+
+    dims = {k: tuple(v) for k, v in state_bounds.items()}
+    dims[variable] = (lo, hi)
+    dims.update(searched)
+    box = Box.from_bounds(dims)
+
+    result = DeltaSolver(delta=delta, max_boxes=max_boxes).solve(query, box)
+    direction = "ascent" if to_level >= from_level else "descent"
+    if result.status is Status.UNSAT:
+        return FalsificationVerdict(
+            True, True,
+            detail=f"{direction} of {variable} from {from_level} to {to_level} "
+                   "is impossible for all parameters (barrier unsat)",
+        )
+    if result.status is Status.DELTA_SAT:
+        w = result.witness
+        params = {p: w[p] for p in searched}
+        return FalsificationVerdict(
+            False, True, witness_params=params or None,
+            detail=f"{direction} is delta-possible at {w}",
+        )
+    return FalsificationVerdict(False, False, detail="budget exhausted (unknown)")

@@ -1,0 +1,507 @@
+"""Bounded reachability checking and parameter synthesis (dReach-style).
+
+This module realizes the paper's central computational object: the
+``(k, M)``-reachability encoding of Section III-C, solved per mode path
+by an ICP branch-and-prune over
+
+* the unknown parameters ``a`` (Definition 12/13),
+* the initial continuous state ``x0``, and
+* the dwell times ``t_0 ... t_k`` (each bounded by ``M``),
+
+with the ODE flow constraints discharged by validated interval
+enclosures (:mod:`repro.odes.enclosure`) instead of a symbolic ODE
+theory -- the same role dReal's ODE solver plays inside dReach [54].
+
+Soundness mirrors Theorem 1's one-sided contract:
+
+* ``UNSAT`` is returned only when every box of every path is pruned by
+  certainly-false judgments over *enclosures of all trajectories*, so
+  the goal is truly unreachable (within the bounds).
+* ``DELTA_SAT`` is returned only when a candidate box is *verified*: the
+  delta-weakened guards/invariants/goal are certainly true over the
+  enclosures, hence a real trajectory delta-satisfying the encoding
+  exists.
+
+A simulation-guided shortcut proposes candidates from concrete runs
+before resorting to exhaustive splitting.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.hybrid import HybridAutomaton, formula_margin
+from repro.intervals import Box, Interval
+from repro.logic import Formula, TrueFormula
+from repro.odes import EnclosureError, ReachTube, flow_enclosure, rk45
+from repro.solver import Certainty, eval_formula, fixpoint_contract
+
+from .paths import Path, enumerate_paths
+
+__all__ = ["ReachSpec", "BMCOptions", "BMCStatus", "BMCResult", "BMCChecker"]
+
+
+class BMCStatus(enum.Enum):
+    DELTA_SAT = "delta-sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class ReachSpec:
+    """A bounded reachability question about a hybrid automaton.
+
+    Parameters
+    ----------
+    goal:
+        Formula over the continuous variables (and parameters) that must
+        hold at the end of the run -- the set ``U`` of Definition 11.
+    goal_mode:
+        Mode the run must end in, or None for any mode.
+    max_jumps:
+        The unrolling depth ``k``.
+    time_bound:
+        Per-mode dwell bound ``M``.
+    min_dwell:
+        Optional lower bound on each dwell (0 reproduces the paper's
+        encoding; positive values exclude Zeno-ish instant chains).
+    """
+
+    goal: Formula
+    goal_mode: str | None = None
+    max_jumps: int = 3
+    time_bound: float = 10.0
+    min_dwell: float = 0.0
+
+
+@dataclass
+class BMCOptions:
+    """Tuning knobs of the BMC search."""
+
+    delta: float = 0.1
+    max_boxes_per_path: int = 400
+    enclosure_step: float = 0.05
+    enclosure_order: int = 2
+    max_growth: float = 1e4
+    use_simulation_guidance: bool = True
+    sim_dwell_halfwidth: float = 1e-4
+    contract_tol: float = 1e-2
+    verify_step: float | None = None  # finer step for witness verification
+
+
+@dataclass
+class BMCResult:
+    """Outcome of a reachability query."""
+
+    status: BMCStatus
+    path: Path | None = None
+    witness_params: dict[str, float] | None = None
+    witness_x0: dict[str, float] | None = None
+    witness_dwells: list[float] | None = None
+    boxes_processed: int = 0
+    paths_explored: int = 0
+    wall_time: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.status is BMCStatus.DELTA_SAT
+
+    def mode_path(self) -> list[str] | None:
+        return self.path.modes if self.path is not None else None
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.path is not None:
+            extra = f", path={'->'.join(self.path.modes)}"
+        return f"BMCResult({self.status.value}{extra})"
+
+
+class _Judgment(enum.Enum):
+    PRUNED = 0
+    VERIFIED = 1
+    UNKNOWN = 2
+
+
+def _dwell_name(i: int) -> str:
+    return f"__dwell_{i}"
+
+
+class BMCChecker:
+    """Bounded model checker / parameter synthesizer for hybrid automata.
+
+    Typical use::
+
+        checker = BMCChecker(automaton, options)
+        result = checker.check(spec, param_ranges={"k1": (0.0, 2.0)})
+        if result:                      # delta-sat
+            print(result.witness_params, result.mode_path())
+    """
+
+    def __init__(self, automaton: HybridAutomaton, options: BMCOptions | None = None):
+        self.automaton = automaton
+        self.options = options or BMCOptions()
+        self._defaults = Box.from_point(dict(automaton.params))
+
+    def _env(self, box: Box, param_box: Box | None) -> Box:
+        """State box extended with parameter values (searched parameter
+        intervals override the automaton's point defaults)."""
+        env = box.merged(self._defaults) if len(self._defaults) else box
+        if param_box is not None:
+            env = env.merged(param_box)
+        return env
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        spec: ReachSpec,
+        param_ranges: Mapping[str, tuple[float, float]] | None = None,
+        init_box: Box | None = None,
+    ) -> BMCResult:
+        """Decide reachability of ``spec`` (Definition 13 when
+        ``param_ranges`` is nonempty: parameter synthesis).
+
+        Returns delta-sat with a witness (parameters, initial state,
+        dwell schedule, path), unsat, or unknown on budget exhaustion.
+        """
+        t0 = time.perf_counter()
+        param_ranges = dict(param_ranges or {})
+        unknown = set(param_ranges) - set(self.automaton.params)
+        if unknown:
+            raise ValueError(f"unknown parameters: {sorted(unknown)}")
+        x0_box = init_box if init_box is not None else self.automaton.initial_box()
+        x0_box = x0_box.restrict(self.automaton.variables)
+
+        total_boxes = 0
+        n_paths = 0
+        any_unknown = False
+        for path in enumerate_paths(self.automaton, spec.max_jumps, spec.goal_mode):
+            n_paths += 1
+            outcome, boxes = self._solve_path(path, spec, param_ranges, x0_box)
+            total_boxes += boxes
+            if outcome is not None and outcome.status is BMCStatus.DELTA_SAT:
+                outcome.boxes_processed = total_boxes
+                outcome.paths_explored = n_paths
+                outcome.wall_time = time.perf_counter() - t0
+                return outcome
+            if outcome is not None and outcome.status is BMCStatus.UNKNOWN:
+                any_unknown = True
+        status = BMCStatus.UNKNOWN if any_unknown else BMCStatus.UNSAT
+        return BMCResult(
+            status,
+            boxes_processed=total_boxes,
+            paths_explored=n_paths,
+            wall_time=time.perf_counter() - t0,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-path branch and prune
+    # ------------------------------------------------------------------
+    def _solve_path(
+        self,
+        path: Path,
+        spec: ReachSpec,
+        param_ranges: dict[str, tuple[float, float]],
+        x0_box: Box,
+    ) -> tuple[BMCResult | None, int]:
+        opt = self.options
+        n_dwell = len(path.modes)
+        dims: dict[str, tuple[float, float]] = {}
+        for p, rng in param_ranges.items():
+            dims[p] = rng
+        for v in self.automaton.variables:
+            iv = x0_box[v]
+            dims[v] = (iv.lo, iv.hi)
+        for i in range(n_dwell):
+            dims[_dwell_name(i)] = (spec.min_dwell, spec.time_bound)
+        root = Box.from_bounds(dims)
+        init_widths = {k: max(root[k].width(), 1e-12) for k in root.names}
+
+        # --- simulation-guided candidate -------------------------------
+        if opt.use_simulation_guidance:
+            cand = self._simulate_candidate(path, spec, root, param_ranges)
+            if cand is not None:
+                fine = opt.verify_step or opt.enclosure_step / 5.0
+                verified = self._propagate(
+                    path, spec, cand, param_ranges, step_override=fine
+                )[0]
+                if verified is _Judgment.VERIFIED:
+                    return self._result_from_box(path, cand, param_ranges), 1
+
+        # --- branch and prune ------------------------------------------
+        work = [root]
+        processed = 0
+        saw_unknown = False
+        while work:
+            if processed >= opt.max_boxes_per_path:
+                saw_unknown = True
+                break
+            processed += 1
+            box = work.pop()
+            judgment, contracted = self._propagate(path, spec, box, param_ranges)
+            if judgment is _Judgment.PRUNED:
+                continue
+            if judgment is _Judgment.VERIFIED:
+                return self._result_from_box(path, contracted, param_ranges), processed
+            # split on the dimension with largest relative width
+            widest = max(
+                contracted.names,
+                key=lambda k: contracted[k].width() / init_widths.get(k, 1.0),
+            )
+            if contracted[widest].width() / init_widths.get(widest, 1.0) < 1e-4:
+                saw_unknown = True  # cannot refine further
+                continue
+            left, right = contracted.split(widest)
+            work.append(left)
+            work.append(right)
+
+        if saw_unknown:
+            return BMCResult(BMCStatus.UNKNOWN, path), processed
+        return None, processed  # path fully pruned (unsat for this path)
+
+    # ------------------------------------------------------------------
+    # Interval propagation along a path
+    # ------------------------------------------------------------------
+    def _propagate(
+        self,
+        path: Path,
+        spec: ReachSpec,
+        box: Box,
+        param_ranges: dict[str, tuple[float, float]],
+        step_override: float | None = None,
+    ) -> tuple[_Judgment, Box]:
+        opt = self.options
+        step = step_override if step_override is not None else opt.enclosure_step
+        params = list(param_ranges)
+        param_box = box.restrict(params) if params else None
+        state_box = box.restrict(self.automaton.variables)
+        if state_box.is_empty:
+            return _Judgment.PRUNED, box
+
+        all_delta_ok = True
+        current = state_box
+        box_out = box
+
+        for i, mode_name in enumerate(path.modes):
+            dwell = box_out[_dwell_name(i)]
+            if dwell.is_empty:
+                return _Judgment.PRUNED, box_out
+            mode = self.automaton.mode(mode_name)
+            system = self.automaton.mode_system(mode_name)
+
+            # cheap rejection: the invariant must hold already at entry
+            if not isinstance(mode.invariant, TrueFormula):
+                if eval_formula(mode.invariant, self._env(current, param_box)) is Certainty.CERTAIN_FALSE:
+                    return _Judgment.PRUNED, box_out
+
+            try:
+                tube_a = self._enclose(system, current, dwell.lo, param_box, step)
+                entry = tube_a.final() if tube_a.steps else current
+                window = max(dwell.width(), 1e-9)
+                step_b = min(step, max(window / 2.0, 1e-9))
+                tube_b = flow_enclosure(
+                    system, entry, window, param_box,
+                    max_step=step_b, order=opt.enclosure_order,
+                    max_growth=opt.max_growth,
+                )
+            except EnclosureError:
+                # enclosure blow-up: cannot judge; treat as unknown split
+                return _Judgment.UNKNOWN, box_out
+
+            # invariant along the dwell
+            inv = mode.invariant
+            if not isinstance(inv, TrueFormula):
+                verdicts = self._check_invariant(
+                    inv, tube_a, tube_b, dwell, param_box
+                )
+                if verdicts is _Judgment.PRUNED:
+                    return _Judgment.PRUNED, box_out
+                if verdicts is _Judgment.UNKNOWN:
+                    all_delta_ok = False
+
+            exit_box = tube_b.whole() if tube_b.steps else entry
+            exit_env = self._env(exit_box, param_box)
+
+            if i < len(path.jumps):
+                jump = path.jumps[i]
+                c = eval_formula(jump.guard, exit_env)
+                if c is Certainty.CERTAIN_FALSE:
+                    return _Judgment.PRUNED, box_out
+                if eval_formula(jump.guard, exit_env, opt.delta) is not Certainty.CERTAIN_TRUE:
+                    all_delta_ok = False
+                contracted = fixpoint_contract(jump.guard, exit_env, tol=opt.contract_tol)
+                if contracted.is_empty:
+                    return _Judgment.PRUNED, box_out
+                if params:
+                    new_params = contracted.restrict(params)
+                    box_out = box_out.merged(new_params)
+                    param_box = new_params
+                post = {}
+                reset_env = dict(contracted)
+                for v in self.automaton.variables:
+                    if v in jump.reset:
+                        post[v] = jump.reset[v].eval_interval(reset_env)
+                    else:
+                        post[v] = contracted[v]
+                current = Box(post)
+                if current.is_empty:
+                    return _Judgment.PRUNED, box_out
+            else:
+                c = eval_formula(spec.goal, exit_env)
+                if c is Certainty.CERTAIN_FALSE:
+                    return _Judgment.PRUNED, box_out
+                if eval_formula(spec.goal, exit_env, opt.delta) is not Certainty.CERTAIN_TRUE:
+                    all_delta_ok = False
+
+        return (_Judgment.VERIFIED if all_delta_ok else _Judgment.UNKNOWN), box_out
+
+    def _enclose(
+        self, system, start: Box, duration: float, param_box: Box | None,
+        step: float | None = None,
+    ) -> ReachTube:
+        if duration <= 1e-12:
+            return ReachTube([], system.state_names)
+        return flow_enclosure(
+            system,
+            start,
+            duration,
+            param_box,
+            max_step=step if step is not None else self.options.enclosure_step,
+            order=self.options.enclosure_order,
+            max_growth=self.options.max_growth,
+        )
+
+    def _check_invariant(
+        self,
+        inv: Formula,
+        tube_a: ReachTube,
+        tube_b: ReachTube,
+        dwell: Interval,
+        param_box: Box | None,
+    ) -> _Judgment:
+        """PRUNED if the invariant certainly fails before any feasible
+        exit; UNKNOWN if delta-truth cannot be certified; VERIFIED else."""
+        delta_ok = True
+        for tube, offset in ((tube_a, 0.0), (tube_b, dwell.lo)):
+            for step in tube.steps:
+                env = self._env(step.enclosure, param_box)
+                c = eval_formula(inv, env)
+                if c is Certainty.CERTAIN_FALSE:
+                    # violation starting at absolute time offset+step.time.lo
+                    t_violate = offset + step.time.lo
+                    if t_violate <= dwell.lo + 1e-12:
+                        return _Judgment.PRUNED
+                    # dwell times beyond t_violate are infeasible, but the
+                    # box may still contain feasible shorter dwells
+                    return _Judgment.UNKNOWN
+                if eval_formula(inv, env, self.options.delta) is not Certainty.CERTAIN_TRUE:
+                    delta_ok = False
+        return _Judgment.VERIFIED if delta_ok else _Judgment.UNKNOWN
+
+    # ------------------------------------------------------------------
+    # Simulation guidance
+    # ------------------------------------------------------------------
+    def _simulate_candidate(
+        self,
+        path: Path,
+        spec: ReachSpec,
+        root: Box,
+        param_ranges: dict[str, tuple[float, float]],
+    ) -> Box | None:
+        """Concrete run through the path at the box midpoint; on success
+        returns a narrow candidate box around the discovered schedule."""
+        opt = self.options
+        mid = root.midpoint()
+        params = {**self.automaton.params, **{p: mid[p] for p in param_ranges}}
+        state = {v: mid[v] for v in self.automaton.variables}
+        dwells: list[float] = []
+        t_accum = 0.0
+        for i, mode_name in enumerate(path.modes):
+            system = self.automaton.mode_system(mode_name)
+            try:
+                traj = rk45(
+                    system, state, (0.0, spec.time_bound), params=params,
+                    rtol=1e-7, max_step=opt.enclosure_step,
+                )
+            except Exception:
+                return None
+            if i < len(path.jumps):
+                jump = path.jumps[i]
+
+                def margin(s: dict[str, float]) -> float:
+                    return formula_margin(jump.guard, {**params, **s})
+
+                t_cross = _first_rising(traj, margin)
+                if t_cross is None or t_cross < spec.min_dwell:
+                    return None
+                dwells.append(t_cross)
+                state = jump.apply_reset(traj.at(t_cross), params)
+                t_accum += t_cross
+            else:
+                # prefer the earliest robust goal hit (short dwells make
+                # the verification tube cheap); fall back to max margin
+                slack = 2.0 * opt.delta
+                best_t, best_m = None, -float("inf")
+                chosen = None
+                for t in traj.times:
+                    if float(t) < spec.min_dwell:
+                        continue
+                    m = formula_margin(spec.goal, {**params, **traj.at(float(t))})
+                    if m > best_m:
+                        best_t, best_m = float(t), m
+                    if chosen is None and m >= slack:
+                        chosen = float(t)
+                if chosen is None:
+                    if best_t is None or best_m < 0.0:
+                        return None
+                    chosen = best_t
+                dwells.append(chosen)
+        # narrow candidate box around the schedule
+        h = opt.sim_dwell_halfwidth
+        cand = dict(root)
+        for p in param_ranges:
+            cand[p] = Interval.point(mid[p])
+        for v in self.automaton.variables:
+            cand[v] = Interval.point(mid[v])
+        for i, d in enumerate(dwells):
+            lo = max(d - h, 0.0)
+            cand[_dwell_name(i)] = Interval(lo, d + h)
+        return Box(cand)
+
+    # ------------------------------------------------------------------
+    def _result_from_box(
+        self, path: Path, box: Box, param_ranges: dict[str, tuple[float, float]]
+    ) -> BMCResult:
+        mid = box.midpoint()
+        return BMCResult(
+            BMCStatus.DELTA_SAT,
+            path=path,
+            witness_params={p: mid[p] for p in param_ranges},
+            witness_x0={v: mid[v] for v in self.automaton.variables},
+            witness_dwells=[mid[_dwell_name(i)] for i in range(len(path.modes))],
+        )
+
+
+def _first_rising(traj, fn, tol: float = 1e-10) -> float | None:
+    """First rising zero-crossing of ``fn`` along ``traj`` (or t0 if
+    already nonnegative)."""
+    first = fn(traj.at(traj.t0))
+    if first >= 0.0:
+        return traj.t0
+    values = [fn(dict(zip(traj.names, row))) for row in traj.states]
+    for i in range(1, len(values)):
+        if values[i - 1] < 0.0 <= values[i]:
+            lo, hi = float(traj.times[i - 1]), float(traj.times[i])
+            flo = values[i - 1]
+            while hi - lo > tol * max(1.0, abs(hi)):
+                m = 0.5 * (lo + hi)
+                fm = fn(traj.at(m))
+                if (flo < 0.0) == (fm < 0.0):
+                    lo, flo = m, fm
+                else:
+                    hi = m
+            return hi
+    return None

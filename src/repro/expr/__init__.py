@@ -1,0 +1,66 @@
+"""Symbolic expression DSL (S2 in DESIGN.md).
+
+The term language of ``L_RF`` (paper Definition 1): variables, constants
+and computable functions, with float/interval/numpy interpreters and
+symbolic differentiation.
+"""
+
+from .ast import Binary, Const, Expr, ExprLike, Unary, Var, as_expr
+from .functions import (
+    abs_,
+    const,
+    cos,
+    exp,
+    heaviside_smooth,
+    hill,
+    log,
+    maximum,
+    minimum,
+    mm,
+    neg,
+    sigmoid,
+    sin,
+    sqrt,
+    square,
+    tan,
+    tanh,
+    var,
+    variables,
+)
+from .parser import ParseError, parse_expr
+from .simplify import simplify
+from .compile import compile_numpy, compile_vector_field
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "Unary",
+    "Binary",
+    "ExprLike",
+    "as_expr",
+    "var",
+    "variables",
+    "const",
+    "neg",
+    "abs_",
+    "sqrt",
+    "exp",
+    "log",
+    "sin",
+    "cos",
+    "tan",
+    "tanh",
+    "sigmoid",
+    "minimum",
+    "maximum",
+    "square",
+    "hill",
+    "mm",
+    "heaviside_smooth",
+    "parse_expr",
+    "ParseError",
+    "simplify",
+    "compile_numpy",
+    "compile_vector_field",
+]

@@ -1,0 +1,100 @@
+"""Vectorised numpy compilation of expressions.
+
+The ODE simulators evaluate vector fields millions of times; walking the
+AST per call is too slow.  :func:`compile_numpy` translates an
+expression tree once into a Python lambda over numpy arrays, giving
+~50x faster evaluation while remaining pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .ast import Binary, Const, Expr, Unary, Var
+
+__all__ = ["compile_numpy", "compile_vector_field"]
+
+_UNARY_NP = {
+    "neg": "-({0})",
+    "abs": "np.abs({0})",
+    "sqrt": "np.sqrt({0})",
+    "exp": "np.exp({0})",
+    "log": "np.log({0})",
+    "sin": "np.sin({0})",
+    "cos": "np.cos({0})",
+    "tan": "np.tan({0})",
+    "tanh": "np.tanh({0})",
+    "sigmoid": "_sigmoid({0})",
+}
+
+_BINARY_NP = {
+    "add": "({0}) + ({1})",
+    "sub": "({0}) - ({1})",
+    "mul": "({0}) * ({1})",
+    "div": "({0}) / ({1})",
+    "pow": "({0}) ** ({1})",
+    "min": "np.minimum({0}, {1})",
+    "max": "np.maximum({0}, {1})",
+}
+
+
+def _sigmoid(x):
+    # numerically stable logistic for arrays and scalars
+    return 0.5 * (1.0 + np.tanh(0.5 * np.asarray(x, dtype=float)))
+
+
+def _emit(e: Expr, names: dict[str, str]) -> str:
+    if isinstance(e, Const):
+        return repr(e.value)
+    if isinstance(e, Var):
+        try:
+            return names[e.name]
+        except KeyError:
+            raise KeyError(f"unbound variable {e.name!r} in compiled expression") from None
+    if isinstance(e, Unary):
+        return _UNARY_NP[e.op].format(_emit(e.arg, names))
+    if isinstance(e, Binary):
+        return _BINARY_NP[e.op].format(_emit(e.left, names), _emit(e.right, names))
+    raise TypeError(f"cannot compile node {type(e).__name__}")
+
+
+def compile_numpy(e: Expr, arg_order: Sequence[str]) -> Callable[..., np.ndarray]:
+    """Compile ``e`` into ``f(*args)`` with positional args in ``arg_order``.
+
+    Each argument may be a scalar or a numpy array; broadcasting follows
+    numpy rules.  Variables of ``e`` not in ``arg_order`` raise KeyError
+    at compile time.
+    """
+    names = {n: f"_a{i}" for i, n in enumerate(arg_order)}
+    body = _emit(e, names)
+    src = f"def _compiled({', '.join(names.values())}):\n    return {body}\n"
+    scope: dict = {"np": np, "_sigmoid": _sigmoid}
+    exec(src, scope)  # noqa: S102 -- code is generated from our own AST only
+    fn = scope["_compiled"]
+    fn.__doc__ = f"compiled: {e}"
+    return fn
+
+
+def compile_vector_field(
+    exprs: Sequence[Expr], state_names: Sequence[str], param_names: Sequence[str] = ()
+) -> Callable[..., np.ndarray]:
+    """Compile a list of expressions into ``f(t, y, params) -> ndarray``.
+
+    ``y`` is indexed in ``state_names`` order; ``params`` is a dict.
+    The time variable ``t`` is available to the expressions if they use it.
+    """
+    names = {n: f"_y[{i}]" for i, n in enumerate(state_names)}
+    names["t"] = "_t"
+    for p in param_names:
+        names.setdefault(p, f"_p[{p!r}]")
+    bodies = [_emit(e, names) for e in exprs]
+    joined = ", ".join(bodies)
+    src = (
+        "def _field(_t, _y, _p):\n"
+        f"    return np.array([{joined}], dtype=float)\n"
+    )
+    scope: dict = {"np": np, "_sigmoid": _sigmoid}
+    exec(src, scope)  # noqa: S102
+    return scope["_field"]

@@ -1,0 +1,101 @@
+"""Structural simplification of expressions.
+
+A bottom-up rewriting pass applying algebraic identities that preserve
+real semantics on the domain of definition (0+x -> x, 1*x -> x, x-x -> 0,
+constant folding, double negation, etc.).  Simplification keeps symbolic
+derivatives small enough for interval evaluation to stay tight.
+"""
+
+from __future__ import annotations
+
+from .ast import Binary, Const, Expr, Unary, Var
+
+__all__ = ["simplify"]
+
+
+def simplify(e: Expr) -> Expr:
+    """Return a simplified expression equivalent to ``e``."""
+    prev = e
+    for _ in range(8):  # a few passes reach a fixed point in practice
+        nxt = _simplify_once(prev)
+        if nxt == prev:
+            return nxt
+        prev = nxt
+    return prev
+
+
+def _is_const(e: Expr, v: float | None = None) -> bool:
+    return isinstance(e, Const) and (v is None or e.value == v)
+
+
+def _simplify_once(e: Expr) -> Expr:
+    if isinstance(e, (Var, Const)):
+        return e
+    if isinstance(e, Unary):
+        arg = _simplify_once(e.arg)
+        if isinstance(arg, Const):
+            try:
+                return Const(Unary(e.op, arg).eval({}))
+            except ArithmeticError:
+                return Unary(e.op, arg)
+        if e.op == "neg":
+            if isinstance(arg, Unary) and arg.op == "neg":
+                return arg.arg  # --x -> x
+            if isinstance(arg, Binary) and arg.op == "sub":
+                return Binary("sub", arg.right, arg.left)  # -(a-b) -> b-a
+        if e.op == "exp" and isinstance(arg, Unary) and arg.op == "log":
+            return arg.arg  # exp(log x) -> x (valid where log x defined)
+        if e.op == "log" and isinstance(arg, Unary) and arg.op == "exp":
+            return arg.arg
+        return Unary(e.op, arg)
+    if isinstance(e, Binary):
+        a = _simplify_once(e.left)
+        b = _simplify_once(e.right)
+        op = e.op
+        if isinstance(a, Const) and isinstance(b, Const):
+            try:
+                return Const(Binary(op, a, b).eval({}))
+            except ArithmeticError:
+                return Binary(op, a, b)
+        if op == "add":
+            if _is_const(a, 0.0):
+                return b
+            if _is_const(b, 0.0):
+                return a
+            if isinstance(b, Unary) and b.op == "neg":
+                return _simplify_once(Binary("sub", a, b.arg))
+        elif op == "sub":
+            if _is_const(b, 0.0):
+                return a
+            if _is_const(a, 0.0):
+                return Unary("neg", b)
+            if a == b:
+                return Const(0.0)
+        elif op == "mul":
+            if _is_const(a, 0.0) or _is_const(b, 0.0):
+                return Const(0.0)
+            if _is_const(a, 1.0):
+                return b
+            if _is_const(b, 1.0):
+                return a
+            if _is_const(a, -1.0):
+                return Unary("neg", b)
+            if _is_const(b, -1.0):
+                return Unary("neg", a)
+        elif op == "div":
+            if _is_const(a, 0.0) and not _is_const(b, 0.0):
+                return Const(0.0)
+            if _is_const(b, 1.0):
+                return a
+            if a == b and not _is_const(b, 0.0):
+                # valid wherever the original was defined
+                return Const(1.0)
+        elif op == "pow":
+            if _is_const(b, 1.0):
+                return a
+            if _is_const(b, 0.0):
+                return Const(1.0)
+            if _is_const(a, 1.0):
+                return Const(1.0)
+        return Binary(op, a, b)
+    return e

@@ -1,0 +1,303 @@
+"""Concrete (point) simulation of hybrid automata.
+
+Produces hybrid trajectories in the sense of paper Definitions 8-10: a
+hybrid time domain of dwell intervals, a labeling of steps to modes, and
+a piecewise-continuous state evolution with resets at jumps.
+
+The simulator uses urgent jump semantics by default (a transition fires
+as soon as its guard becomes true, located by bisection), which matches
+the "molecular signature triggers treatment" reading of the paper's
+Fig. 3.  Nondeterminism among simultaneously enabled jumps is resolved
+by declaration order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.logic import And, Atom, Exists, FalseFormula, Forall, Formula, Or, TrueFormula
+from repro.odes import Trajectory, rk45
+
+from .automaton import HybridAutomaton, Jump
+
+__all__ = ["HybridSegment", "HybridTrajectory", "simulate_hybrid", "formula_margin"]
+
+
+def formula_margin(phi: Formula, env: Mapping[str, float]) -> float:
+    """A continuous satisfaction margin: ``>= 0`` iff ``phi`` holds.
+
+    Atoms map to their term value, conjunction to min, disjunction to
+    max -- the standard quantitative semantics used for event location.
+    """
+    if isinstance(phi, TrueFormula):
+        return math.inf
+    if isinstance(phi, FalseFormula):
+        return -math.inf
+    if isinstance(phi, Atom):
+        return phi.term.eval(env)
+    if isinstance(phi, And):
+        return min(formula_margin(p, env) for p in phi.parts)
+    if isinstance(phi, Or):
+        return max(formula_margin(p, env) for p in phi.parts)
+    if isinstance(phi, (Exists, Forall)):
+        raise TypeError("quantified guards are not supported in simulation")
+    raise TypeError(type(phi).__name__)
+
+
+@dataclass
+class HybridSegment:
+    """One continuous dwell: mode name plus the trajectory inside it."""
+
+    mode: str
+    trajectory: Trajectory
+
+    @property
+    def t0(self) -> float:
+        return self.trajectory.t0
+
+    @property
+    def t_end(self) -> float:
+        return self.trajectory.t_end
+
+
+@dataclass
+class HybridTrajectory:
+    """A trajectory of a hybrid automaton (Definition 10).
+
+    ``segments[i]`` is the i-th continuous flow; consecutive segments
+    are linked by jumps (resets may make the state discontinuous).
+    """
+
+    segments: list[HybridSegment]
+    jumps_taken: list[Jump] = field(default_factory=list)
+    stopped_reason: str = "time"  # "time" | "invariant" | "deadlock" | "max_jumps"
+
+    @property
+    def t_end(self) -> float:
+        return self.segments[-1].t_end if self.segments else 0.0
+
+    @property
+    def t0(self) -> float:
+        return self.segments[0].t0 if self.segments else 0.0
+
+    def mode_path(self) -> list[str]:
+        """The discrete mode sequence (labeling function of Def. 10)."""
+        return [seg.mode for seg in self.segments]
+
+    def mode_at(self, t: float) -> str:
+        for seg in self.segments:
+            if seg.t0 - 1e-12 <= t <= seg.t_end + 1e-12:
+                return seg.mode
+        raise ValueError(f"time {t} outside trajectory")
+
+    def at(self, t: float) -> dict[str, float]:
+        """Continuous state at time ``t`` (first matching segment)."""
+        for seg in self.segments:
+            if seg.t0 - 1e-12 <= t <= seg.t_end + 1e-12:
+                return seg.trajectory.at(min(max(t, seg.t0), seg.t_end))
+        raise ValueError(f"time {t} outside trajectory")
+
+    def value(self, name: str, t: float) -> float:
+        return self.at(t)[name]
+
+    def final(self) -> dict[str, float]:
+        return self.segments[-1].trajectory.final()
+
+    def dwell_times(self) -> list[float]:
+        return [seg.t_end - seg.t0 for seg in self.segments]
+
+    def flatten(self) -> Trajectory:
+        """Concatenate segments into one trajectory (resets appear as
+        repeated time samples with different states)."""
+        names = self.segments[0].trajectory.names
+        times: list[float] = []
+        rows: list[np.ndarray] = []
+        for seg in self.segments:
+            times.extend(seg.trajectory.times.tolist())
+            rows.extend(list(seg.trajectory.states))
+        # enforce strictly increasing times by nudging duplicates
+        out_t = np.array(times)
+        for i in range(1, len(out_t)):
+            if out_t[i] <= out_t[i - 1]:
+                out_t[i] = np.nextafter(out_t[i - 1], np.inf)
+        return Trajectory(out_t, np.array(rows), names)
+
+
+def simulate_hybrid(
+    automaton: HybridAutomaton,
+    x0: Mapping[str, float] | None = None,
+    t_final: float = 10.0,
+    params: Mapping[str, float] | None = None,
+    max_jumps: int = 100,
+    jump_policy: str = "urgent",
+    rtol: float = 1e-7,
+    max_step: float | None = None,
+    min_dwell: float = 1e-9,
+) -> HybridTrajectory:
+    """Simulate ``automaton`` from ``x0`` for ``t_final`` time units.
+
+    Parameters
+    ----------
+    x0:
+        Initial continuous state; defaults to the midpoint of the
+        initial box.
+    jump_policy:
+        ``"urgent"``: the earliest enabled jump fires at its guard's
+        zero-crossing.  ``"boundary"``: jumps fire only when the mode
+        invariant is about to be violated (and some guard is enabled).
+    min_dwell:
+        Zeno guard -- a fired jump must be preceded by at least this
+        much dwell, except immediately after a reset.
+    """
+    p = {**automaton.params, **(params or {})}
+    if x0 is None:
+        x0 = automaton.initial_box().midpoint()
+    state = {k: float(x0[k]) for k in automaton.variables}
+    mode_name = automaton.initial_mode
+
+    segments: list[HybridSegment] = []
+    jumps_taken: list[Jump] = []
+    t = 0.0
+    reason = "time"
+
+    while True:
+        if t >= t_final - 1e-12:
+            break
+        system = automaton.mode_system(mode_name)
+        seg_traj = rk45(
+            system,
+            state,
+            (t, t_final),
+            params=p,
+            rtol=rtol,
+            max_step=max_step if max_step is not None else (t_final - t) / 50.0,
+        )
+        mode = automaton.mode(mode_name)
+        outgoing = automaton.jumps_from(mode_name)
+
+        event_t, fired = _first_event(
+            seg_traj, mode.invariant, outgoing, p, jump_policy
+        )
+
+        if event_t is None:
+            segments.append(HybridSegment(mode_name, seg_traj))
+            t = seg_traj.t_end
+            break
+
+        clipped = seg_traj.restricted(seg_traj.t0, event_t)
+        segments.append(HybridSegment(mode_name, clipped))
+        state_at_event = clipped.final()
+
+        if fired is None:
+            # invariant violated with no enabled jump
+            reason = "invariant"
+            t = event_t
+            break
+
+        if len(jumps_taken) >= max_jumps:
+            reason = "max_jumps"
+            t = event_t
+            break
+
+        state = fired.apply_reset(state_at_event, p)
+        jumps_taken.append(fired)
+        mode_name = fired.target
+        t = event_t
+        if event_t - clipped.t0 < min_dwell and len(jumps_taken) > 3:
+            reason = "zeno"
+            break
+
+    if not segments:
+        # degenerate zero-length trajectory
+        names = automaton.variables
+        seg = Trajectory(
+            np.array([t, t]),
+            np.array([[state[n] for n in names]] * 2),
+            list(names),
+        )
+        segments.append(HybridSegment(mode_name, seg))
+
+    return HybridTrajectory(segments, jumps_taken, reason)
+
+
+def _first_event(
+    traj: Trajectory,
+    invariant: Formula,
+    outgoing: list[Jump],
+    params: Mapping[str, float],
+    jump_policy: str,
+) -> tuple[float | None, Jump | None]:
+    """Earliest invariant exit or guard activation along ``traj``.
+
+    Returns ``(event_time, jump)``; ``jump`` is None for a pure
+    invariant violation.  ``(None, None)`` means no event.
+    """
+
+    def margin_fn(phi: Formula) -> Callable[[dict[str, float]], float]:
+        def fn(state: dict[str, float]) -> float:
+            return formula_margin(phi, {**params, **state})
+
+        return fn
+
+    candidates: list[tuple[float, Jump | None]] = []
+
+    if not isinstance(invariant, TrueFormula):
+        t_inv = _first_crossing(traj, margin_fn(invariant), falling=True)
+        if t_inv is not None:
+            candidates.append((t_inv, None))
+
+    if jump_policy == "urgent":
+        for j in outgoing:
+            g = margin_fn(j.guard)
+            # already enabled at segment start?
+            if g(traj.at(traj.t0)) >= 0.0:
+                candidates.append((traj.t0, j))
+                continue
+            t_g = _first_crossing(traj, g, falling=False)
+            if t_g is not None:
+                candidates.append((t_g, j))
+    elif jump_policy == "boundary":
+        # jumps fire only at invariant exit; choose the first enabled one
+        if candidates:
+            t_exit = candidates[0][0]
+            st = traj.at(t_exit)
+            for j in outgoing:
+                if margin_fn(j.guard)(st) >= 0.0:
+                    candidates = [(t_exit, j)]
+                    break
+    else:
+        raise ValueError(f"unknown jump policy {jump_policy!r}")
+
+    if not candidates:
+        return None, None
+    candidates.sort(key=lambda c: (c[0], c[1] is None))
+    return candidates[0]
+
+
+def _first_crossing(
+    traj: Trajectory,
+    fn: Callable[[dict[str, float]], float],
+    falling: bool,
+    tol: float = 1e-10,
+) -> float | None:
+    """First time ``fn`` crosses zero (rising by default)."""
+    sign = -1.0 if falling else 1.0
+    values = [sign * fn(dict(zip(traj.names, row))) for row in traj.states]
+    for i in range(1, len(values)):
+        a, b = values[i - 1], values[i]
+        if a < 0.0 <= b:
+            lo, hi = float(traj.times[i - 1]), float(traj.times[i])
+            flo = a
+            while hi - lo > tol * max(1.0, abs(hi)):
+                mid = 0.5 * (lo + hi)
+                fmid = sign * fn(traj.at(mid))
+                if (flo < 0.0) == (fmid < 0.0):
+                    lo, flo = mid, fmid
+                else:
+                    hi = mid
+            return hi
+    return None

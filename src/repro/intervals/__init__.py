@@ -1,0 +1,11 @@
+"""Interval arithmetic substrate (S1 in DESIGN.md).
+
+Outward-rounded :class:`Interval` scalars and named :class:`Box`
+hyper-rectangles, the numerical foundation of the delta-decision
+procedure of paper Section III.
+"""
+
+from .interval import EMPTY, Interval
+from .box import Box
+
+__all__ = ["Interval", "Box", "EMPTY"]

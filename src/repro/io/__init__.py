@@ -1,0 +1,32 @@
+"""Model and data IO (S12 in DESIGN.md).
+
+SBML-subset reader (the BioModels interchange format consumed by tools
+like BioPSy [53]), a native JSON model format, and CSV time-series
+loading for calibration data.
+"""
+
+from .sbml import SBMLError, SBMLModel, load_sbml, parse_sbml
+from .native import (
+    dump_model,
+    hybrid_from_dict,
+    hybrid_to_dict,
+    load_model,
+    ode_from_dict,
+    ode_to_dict,
+)
+from .timeseries import parse_timeseries_csv, read_timeseries_csv
+
+__all__ = [
+    "SBMLError",
+    "SBMLModel",
+    "parse_sbml",
+    "load_sbml",
+    "ode_to_dict",
+    "ode_from_dict",
+    "hybrid_to_dict",
+    "hybrid_from_dict",
+    "dump_model",
+    "load_model",
+    "parse_timeseries_csv",
+    "read_timeseries_csv",
+]

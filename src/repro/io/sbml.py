@@ -1,0 +1,254 @@
+"""Reader for a pragmatic SBML subset.
+
+BioModels-style ODE models (the data source the paper's tooling, e.g.
+BioPSy [53], consumes) are published as SBML.  We parse the subset that
+covers mass-action / kinetic-law reaction networks:
+
+* ``listOfCompartments`` (sizes used for concentration scaling),
+* ``listOfSpecies`` with ``initialConcentration`` / ``initialAmount``,
+* ``listOfParameters`` (global) and per-reaction ``listOfLocalParameters``,
+* ``listOfReactions`` with stoichiometric reactants/products and a
+  ``kineticLaw`` whose math is a MathML subset: ``<ci>``, ``<cn>``,
+  ``<apply>`` with plus/minus/times/divide/power, and the unary
+  functions exp/ln/root.
+
+Rate rules (``listOfRules`` of type rateRule) are also supported.  The
+result is an :class:`~repro.odes.ODESystem` plus initial conditions:
+``dS/dt = sum_r stoich(r, S) * rate_r / compartment(S)``.
+
+Unsupported constructs (events, algebraic rules, function definitions,
+delays) raise :class:`SBMLError` -- silently mis-reading a model would
+be worse than refusing it.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+from repro.expr import Binary, Const, Expr, Unary, Var
+from repro.odes import ODESystem
+
+__all__ = ["SBMLError", "SBMLModel", "parse_sbml", "load_sbml"]
+
+
+class SBMLError(ValueError):
+    """Raised on malformed or unsupported SBML input."""
+
+
+def _strip(tag: str) -> str:
+    """Drop the XML namespace from a tag."""
+    return tag.rsplit("}", 1)[-1]
+
+
+@dataclass
+class SBMLModel:
+    """The parsed model: an ODE system plus initial conditions."""
+
+    system: ODESystem
+    initial: dict[str, float]
+    compartments: dict[str, float] = field(default_factory=dict)
+    name: str = "sbml"
+
+
+_MATHML_BINARY = {
+    "plus": "add",
+    "minus": "sub",
+    "times": "mul",
+    "divide": "div",
+    "power": "pow",
+}
+
+_MATHML_UNARY = {
+    "exp": "exp",
+    "ln": "log",
+    "abs": "abs",
+    "sin": "sin",
+    "cos": "cos",
+    "tan": "tan",
+    "tanh": "tanh",
+}
+
+
+def _parse_mathml(node: ET.Element) -> Expr:
+    tag = _strip(node.tag)
+    if tag == "math":
+        children = list(node)
+        if len(children) != 1:
+            raise SBMLError("<math> must contain exactly one expression")
+        return _parse_mathml(children[0])
+    if tag == "ci":
+        name = (node.text or "").strip()
+        if not name:
+            raise SBMLError("empty <ci>")
+        return Var(name)
+    if tag == "cn":
+        cn_type = node.attrib.get("type", "real")
+        if cn_type in ("real", "integer", "double"):
+            try:
+                return Const(float((node.text or "").strip()))
+            except ValueError as exc:
+                raise SBMLError(f"bad <cn> value: {node.text!r}") from exc
+        if cn_type == "e-notation":
+            parts = [t.strip() for t in node.itertext() if t.strip()]
+            if len(parts) != 2:
+                raise SBMLError("bad e-notation <cn>")
+            return Const(float(parts[0]) * 10.0 ** float(parts[1]))
+        raise SBMLError(f"unsupported <cn> type {cn_type!r}")
+    if tag == "apply":
+        children = list(node)
+        if not children:
+            raise SBMLError("empty <apply>")
+        op = _strip(children[0].tag)
+        args = [_parse_mathml(c) for c in children[1:]]
+        if op == "minus" and len(args) == 1:
+            return Unary("neg", args[0])
+        if op in _MATHML_BINARY:
+            if len(args) < 2 and op not in ("plus", "times"):
+                raise SBMLError(f"<{op}> needs 2 arguments")
+            if not args:
+                raise SBMLError(f"<{op}> needs arguments")
+            out = args[0]
+            for a in args[1:]:
+                out = Binary(_MATHML_BINARY[op], out, a)
+            return out
+        if op in _MATHML_UNARY:
+            if len(args) != 1:
+                raise SBMLError(f"<{op}> needs 1 argument")
+            return Unary(_MATHML_UNARY[op], args[0])
+        if op == "root":
+            # plain square root only (no <degree>)
+            if len(args) == 1:
+                return Unary("sqrt", args[0])
+            raise SBMLError("<root> with degree is not supported")
+        raise SBMLError(f"unsupported MathML operator <{op}>")
+    raise SBMLError(f"unsupported MathML element <{tag}>")
+
+
+def parse_sbml(text: str) -> SBMLModel:
+    """Parse SBML document text into an :class:`SBMLModel`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise SBMLError(f"XML parse error: {exc}") from exc
+    if _strip(root.tag) != "sbml":
+        raise SBMLError(f"root element is <{_strip(root.tag)}>, expected <sbml>")
+    model_el = None
+    for child in root:
+        if _strip(child.tag) == "model":
+            model_el = child
+            break
+    if model_el is None:
+        raise SBMLError("no <model> element")
+
+    def section(name: str) -> list[ET.Element]:
+        for child in model_el:
+            if _strip(child.tag) == name:
+                return list(child)
+        return []
+
+    for unsupported in ("listOfEvents", "listOfFunctionDefinitions"):
+        if section(unsupported):
+            raise SBMLError(f"{unsupported} is not supported")
+
+    compartments: dict[str, float] = {}
+    for el in section("listOfCompartments"):
+        cid = el.attrib.get("id")
+        if cid:
+            compartments[cid] = float(el.attrib.get("size", 1.0))
+
+    species_init: dict[str, float] = {}
+    species_compartment: dict[str, str] = {}
+    boundary: set[str] = set()
+    for el in section("listOfSpecies"):
+        sid = el.attrib.get("id")
+        if not sid:
+            raise SBMLError("species without id")
+        conc = el.attrib.get("initialConcentration", el.attrib.get("initialAmount", "0"))
+        species_init[sid] = float(conc)
+        species_compartment[sid] = el.attrib.get("compartment", "")
+        if el.attrib.get("boundaryCondition", "false").lower() == "true":
+            boundary.add(sid)
+
+    params: dict[str, float] = {}
+    for el in section("listOfParameters"):
+        pid = el.attrib.get("id")
+        if pid:
+            params[pid] = float(el.attrib.get("value", 0.0))
+
+    # accumulate dS/dt
+    derivs: dict[str, Expr] = {s: Const(0.0) for s in species_init if s not in boundary}
+
+    for rx in section("listOfReactions"):
+        rid = rx.attrib.get("id", "r")
+        reversible = rx.attrib.get("reversible", "false")
+        kinetic: Expr | None = None
+        reactants: list[tuple[str, float]] = []
+        products: list[tuple[str, float]] = []
+        for part in rx:
+            ptag = _strip(part.tag)
+            if ptag == "listOfReactants":
+                for sr in part:
+                    reactants.append(
+                        (sr.attrib["species"], float(sr.attrib.get("stoichiometry", 1)))
+                    )
+            elif ptag == "listOfProducts":
+                for sr in part:
+                    products.append(
+                        (sr.attrib["species"], float(sr.attrib.get("stoichiometry", 1)))
+                    )
+            elif ptag == "kineticLaw":
+                for kchild in part:
+                    ktag = _strip(kchild.tag)
+                    if ktag == "math":
+                        kinetic = _parse_mathml(kchild)
+                    elif ktag in ("listOfParameters", "listOfLocalParameters"):
+                        for lp in kchild:
+                            lid = lp.attrib.get("id")
+                            if lid:
+                                # prefix to avoid collisions with globals
+                                params.setdefault(lid, float(lp.attrib.get("value", 0.0)))
+        if kinetic is None:
+            raise SBMLError(f"reaction {rid!r} has no kinetic law")
+        __ = reversible  # reversibility is encoded in the rate sign
+        for sid, stoich in reactants:
+            if sid in derivs:
+                derivs[sid] = derivs[sid] - Const(stoich) * kinetic
+        for sid, stoich in products:
+            if sid in derivs:
+                derivs[sid] = derivs[sid] + Const(stoich) * kinetic
+
+    for el in section("listOfRules"):
+        if _strip(el.tag) != "rateRule":
+            raise SBMLError(f"unsupported rule <{_strip(el.tag)}>")
+        target = el.attrib.get("variable")
+        if target not in derivs:
+            raise SBMLError(f"rateRule for unknown species {target!r}")
+        for child in el:
+            if _strip(child.tag) == "math":
+                derivs[target] = derivs[target] + _parse_mathml(child)
+
+    # compartment scaling: amounts -> concentrations
+    scaled: dict[str, Expr] = {}
+    for sid, expr in derivs.items():
+        comp = species_compartment.get(sid, "")
+        size = compartments.get(comp, 1.0)
+        scaled[sid] = expr if size == 1.0 else expr / Const(size)
+
+    # substitute boundary species by their (constant) initial values
+    if boundary:
+        bsubs = {b: species_init[b] for b in boundary}
+        scaled = {k: e.subs(bsubs) for k, e in scaled.items()}
+
+    name = model_el.attrib.get("id", model_el.attrib.get("name", "sbml"))
+    system = ODESystem(
+        {k: e.simplify() for k, e in scaled.items()}, params, name=name
+    )
+    initial = {s: species_init[s] for s in system.state_names}
+    return SBMLModel(system, initial, compartments, name)
+
+
+def load_sbml(path: str) -> SBMLModel:
+    """Parse an SBML file from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_sbml(fh.read())

@@ -1,0 +1,60 @@
+"""CSV time-series loading for calibration data.
+
+Experimental data (e.g. BioModels-linked measurements) arrives as CSV
+with a time column and one column per observed species; this loader
+turns it into the checkpoint bands of :mod:`repro.apps.calibration`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Mapping
+
+from repro.apps.calibration import TimeSeriesData
+
+__all__ = ["read_timeseries_csv", "parse_timeseries_csv"]
+
+
+def parse_timeseries_csv(
+    text: str,
+    time_column: str = "time",
+    tolerance: float | Mapping[str, float] = 0.1,
+    relative: bool = False,
+) -> TimeSeriesData:
+    """Parse CSV text into :class:`TimeSeriesData` bands.
+
+    The header row names the columns; every non-time column becomes a
+    band variable.  Empty cells are skipped (per-row missing data).
+    """
+    reader = csv.DictReader(io.StringIO(text))
+    if reader.fieldnames is None or time_column not in reader.fieldnames:
+        raise ValueError(f"CSV must have a {time_column!r} column")
+    samples: list[tuple[float, dict[str, float]]] = []
+    for row in reader:
+        t_raw = (row.get(time_column) or "").strip()
+        if not t_raw:
+            continue
+        values: dict[str, float] = {}
+        for name, cell in row.items():
+            if name == time_column or cell is None:
+                continue
+            cell = cell.strip()
+            if cell:
+                values[name] = float(cell)
+        if values:
+            samples.append((float(t_raw), values))
+    if not samples:
+        raise ValueError("no data rows in CSV")
+    return TimeSeriesData.from_samples(samples, tolerance=tolerance, relative=relative)
+
+
+def read_timeseries_csv(
+    path: str,
+    time_column: str = "time",
+    tolerance: float | Mapping[str, float] = 0.1,
+    relative: bool = False,
+) -> TimeSeriesData:
+    """Load a CSV file of samples into calibration bands."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_timeseries_csv(fh.read(), time_column, tolerance, relative)

@@ -1,0 +1,396 @@
+"""First-order formulas of ``L_RF`` (paper Definitions 1-4).
+
+Atomic formulas are ``t > 0`` and ``t >= 0`` where ``t`` is an
+expression term; formulas are closed under conjunction, disjunction and
+bounded quantification (Definition 2).  Negation is the *inductively
+defined* operation of the paper: it swaps strict/weak atoms with negated
+operands, swaps conjunction/disjunction, and swaps quantifiers -- so
+formulas are effectively kept in negation normal form.
+
+Delta-weakening (Definition 4) replaces ``t > 0`` with ``t > -delta``
+and ``t >= 0`` with ``t >= -delta``; delta-strengthening is the dual and
+is what an unsat answer for the weakened complement certifies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.expr import Const, Expr, ExprLike, as_expr
+
+__all__ = [
+    "Formula",
+    "Atom",
+    "TrueFormula",
+    "FalseFormula",
+    "And",
+    "Or",
+    "Not",
+    "Implies",
+    "Exists",
+    "Forall",
+    "TRUE",
+    "FALSE",
+]
+
+
+class Formula:
+    """Base class of quantifier-free and bounded-quantifier formulas."""
+
+    __slots__ = ()
+
+    def variables(self) -> frozenset[str]:
+        """Free variables of the formula."""
+        raise NotImplementedError
+
+    def negate(self) -> "Formula":
+        """The paper's inductive negation (stays in NNF)."""
+        raise NotImplementedError
+
+    def delta_weaken(self, delta: float) -> "Formula":
+        """``phi^delta`` of Definition 4: relax every atom by ``delta``."""
+        raise NotImplementedError
+
+    def delta_strengthen(self, delta: float) -> "Formula":
+        """Tighten every atom by ``delta`` (dual of weakening)."""
+        return self.delta_weaken(-delta)
+
+    def eval(self, env: Mapping[str, float]) -> bool:
+        """Ground truth value under a full real assignment."""
+        raise NotImplementedError
+
+    def subs(self, env: Mapping[str, ExprLike]) -> "Formula":
+        """Substitute expressions for free variables."""
+        raise NotImplementedError
+
+    def atoms(self) -> list["Atom"]:
+        """All atomic subformulas, in syntactic order."""
+        raise NotImplementedError
+
+    # -- connectives as operators --------------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return self.negate()
+
+    def implies(self, other: "Formula") -> "Formula":
+        return Implies(self, other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Formula):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+
+class TrueFormula(Formula):
+    """The constant true."""
+
+    __slots__ = ()
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def negate(self) -> Formula:
+        return FALSE
+
+    def delta_weaken(self, delta: float) -> Formula:
+        return self
+
+    def eval(self, env: Mapping[str, float]) -> bool:
+        return True
+
+    def subs(self, env: Mapping[str, ExprLike]) -> Formula:
+        return self
+
+    def atoms(self) -> list["Atom"]:
+        return []
+
+    def __str__(self) -> str:
+        return "true"
+
+    def _key(self) -> tuple:
+        return ("true",)
+
+
+class FalseFormula(Formula):
+    """The constant false."""
+
+    __slots__ = ()
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def negate(self) -> Formula:
+        return TRUE
+
+    def delta_weaken(self, delta: float) -> Formula:
+        return self
+
+    def eval(self, env: Mapping[str, float]) -> bool:
+        return False
+
+    def subs(self, env: Mapping[str, ExprLike]) -> Formula:
+        return self
+
+    def atoms(self) -> list["Atom"]:
+        return []
+
+    def __str__(self) -> str:
+        return "false"
+
+    def _key(self) -> tuple:
+        return ("false",)
+
+
+TRUE = TrueFormula()
+FALSE = FalseFormula()
+
+
+class Atom(Formula):
+    """Atomic formula ``term > 0`` (strict) or ``term >= 0`` (weak)."""
+
+    __slots__ = ("term", "strict")
+
+    def __init__(self, term: ExprLike, strict: bool):
+        self.term = as_expr(term)
+        self.strict = bool(strict)
+
+    def variables(self) -> frozenset[str]:
+        return self.term.variables()
+
+    def negate(self) -> Formula:
+        # not(t > 0) == -t >= 0 ; not(t >= 0) == -t > 0   (paper Sec. III-A)
+        return Atom(-self.term, strict=not self.strict)
+
+    def negate_operand(self) -> "Atom":
+        """Atom with operand negated but the same relation (-t R 0)."""
+        return Atom(-self.term, strict=self.strict)
+
+    def delta_weaken(self, delta: float) -> "Atom":
+        if delta == 0.0:
+            return self
+        return Atom(self.term + Const(float(delta)), strict=self.strict)
+
+    def eval(self, env: Mapping[str, float]) -> bool:
+        v = self.term.eval(env)
+        return v > 0.0 if self.strict else v >= 0.0
+
+    def subs(self, env: Mapping[str, ExprLike]) -> Formula:
+        return Atom(self.term.subs(env), strict=self.strict)
+
+    def atoms(self) -> list["Atom"]:
+        return [self]
+
+    def __str__(self) -> str:
+        rel = ">" if self.strict else ">="
+        return f"({self.term} {rel} 0)"
+
+    def _key(self) -> tuple:
+        return ("atom", self.term._key(), self.strict)
+
+
+def _flatten(cls, parts: Iterable[Formula]) -> list[Formula]:
+    out: list[Formula] = []
+    for p in parts:
+        if isinstance(p, cls):
+            out.extend(p.parts)
+        else:
+            out.append(p)
+    return out
+
+
+class And(Formula):
+    """N-ary conjunction (flattened, constant-absorbed)."""
+
+    __slots__ = ("parts",)
+
+    def __new__(cls, *parts: Formula):
+        flat = _flatten(And, parts)
+        flat = [p for p in flat if not isinstance(p, TrueFormula)]
+        if any(isinstance(p, FalseFormula) for p in flat):
+            return FALSE
+        if not flat:
+            return TRUE
+        if len(flat) == 1:
+            return flat[0]
+        obj = object.__new__(cls)
+        obj.parts = tuple(flat)
+        return obj
+
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for p in self.parts:
+            out |= p.variables()
+        return out
+
+    def negate(self) -> Formula:
+        return Or(*[p.negate() for p in self.parts])
+
+    def delta_weaken(self, delta: float) -> Formula:
+        return And(*[p.delta_weaken(delta) for p in self.parts])
+
+    def eval(self, env: Mapping[str, float]) -> bool:
+        return all(p.eval(env) for p in self.parts)
+
+    def subs(self, env: Mapping[str, ExprLike]) -> Formula:
+        return And(*[p.subs(env) for p in self.parts])
+
+    def atoms(self) -> list[Atom]:
+        return [a for p in self.parts for a in p.atoms()]
+
+    def __str__(self) -> str:
+        return "(" + " /\\ ".join(str(p) for p in self.parts) + ")"
+
+    def _key(self) -> tuple:
+        return ("and",) + tuple(p._key() for p in self.parts)
+
+
+class Or(Formula):
+    """N-ary disjunction (flattened, constant-absorbed)."""
+
+    __slots__ = ("parts",)
+
+    def __new__(cls, *parts: Formula):
+        flat = _flatten(Or, parts)
+        flat = [p for p in flat if not isinstance(p, FalseFormula)]
+        if any(isinstance(p, TrueFormula) for p in flat):
+            return TRUE
+        if not flat:
+            return FALSE
+        if len(flat) == 1:
+            return flat[0]
+        obj = object.__new__(cls)
+        obj.parts = tuple(flat)
+        return obj
+
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for p in self.parts:
+            out |= p.variables()
+        return out
+
+    def negate(self) -> Formula:
+        return And(*[p.negate() for p in self.parts])
+
+    def delta_weaken(self, delta: float) -> Formula:
+        return Or(*[p.delta_weaken(delta) for p in self.parts])
+
+    def eval(self, env: Mapping[str, float]) -> bool:
+        return any(p.eval(env) for p in self.parts)
+
+    def subs(self, env: Mapping[str, ExprLike]) -> Formula:
+        return Or(*[p.subs(env) for p in self.parts])
+
+    def atoms(self) -> list[Atom]:
+        return [a for p in self.parts for a in p.atoms()]
+
+    def __str__(self) -> str:
+        return "(" + " \\/ ".join(str(p) for p in self.parts) + ")"
+
+    def _key(self) -> tuple:
+        return ("or",) + tuple(p._key() for p in self.parts)
+
+
+def Not(phi: Formula) -> Formula:
+    """Negation as the paper's inductive rewrite (returns NNF directly)."""
+    return phi.negate()
+
+
+def Implies(a: Formula, b: Formula) -> Formula:
+    """``a -> b`` defined as ``not a \\/ b`` (paper Section III-A)."""
+    return Or(a.negate(), b)
+
+
+class _Quantifier(Formula):
+    """Common machinery of bounded Exists/Forall (Definition 2)."""
+
+    __slots__ = ("name", "lo", "hi", "body")
+
+    def __init__(self, name: str, lo: ExprLike, hi: ExprLike, body: Formula):
+        self.name = name
+        self.lo = as_expr(lo)
+        self.hi = as_expr(hi)
+        self.body = body
+        bound_vars = self.lo.variables() | self.hi.variables()
+        if name in bound_vars:
+            raise ValueError(
+                f"bounds of quantified variable {name!r} must not mention it"
+            )
+
+    def variables(self) -> frozenset[str]:
+        return (self.body.variables() - {self.name}) | self.lo.variables() | self.hi.variables()
+
+    def atoms(self) -> list[Atom]:
+        return self.body.atoms()
+
+    def _grid(self, env: Mapping[str, float], n: int = 64) -> list[float]:
+        lo = self.lo.eval(env)
+        hi = self.hi.eval(env)
+        if lo > hi:
+            return []
+        if lo == hi:
+            return [lo]
+        step = (hi - lo) / (n - 1)
+        return [lo + i * step for i in range(n)]
+
+
+class Exists(_Quantifier):
+    """Bounded existential ``exists x in [lo, hi]. body``."""
+
+    def negate(self) -> Formula:
+        return Forall(self.name, self.lo, self.hi, self.body.negate())
+
+    def delta_weaken(self, delta: float) -> Formula:
+        return Exists(self.name, self.lo, self.hi, self.body.delta_weaken(delta))
+
+    def eval(self, env: Mapping[str, float]) -> bool:
+        # Grid check: sound only as an approximation; the solver handles
+        # quantifiers rigorously, this is for testing/ground-truthing.
+        return any(
+            self.body.eval({**env, self.name: v}) for v in self._grid(env)
+        )
+
+    def subs(self, env: Mapping[str, ExprLike]) -> Formula:
+        env2 = {k: v for k, v in env.items() if k != self.name}
+        return Exists(self.name, self.lo.subs(env2), self.hi.subs(env2), self.body.subs(env2))
+
+    def __str__(self) -> str:
+        return f"(exists {self.name} in [{self.lo}, {self.hi}]. {self.body})"
+
+    def _key(self) -> tuple:
+        return ("exists", self.name, self.lo._key(), self.hi._key(), self.body._key())
+
+
+class Forall(_Quantifier):
+    """Bounded universal ``forall x in [lo, hi]. body``."""
+
+    def negate(self) -> Formula:
+        return Exists(self.name, self.lo, self.hi, self.body.negate())
+
+    def delta_weaken(self, delta: float) -> Formula:
+        return Forall(self.name, self.lo, self.hi, self.body.delta_weaken(delta))
+
+    def eval(self, env: Mapping[str, float]) -> bool:
+        return all(
+            self.body.eval({**env, self.name: v}) for v in self._grid(env)
+        )
+
+    def subs(self, env: Mapping[str, ExprLike]) -> Formula:
+        env2 = {k: v for k, v in env.items() if k != self.name}
+        return Forall(self.name, self.lo.subs(env2), self.hi.subs(env2), self.body.subs(env2))
+
+    def __str__(self) -> str:
+        return f"(forall {self.name} in [{self.lo}, {self.hi}]. {self.body})"
+
+    def _key(self) -> tuple:
+        return ("forall", self.name, self.lo._key(), self.hi._key(), self.body._key())

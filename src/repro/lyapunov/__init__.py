@@ -1,0 +1,22 @@
+"""Lyapunov stability analysis via delta-decisions (S9 in DESIGN.md).
+
+Template-based synthesis through the exists-forall CEGIS solver and
+refutation-based certification, per paper Section IV-C and [57], [58].
+"""
+
+from .templates import (
+    Template,
+    diagonal_template,
+    polynomial_template,
+    quadratic_template,
+)
+from .synthesis import LyapunovAnalyzer, LyapunovResult
+
+__all__ = [
+    "Template",
+    "quadratic_template",
+    "diagonal_template",
+    "polynomial_template",
+    "LyapunovAnalyzer",
+    "LyapunovResult",
+]

@@ -1,0 +1,118 @@
+"""Lyapunov function templates.
+
+Paper Section IV-C(i): "Given a template function, we can synthesize a
+Lyapunov function by solving exists-forall formulas".  A template is an
+expression in the state variables whose unknown coefficients become the
+existential variables of the CEGIS loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping, Sequence
+
+from repro.expr import Const, Expr, var
+
+__all__ = ["Template", "quadratic_template", "diagonal_template", "polynomial_template"]
+
+
+class Template:
+    """An expression with unknown coefficients.
+
+    Attributes
+    ----------
+    expr:
+        The template expression; mentions state variables and the
+        coefficient variables.
+    coefficients:
+        Names of the unknown coefficients.
+    """
+
+    def __init__(self, expr: Expr, coefficients: Sequence[str]):
+        self.expr = expr
+        self.coefficients = list(coefficients)
+
+    def instantiate(self, values: Mapping[str, float]) -> Expr:
+        """Substitute coefficient values, leaving a state-only function."""
+        missing = set(self.coefficients) - set(values)
+        if missing:
+            raise KeyError(f"missing coefficients: {sorted(missing)}")
+        return self.expr.subs({c: float(values[c]) for c in self.coefficients}).simplify()
+
+    def __repr__(self) -> str:
+        return f"Template({self.expr}, coeffs={self.coefficients})"
+
+
+def _shifted(name: str, equilibrium: Mapping[str, float] | None) -> Expr:
+    x = var(name)
+    if equilibrium and equilibrium.get(name, 0.0) != 0.0:
+        return x - Const(float(equilibrium[name]))
+    return x
+
+
+def quadratic_template(
+    state_names: Sequence[str],
+    equilibrium: Mapping[str, float] | None = None,
+    prefix: str = "c",
+) -> Template:
+    """Full quadratic form ``V = sum_{i<=j} c_ij (x_i - e_i)(x_j - e_j)``."""
+    names = list(state_names)
+    coeffs: list[str] = []
+    total: Expr = Const(0.0)
+    for i, ni in enumerate(names):
+        for j in range(i, len(names)):
+            nj = names[j]
+            cname = f"{prefix}_{ni}_{nj}"
+            coeffs.append(cname)
+            total = total + var(cname) * _shifted(ni, equilibrium) * _shifted(nj, equilibrium)
+    return Template(total, coeffs)
+
+
+def diagonal_template(
+    state_names: Sequence[str],
+    equilibrium: Mapping[str, float] | None = None,
+    prefix: str = "c",
+) -> Template:
+    """Diagonal quadratic ``V = sum_i c_i (x_i - e_i)^2``.
+
+    The natural template for mass-action networks, where weighted
+    quadratic (or entropy-like) functions certify stability [60].
+    """
+    names = list(state_names)
+    coeffs = [f"{prefix}_{n}" for n in names]
+    total: Expr = Const(0.0)
+    for n, c in zip(names, coeffs):
+        d = _shifted(n, equilibrium)
+        total = total + var(c) * d * d
+    return Template(total, coeffs)
+
+
+def polynomial_template(
+    state_names: Sequence[str],
+    degree: int,
+    equilibrium: Mapping[str, float] | None = None,
+    prefix: str = "c",
+    even_only: bool = True,
+) -> Template:
+    """Dense polynomial template of total degree <= ``degree``.
+
+    Monomials of degree 0 and 1 are omitted (V must vanish at the
+    equilibrium with positive definite shape); with ``even_only`` only
+    even total degrees are used, which suffices for symmetric basins.
+    """
+    if degree < 2:
+        raise ValueError("degree must be >= 2")
+    names = list(state_names)
+    coeffs: list[str] = []
+    total: Expr = Const(0.0)
+    for total_deg in range(2, degree + 1):
+        if even_only and total_deg % 2 == 1:
+            continue
+        for combo in itertools.combinations_with_replacement(names, total_deg):
+            cname = f"{prefix}_" + "_".join(combo)
+            coeffs.append(cname)
+            mono: Expr = Const(1.0)
+            for n in combo:
+                mono = mono * _shifted(n, equilibrium)
+            total = total + var(cname) * mono
+    return Template(total, coeffs)

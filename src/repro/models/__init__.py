@@ -1,0 +1,72 @@
+"""Biological model library (S10 in DESIGN.md).
+
+Published models behind the paper's case studies (cardiac FK/BCF,
+prostate IAS, TBI cell-death network, mass-action signaling) plus
+standard toys for tests and benchmarks.
+"""
+
+from .toys import (
+    bouncing_ball,
+    damped_oscillator,
+    logistic,
+    lotka_volterra,
+    sir,
+    thermostat,
+    van_der_pol,
+)
+from .cardiac import (
+    BCF_EPI_PARAMS,
+    FK_BR_PARAMS,
+    APFeatures,
+    action_potential,
+    ap_features,
+    bcf_hybrid,
+    bueno_cherry_fenton,
+    fenton_karma,
+    fenton_karma_hybrid,
+)
+from .prostate import (
+    IAS_DEFAULT_PARAMS,
+    PATIENT_PROFILES,
+    ias_model,
+    ias_on_treatment_ode,
+    psa,
+)
+from .radiation import DRUG_MODES, TBI_DEFAULT_PARAMS, tbi_model
+from .massaction import (
+    erk_cascade,
+    find_equilibrium,
+    kinetic_proofreading,
+    receptor_ligand,
+)
+
+__all__ = [
+    "logistic",
+    "lotka_volterra",
+    "sir",
+    "damped_oscillator",
+    "van_der_pol",
+    "thermostat",
+    "bouncing_ball",
+    "FK_BR_PARAMS",
+    "BCF_EPI_PARAMS",
+    "fenton_karma",
+    "fenton_karma_hybrid",
+    "bueno_cherry_fenton",
+    "bcf_hybrid",
+    "APFeatures",
+    "ap_features",
+    "action_potential",
+    "IAS_DEFAULT_PARAMS",
+    "PATIENT_PROFILES",
+    "ias_model",
+    "ias_on_treatment_ode",
+    "psa",
+    "TBI_DEFAULT_PARAMS",
+    "DRUG_MODES",
+    "tbi_model",
+    "kinetic_proofreading",
+    "erk_cascade",
+    "receptor_ligand",
+    "find_equilibrium",
+]

@@ -1,0 +1,386 @@
+"""Cardiac action-potential models: Fenton-Karma and Bueno-Cherry-Fenton.
+
+These are the case-study models of paper Section IV-A ([37], CMSB'14):
+
+* **Fenton-Karma (FK)** [55]: the 3-variable (u, v, w) minimal model.
+  The paper's falsification result: FK *cannot* reproduce the
+  "spike-and-dome" action-potential morphology of epicardial cells --
+  once the fast current inactivates, du/dt stays negative through
+  repolarization, so the voltage cannot rise again after the notch.
+
+* **Bueno-Cherry-Fenton (BCF)** [56]: the 4-variable (u, v, w, s)
+  minimal ventricular model, whose epicardial parameterization *does*
+  produce the dome; parameter changes (e.g. in tau_so1) shorten the APD
+  (tachycardia-like) or block repolarization (fibrillation-like).
+
+Both models are written with Heaviside gates H(u - theta).  We provide
+
+* a *smooth* single-mode :class:`~repro.odes.ODESystem` rendering
+  (steep sigmoids replace the Heavisides), used for simulation and
+  feature extraction, and
+* a *hybrid automaton* rendering where the state space is partitioned
+  at the gate thresholds and every Heaviside resolves to a constant in
+  each mode -- the translation used by the paper's dReach encoding.
+
+Voltage ``u`` is dimensionless (0 rest, ~1 peak, matching [55]/[56]);
+time is in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.expr import Const, Expr, sigmoid, tanh, var
+from repro.hybrid import HybridAutomaton, Jump, Mode
+from repro.intervals import Box
+from repro.odes import ODESystem, Trajectory
+
+__all__ = [
+    "FK_BR_PARAMS",
+    "BCF_EPI_PARAMS",
+    "fenton_karma",
+    "fenton_karma_hybrid",
+    "bueno_cherry_fenton",
+    "bcf_hybrid",
+    "APFeatures",
+    "ap_features",
+    "action_potential",
+]
+
+# ----------------------------------------------------------------------
+# Fenton-Karma (1998), Beeler-Reuter fit (Table 1 of [55])
+# ----------------------------------------------------------------------
+
+FK_BR_PARAMS: dict[str, float] = {
+    "tau_d": 0.25,      # fast inward (depolarization) time scale
+    "tau_r": 33.0,      # slow outward (repolarization)
+    "tau_si": 30.0,     # slow inward
+    "tau_0": 12.5,      # outward at rest
+    "tau_v_plus": 3.33,
+    "tau_v1_minus": 1250.0,
+    "tau_v2_minus": 19.6,
+    "tau_w_plus": 870.0,
+    "tau_w_minus": 41.0,
+    "u_c": 0.13,        # excitation threshold
+    "u_v": 0.04,        # v-gate threshold
+    "u_c_si": 0.85,     # slow-inward activation midpoint
+    "k_si": 10.0,       # slow-inward activation steepness
+}
+
+
+def _fk_field(p: bool | Expr, q: bool | Expr) -> dict[str, Expr]:
+    """FK vector field with the two Heaviside gates supplied either as
+    booleans (hybrid modes) or as gate expressions (smooth model)."""
+    u, v, w = var("u"), var("v"), var("w")
+    tau_d, tau_r = var("tau_d"), var("tau_r")
+    tau_si, tau_0 = var("tau_si"), var("tau_0")
+    tau_vp = var("tau_v_plus")
+    tau_v1m, tau_v2m = var("tau_v1_minus"), var("tau_v2_minus")
+    tau_wp, tau_wm = var("tau_w_plus"), var("tau_w_minus")
+    u_c, u_c_si, k_si = var("u_c"), var("u_c_si"), var("k_si")
+
+    P: Expr = Const(1.0 if p else 0.0) if isinstance(p, bool) else p
+    Q: Expr = Const(1.0 if q else 0.0) if isinstance(q, bool) else q
+
+    j_fi = -(v * P / tau_d) * (1.0 - u) * (u - u_c)
+    j_so = (u / tau_0) * (1.0 - P) + P / tau_r
+    j_si = -(w / (2.0 * tau_si)) * (1.0 + tanh(k_si * (u - u_c_si)))
+    tau_vm = Q * tau_v1m + (1.0 - Q) * tau_v2m
+    return {
+        "u": -(j_fi + j_so + j_si),
+        "v": (1.0 - P) * (1.0 - v) / tau_vm - P * v / tau_vp,
+        "w": (1.0 - P) * (1.0 - w) / tau_wm - P * w / tau_wp,
+    }
+
+
+def fenton_karma(
+    params: dict[str, float] | None = None, gate_steepness: float = 100.0
+) -> ODESystem:
+    """Smooth single-mode FK model (sigmoid gates)."""
+    u = var("u")
+    p_gate = sigmoid(gate_steepness * (u - var("u_c")))
+    q_gate = sigmoid(gate_steepness * (u - var("u_v")))
+    return ODESystem(
+        _fk_field(p_gate, q_gate),
+        {**FK_BR_PARAMS, **(params or {})},
+        name="fenton_karma",
+    )
+
+
+def fenton_karma_hybrid(
+    params: dict[str, float] | None = None,
+    initial_mode: str = "excited",
+    init: Box | None = None,
+) -> HybridAutomaton:
+    """FK as a 3-mode hybrid automaton partitioned at u_v < u_c.
+
+    Modes: ``rest`` (u < u_v: p=0, q=0), ``gate`` (u_v <= u < u_c:
+    p=0, q=1), ``excited`` (u >= u_c: p=1, q=1).  Pick ``initial_mode``
+    consistent with the initial voltage range (``rest`` for
+    sub-threshold stimulation studies).
+    """
+    merged = {**FK_BR_PARAMS, **(params or {})}
+    u = var("u")
+    u_c, u_v = var("u_c"), var("u_v")
+    eps = 1e-6
+    return HybridAutomaton(
+        variables=["u", "v", "w"],
+        modes=[
+            Mode("rest", _fk_field(False, False), invariant=(u <= u_v + eps)),
+            Mode(
+                "gate",
+                _fk_field(False, True),
+                invariant=(u >= u_v - eps) & (u <= u_c + eps),
+            ),
+            Mode("excited", _fk_field(True, True), invariant=(u >= u_c - eps)),
+        ],
+        jumps=[
+            Jump("rest", "gate", guard=(u >= u_v)),
+            Jump("gate", "excited", guard=(u >= u_c)),
+            Jump("excited", "gate", guard=(u <= u_c)),
+            Jump("gate", "rest", guard=(u <= u_v)),
+        ],
+        initial_mode=initial_mode,
+        init=init if init is not None else Box.from_bounds(
+            {"u": (0.3, 1.0), "v": (0.9, 1.0), "w": (0.9, 1.0)}
+        ),
+        params=merged,
+        name="fenton_karma_hybrid",
+    )
+
+
+# ----------------------------------------------------------------------
+# Bueno-Cherry-Fenton minimal model (2008), epicardial parameter set
+# ----------------------------------------------------------------------
+
+BCF_EPI_PARAMS: dict[str, float] = {
+    "u_o": 0.0,
+    "u_u": 1.55,
+    "theta_v": 0.3,
+    "theta_w": 0.13,
+    "theta_vm": 0.006,
+    "theta_o": 0.006,
+    "tau_v1m": 60.0,
+    "tau_v2m": 1150.0,
+    "tau_vp": 1.4506,
+    "tau_w1m": 60.0,
+    "tau_w2m": 15.0,
+    "k_wm": 65.0,
+    "u_wm": 0.03,
+    "tau_wp": 200.0,
+    "tau_fi": 0.11,
+    "tau_o1": 400.0,
+    "tau_o2": 6.0,
+    "tau_so1": 30.0181,
+    "tau_so2": 0.9957,
+    "k_so": 2.0458,
+    "u_so": 0.65,
+    "tau_s1": 2.7342,
+    "tau_s2": 16.0,
+    "k_s": 2.0994,
+    "u_s": 0.9087,
+    "tau_si": 1.8875,
+    "tau_winf": 0.07,
+    "w_infstar": 0.94,
+}
+
+
+def _bcf_field(
+    h_v: bool | Expr, h_w: bool | Expr, h_o: bool | Expr
+) -> dict[str, Expr]:
+    """BCF vector field; ``h_v = H(u-theta_v)``, ``h_w = H(u-theta_w)``,
+    ``h_o = H(u-theta_o) = H(u-theta_vm)`` (equal thresholds in EPI)."""
+    u, v, w, s = var("u"), var("v"), var("w"), var("s")
+
+    def gate(g: bool | Expr) -> Expr:
+        return Const(1.0 if g else 0.0) if isinstance(g, bool) else g
+
+    Hv, Hw, Ho = gate(h_v), gate(h_w), gate(h_o)
+
+    u_oP, u_u = var("u_o"), var("u_u")
+    theta_v = var("theta_v")
+    tau_v1m, tau_v2m, tau_vp = var("tau_v1m"), var("tau_v2m"), var("tau_vp")
+    tau_w1m, tau_w2m = var("tau_w1m"), var("tau_w2m")
+    k_wm, u_wm, tau_wp = var("k_wm"), var("u_wm"), var("tau_wp")
+    tau_fi = var("tau_fi")
+    tau_o1, tau_o2 = var("tau_o1"), var("tau_o2")
+    tau_so1, tau_so2 = var("tau_so1"), var("tau_so2")
+    k_so, u_so = var("k_so"), var("u_so")
+    tau_s1, tau_s2, k_s, u_s = var("tau_s1"), var("tau_s2"), var("k_s"), var("u_s")
+    tau_si, tau_winf, w_infstar = var("tau_si"), var("tau_winf"), var("w_infstar")
+
+    tau_o = (1.0 - Ho) * tau_o1 + Ho * tau_o2
+    tau_so = tau_so1 + (tau_so2 - tau_so1) * (1.0 + tanh(k_so * (u - u_so))) / 2.0
+    tau_s = (1.0 - Hw) * tau_s1 + Hw * tau_s2
+    tau_vm = (1.0 - Ho) * tau_v1m + Ho * tau_v2m
+    tau_wm = tau_w1m + (tau_w2m - tau_w1m) * (1.0 + tanh(k_wm * (u - u_wm))) / 2.0
+    v_inf = 1.0 - Ho  # u < theta_vm  => 1 else 0 (theta_vm == theta_o)
+    w_inf = (1.0 - Ho) * (1.0 - u / tau_winf) + Ho * w_infstar
+
+    j_fi = -v * Hv * (u - theta_v) * (u_u - u) / tau_fi
+    j_so = (u - u_oP) * (1.0 - Hw) / tau_o + Hw / tau_so
+    j_si = -Hw * w * s / tau_si
+
+    return {
+        "u": -(j_fi + j_so + j_si),
+        "v": (1.0 - Hv) * (v_inf - v) / tau_vm - Hv * v / tau_vp,
+        "w": (1.0 - Hw) * (w_inf - w) / tau_wm - Hw * w / tau_wp,
+        "s": ((1.0 + tanh(k_s * (u - u_s))) / 2.0 - s) / tau_s,
+    }
+
+
+def bueno_cherry_fenton(
+    params: dict[str, float] | None = None, gate_steepness: float = 200.0
+) -> ODESystem:
+    """Smooth single-mode BCF minimal model (epicardial defaults)."""
+    u = var("u")
+    h_v = sigmoid(gate_steepness * (u - var("theta_v")))
+    h_w = sigmoid(gate_steepness * (u - var("theta_w")))
+    h_o = sigmoid(gate_steepness * (u - var("theta_o")))
+    return ODESystem(
+        _bcf_field(h_v, h_w, h_o),
+        {**BCF_EPI_PARAMS, **(params or {})},
+        name="bueno_cherry_fenton",
+    )
+
+
+def bcf_hybrid(
+    params: dict[str, float] | None = None,
+    initial_mode: str = "m4",
+    init: Box | None = None,
+) -> HybridAutomaton:
+    """BCF as a 4-mode hybrid automaton partitioned at the thresholds
+    ``theta_o = theta_vm < theta_w < theta_v`` (as in [37]).
+
+    Modes: ``m1`` (u < theta_o), ``m2`` (theta_o <= u < theta_w),
+    ``m3`` (theta_w <= u < theta_v), ``m4`` (u >= theta_v).
+    """
+    merged = {**BCF_EPI_PARAMS, **(params or {})}
+    u = var("u")
+    th_o, th_w, th_v = var("theta_o"), var("theta_w"), var("theta_v")
+    eps = 1e-6
+    return HybridAutomaton(
+        variables=["u", "v", "w", "s"],
+        modes=[
+            Mode("m1", _bcf_field(False, False, False), invariant=(u <= th_o + eps)),
+            Mode(
+                "m2",
+                _bcf_field(False, False, True),
+                invariant=(u >= th_o - eps) & (u <= th_w + eps),
+            ),
+            Mode(
+                "m3",
+                _bcf_field(False, True, True),
+                invariant=(u >= th_w - eps) & (u <= th_v + eps),
+            ),
+            Mode("m4", _bcf_field(True, True, True), invariant=(u >= th_v - eps)),
+        ],
+        jumps=[
+            Jump("m1", "m2", guard=(u >= th_o)),
+            Jump("m2", "m3", guard=(u >= th_w)),
+            Jump("m3", "m4", guard=(u >= th_v)),
+            Jump("m4", "m3", guard=(u <= th_v)),
+            Jump("m3", "m2", guard=(u <= th_w)),
+            Jump("m2", "m1", guard=(u <= th_o)),
+        ],
+        initial_mode=initial_mode,
+        init=init if init is not None else Box.from_bounds(
+            {"u": (0.3, 1.0), "v": (0.9, 1.0), "w": (0.9, 1.0), "s": (0.0, 0.1)}
+        ),
+        params=merged,
+        name="bcf_hybrid",
+    )
+
+
+# ----------------------------------------------------------------------
+# Action-potential feature extraction
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class APFeatures:
+    """Morphological features of a single action potential."""
+
+    peak: float
+    apd90: float | None           # duration above 10% of peak
+    repolarized: bool             # returned below 10% of peak by the end
+    has_dome: bool                # secondary rise after the notch
+    notch_depth: float | None     # peak-to-notch drop when a dome exists
+    dome_peak: float | None
+
+
+def ap_features(
+    traj: Trajectory,
+    voltage: str = "u",
+    dome_min_rise: float = 0.02,
+    dome_window: tuple[float, float] = (0.25, 0.98),
+) -> APFeatures:
+    """Extract AP features from a stimulated single-cell trajectory.
+
+    A "dome" is a local minimum (the notch) followed by a rise of at
+    least ``dome_min_rise``, with the notch voltage inside
+    ``dome_window`` (fractions of peak) -- the epicardial
+    spike-and-dome morphology of paper Section IV-A.
+    """
+    us = traj.column(voltage)
+    ts = traj.times
+    peak_idx = int(np.argmax(us))
+    peak = float(us[peak_idx])
+    if peak <= 0.0:
+        return APFeatures(peak, None, True, False, None, None)
+
+    thr = 0.1 * peak
+    below = np.where(us[peak_idx:] < thr)[0]
+    repolarized = below.size > 0
+    apd90 = None
+    if repolarized:
+        # first crossing below threshold after the peak
+        end_idx = peak_idx + int(below[0])
+        # first crossing above threshold (before or at peak)
+        above = np.where(us[: peak_idx + 1] >= thr)[0]
+        start_idx = int(above[0]) if above.size else peak_idx
+        apd90 = float(ts[end_idx] - ts[start_idx])
+
+    # dome: local min after peak followed by a sufficient rise
+    has_dome = False
+    notch_depth = None
+    dome_peak = None
+    lo_frac, hi_frac = dome_window
+    segment = us[peak_idx:]
+    for i in range(1, len(segment) - 1):
+        if segment[i] < thr:
+            break  # fully repolarized; no dome possible afterwards
+        if segment[i] <= segment[i - 1] and segment[i] < segment[i + 1]:
+            notch = float(segment[i])
+            if not (lo_frac * peak <= notch <= hi_frac * peak):
+                continue
+            rise = float(np.max(segment[i + 1:]) - notch)
+            if rise >= dome_min_rise:
+                has_dome = True
+                notch_depth = peak - notch
+                dome_peak = notch + rise
+                break
+    return APFeatures(peak, apd90, repolarized, has_dome, notch_depth, dome_peak)
+
+
+def action_potential(
+    system: ODESystem,
+    u0: float = 0.4,
+    t_final: float = 500.0,
+    params: dict[str, float] | None = None,
+    rtol: float = 1e-6,
+    max_step: float = 1.0,
+) -> Trajectory:
+    """Simulate a stimulated action potential.
+
+    The stimulus is modeled as an elevated initial voltage ``u0`` (the
+    encoding used in [37]); gates start from rest (v = w = 1, s = 0).
+    """
+    from repro.odes import rk45
+
+    x0 = {"u": u0, "v": 1.0, "w": 1.0}
+    if "s" in system.state_names:
+        x0["s"] = 0.0
+    return rk45(system, x0, (0.0, t_final), params=params, rtol=rtol, max_step=max_step)

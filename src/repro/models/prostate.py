@@ -1,0 +1,162 @@
+"""Prostate cancer intermittent androgen suppression (IAS) model.
+
+The personalized-therapy case study of paper Section IV-B ([38],
+HSCC'15): a two-mode hybrid automaton switching between on-treatment
+(androgen suppression) and off-treatment, with PSA-level thresholds
+``r0`` (pause treatment) and ``r1`` (resume treatment) as the
+*synthesizable* therapy parameters.
+
+The continuous dynamics follow the Ideta-style model used in [38]:
+
+* ``x`` -- androgen-dependent (hormone-sensitive) tumor cells,
+* ``y`` -- androgen-independent (castration-resistant) cells,
+* ``z`` -- serum androgen level,
+* serum PSA is read out as ``x + y``.
+
+Dynamics (per day), following Ideta et al.'s growth/death balance::
+
+    G_x(z) = alpha_x (k1 + (1 - k1) z/(z + k2))
+           - beta_x (k3 + (1 - k3) z/(z + k4))
+    dx/dt = G_x(z) x - m1 (1 - z/z0) x
+    dy/dt = m1 (1 - z/z0) x + alpha_y (1 - d * z/z0) y
+    dz/dt = -z/tau                (on treatment)
+    dz/dt = (z0 - z)/tau          (off treatment)
+
+With ``k1 = 0`` and ``k3 = 8`` the AD death rate is ~8x stronger at
+zero androgen than at normal levels: PSA falls during treatment and
+regrows off treatment, the clinical IAS cycling.
+
+The mutation term ``m1 (1 - z/z0)`` converts AD cells to AI cells
+faster at low androgen; the patient-specific constant ``d`` controls
+whether androgen *suppresses* AI growth (d > 1: off-treatment phases
+shrink the resistant clone -- the rationale of intermittent therapy) or
+not (d < 1: relapse is unavoidable and IAS only delays it).  These are
+exactly the regimes whose therapy verdicts differ in [38].
+"""
+
+from __future__ import annotations
+
+from repro.expr import var
+from repro.hybrid import HybridAutomaton, Jump, Mode
+from repro.intervals import Box
+from repro.odes import ODESystem
+
+__all__ = [
+    "IAS_DEFAULT_PARAMS",
+    "PATIENT_PROFILES",
+    "ias_model",
+    "ias_on_treatment_ode",
+    "psa",
+]
+
+IAS_DEFAULT_PARAMS: dict[str, float] = {
+    "alpha_x": 0.0204,  # AD proliferation ceiling [1/day]
+    "beta_x": 0.0076,   # AD apoptosis scale
+    "alpha_y": 0.0242,  # AI proliferation rate
+    "m1": 5e-5,         # maximal mutation rate AD -> AI
+    "z0": 12.0,         # normal androgen level [nmol/L]
+    "tau": 12.5,        # androgen dynamics time constant [day]
+    "k1": 0.0,          # androgen-independent fraction of AD growth
+    "k2": 2.0,          # androgen half-saturation for AD growth
+    "k3": 8.0,          # apoptosis amplification at zero androgen
+    "k4": 0.5,          # androgen half-saturation for AD death
+    "d": 1.2,           # androgen suppression of AI growth (patient-specific)
+    "r0": 4.0,          # PSA level to pause treatment [ng/mL]
+    "r1": 10.0,         # PSA level to resume treatment
+}
+
+#: Three synthetic patient profiles spanning the qualitative regimes of
+#: [38]: responder (d > 1, IAS can control the resistant clone),
+#: intermediate (d ~ 1), and non-responder (d < 1, relapse inevitable).
+PATIENT_PROFILES: dict[str, dict[str, float]] = {
+    "patient_A": {"d": 1.4, "alpha_y": 0.0242},
+    "patient_B": {"d": 1.0, "alpha_y": 0.0242},
+    "patient_C": {"d": 0.3, "alpha_y": 0.0320},
+}
+
+
+def _dynamics(on_treatment: bool) -> dict:
+    x, y, z = var("x"), var("y"), var("z")
+    alpha_x, beta_x = var("alpha_x"), var("beta_x")
+    alpha_y, m1 = var("alpha_y"), var("m1")
+    z0, tau, d = var("z0"), var("tau"), var("d")
+    k1, k2, k3, k4 = var("k1"), var("k2"), var("k3"), var("k4")
+    growth = alpha_x * (k1 + (1.0 - k1) * z / (z + k2))
+    death = beta_x * (k3 + (1.0 - k3) * z / (z + k4))
+    mutation = m1 * (1.0 - z / z0)
+    dx = (growth - death) * x - mutation * x
+    dy = mutation * x + alpha_y * (1.0 - d * z / z0) * y
+    dz = -z / tau if on_treatment else (z0 - z) / tau
+    return {"x": dx, "y": dy, "z": dz}
+
+
+def ias_model(
+    patient: str | dict[str, float] | None = None,
+    x0: float = 15.0,
+    y0: float = 0.01,
+) -> HybridAutomaton:
+    """The two-mode IAS hybrid automaton.
+
+    Parameters
+    ----------
+    patient:
+        A profile name from :data:`PATIENT_PROFILES`, a dict of
+        parameter overrides, or None for defaults.
+    x0, y0:
+        Initial tumor burdens (PSA(0) = x0 + y0, diagnosis level).
+
+    The automaton starts on-treatment.  Treatment pauses when PSA drops
+    below ``r0`` and resumes when PSA exceeds ``r1``; ``r0``/``r1`` are
+    ordinary parameters, so the therapy-design question "which
+    thresholds keep the patient controlled?" is parameter synthesis
+    (Definition 13) -- the exact formulation of [38].
+    """
+    overrides: dict[str, float] = {}
+    if isinstance(patient, str):
+        try:
+            overrides = dict(PATIENT_PROFILES[patient])
+        except KeyError:
+            raise KeyError(
+                f"unknown patient {patient!r}; choose from {sorted(PATIENT_PROFILES)}"
+            ) from None
+    elif isinstance(patient, dict):
+        overrides = dict(patient)
+    params = {**IAS_DEFAULT_PARAMS, **overrides}
+
+    x, y = var("x"), var("y")
+    r0, r1 = var("r0"), var("r1")
+    psa_expr = x + y
+    return HybridAutomaton(
+        variables=["x", "y", "z"],
+        modes=[
+            Mode("on", _dynamics(True)),
+            Mode("off", _dynamics(False)),
+        ],
+        jumps=[
+            Jump("on", "off", guard=(r0 - psa_expr >= 0)),
+            Jump("off", "on", guard=(psa_expr - r1 >= 0)),
+        ],
+        initial_mode="on",
+        init=Box.from_bounds(
+            {"x": (x0, x0), "y": (y0, y0), "z": (params["z0"], params["z0"])}
+        ),
+        params=params,
+        name="ias",
+    )
+
+
+def ias_on_treatment_ode(patient: str | dict[str, float] | None = None) -> ODESystem:
+    """Single-mode continuous-androgen-suppression model (the non-
+    intermittent baseline therapy)."""
+    overrides: dict[str, float] = {}
+    if isinstance(patient, str):
+        overrides = dict(PATIENT_PROFILES[patient])
+    elif isinstance(patient, dict):
+        overrides = dict(patient)
+    params = {**IAS_DEFAULT_PARAMS, **overrides}
+    return ODESystem(_dynamics(True), params, name="ias_on")
+
+
+def psa(state: dict[str, float]) -> float:
+    """Serum PSA readout: total tumor burden ``x + y``."""
+    return state["x"] + state["y"]

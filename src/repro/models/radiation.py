@@ -1,0 +1,238 @@
+"""Multi-mode model of irradiation-induced cell-death signaling (Fig. 1/3).
+
+The paper's radiation-disease case study (Section IV-B, Fig. 3 and
+[22]-[24]): after total-body irradiation (TBI), several interconnected
+cell-death pathways race toward commitment; radiation mitigators
+inhibit individual pathways, and the therapy-design problem is to pick
+*which* drug to deliver *when* -- encoded as synthesizing the jump
+thresholds of a multi-mode hybrid automaton.
+
+Continuous state (one "signature" species per pathway of Fig. 1, plus
+the initiating damage):
+
+* ``dmg``  -- radiation damage signal (drives all pathways; decays),
+* ``clox`` -- oxidized cardiolipin (apoptosis signature; inhibited by
+  JP4-039 in mode A),
+* ``rip3`` -- phosphorylated RIP3/MLKL (necroptosis; necrostatin-1,
+  mode B),
+* ``peox`` -- oxidized PE lipids (ferroptosis; baicalein, mode C),
+* ``il``   -- IL-1beta (pyroptosis; MCC950, mode D),
+* ``nad``  -- NAD+ level, depleted by PARP1 (parthanatos; XJB-veliparib
+  restores it, mode E).
+
+Modes: ``live`` (mode 0, no drug), ``drug_X`` (modes A-E, live cell
+under inhibitor X), ``death`` (mode 1, absorbing "point of no return").
+Death fires when any signature crosses its lethal threshold (or NAD
+collapses).  Treatment jumps ``live -> drug_X`` are guarded by the
+signature exceeding a *decision threshold* ``theta_X`` -- the
+parameters synthesized in the paper's Fig. 3 walkthrough; recovery
+jumps return to ``live`` when the treated signature falls below the
+recovery level.
+
+The quantitative dynamics are synthetic (mass-action-style production/
+clearance with cross-pathway couplings from Fig. 1: CLox promotes RIP3
+signaling, RIP3 promotes lipid peroxidation, PARP activity consumes
+NAD); the *structure* -- which pathway each drug blocks, and the
+signature-guarded mode switching -- follows the paper.  See DESIGN.md,
+substitution table.
+"""
+
+from __future__ import annotations
+
+from repro.expr import var
+from repro.hybrid import HybridAutomaton, Jump, Mode
+from repro.intervals import Box
+from repro.logic import And, Or
+
+__all__ = ["TBI_DEFAULT_PARAMS", "DRUG_MODES", "tbi_model"]
+
+TBI_DEFAULT_PARAMS: dict[str, float] = {
+    # damage decay
+    "lam": 0.08,
+    # production rates driven by damage
+    "k_clox": 0.40,
+    "k_rip3": 0.25,
+    "k_peox": 0.20,
+    "k_il": 0.15,
+    "k_parp": 0.30,   # NAD consumption per damage+PARP activity
+    # clearance rates
+    "d_clox": 0.10,
+    "d_rip3": 0.12,
+    "d_peox": 0.10,
+    "d_il": 0.15,
+    "k_nad": 0.05,    # NAD regeneration toward 1.0
+    # cross-pathway couplings (Fig. 1 interconnectivity)
+    "c_clox_rip3": 0.10,   # CLox release promotes RIPK3 signaling
+    "c_rip3_peox": 0.08,   # RIPK3/PEBP1 promotes lipid peroxidation
+    # drug inhibition strengths (fraction of production blocked)
+    "inh_A": 0.95,  # JP4-039 vs CLox
+    "inh_B": 0.95,  # necrostatin-1 vs RIP3
+    "inh_C": 0.95,  # baicalein vs PEox
+    "inh_D": 0.95,  # MCC950 vs IL-1beta
+    "inh_E": 0.95,  # XJB-veliparib vs PARP (NAD drain)
+    # lethal thresholds (signature level committing the cell to death)
+    "lethal": 1.0,
+    "nad_floor": 0.2,
+    # treatment decision thresholds (synthesis targets)
+    "theta_A": 0.5,
+    "theta_B": 0.5,
+    "theta_C": 0.5,
+    "theta_D": 0.5,
+    "theta_E": 0.5,
+    # recovery level: signature below this returns the cell to mode 0
+    "recover": 0.3,
+    # hysteresis margin for drug-to-drug switching (prevents chatter)
+    "switch_margin": 0.15,
+}
+
+#: drug mode name -> (inhibited signature variable, inhibition parameter,
+#:                    decision threshold parameter)
+DRUG_MODES: dict[str, tuple[str, str, str]] = {
+    "drug_A": ("clox", "inh_A", "theta_A"),
+    "drug_B": ("rip3", "inh_B", "theta_B"),
+    "drug_C": ("peox", "inh_C", "theta_C"),
+    "drug_D": ("il", "inh_D", "theta_D"),
+    "drug_E": ("nad", "inh_E", "theta_E"),
+}
+
+_SIGNATURES = ("clox", "rip3", "peox", "il")
+
+
+def _field(inhibited: str | None) -> dict:
+    """Vector field of a live mode; ``inhibited`` names the drug mode's
+    target pathway (None for mode 0)."""
+    dmg = var("dmg")
+    clox, rip3, peox, il, nad = (
+        var("clox"), var("rip3"), var("peox"), var("il"), var("nad"),
+    )
+
+    def prod_factor(mode_key: str) -> object:
+        if inhibited == mode_key:
+            inh = {
+                "clox": "inh_A", "rip3": "inh_B", "peox": "inh_C",
+                "il": "inh_D", "nad": "inh_E",
+            }[mode_key]
+            return 1.0 - var(inh)
+        return 1.0
+
+    d_clox = var("k_clox") * dmg * prod_factor("clox") - var("d_clox") * clox
+    d_rip3 = (
+        (var("k_rip3") * dmg + var("c_clox_rip3") * clox) * prod_factor("rip3")
+        - var("d_rip3") * rip3
+    )
+    d_peox = (
+        (var("k_peox") * dmg + var("c_rip3_peox") * rip3) * prod_factor("peox")
+        - var("d_peox") * peox
+    )
+    d_il = var("k_il") * dmg * prod_factor("il") - var("d_il") * il
+    d_nad = var("k_nad") * (1.0 - nad) - var("k_parp") * dmg * nad * prod_factor("nad")
+    return {
+        "dmg": -var("lam") * dmg,
+        "clox": d_clox,
+        "rip3": d_rip3,
+        "peox": d_peox,
+        "il": d_il,
+        "nad": d_nad,
+    }
+
+
+def _frozen_field() -> dict:
+    """Death mode: absorbing, all derivatives zero."""
+    return {n: 0.0 * var(n) for n in ("dmg", "clox", "rip3", "peox", "il", "nad")}
+
+
+def tbi_model(
+    params: dict[str, float] | None = None,
+    dose: float = 1.0,
+    drugs: tuple[str, ...] = ("drug_A", "drug_B", "drug_C", "drug_D", "drug_E"),
+) -> HybridAutomaton:
+    """The TBI multi-mode therapy automaton of Fig. 3.
+
+    Parameters
+    ----------
+    dose:
+        Initial radiation damage level (mode 0 starts 24h post-TBI).
+    drugs:
+        Which drug modes (A-E) are available; restricting the set
+        models limited drug access and shrinks the path search space.
+
+    Structure (Fig. 3): mode 0 = live cell, no treatment; modes A-E =
+    live under one inhibitor; mode 1 = death (absorbing).  Each
+    ``live -> drug_X`` jump is guarded by the pathway signature
+    exceeding ``theta_X``; returning to mode 0 requires the signature
+    to recede below ``recover``; any live mode jumps to ``death`` when
+    a lethal threshold is crossed.
+    """
+    p = {**TBI_DEFAULT_PARAMS, **(params or {})}
+    unknown = [d for d in drugs if d not in DRUG_MODES]
+    if unknown:
+        raise ValueError(f"unknown drug modes: {unknown}")
+
+    lethal = var("lethal")
+    nad_floor = var("nad_floor")
+    death_guard = Or(
+        *[var(s) >= lethal for s in _SIGNATURES],
+        nad_floor - var("nad") >= 0,
+    )
+    # Live modes carry the complementary invariant, so crossing a lethal
+    # threshold *forces* the death transition (Fig. 3's "point of no
+    # return" is not optional) -- also under BMC's may-jump semantics.
+    eps = 1e-6
+    alive_inv = And(
+        *[var(s) <= lethal + eps for s in _SIGNATURES],
+        var("nad") >= nad_floor - eps,
+    )
+
+    modes = [Mode("live", _field(None), invariant=alive_inv),
+             Mode("death", _frozen_field())]
+    jumps = [Jump("live", "death", guard=death_guard)]
+
+    def urgency(target: str):
+        """Pathway urgency: signature level, or NAD deficit for mode E."""
+        return (1.0 - var("nad")) if target == "nad" else var(target)
+
+    def decision(target: str, theta: str):
+        if target == "nad":
+            return var(theta) - var("nad") >= 0  # NAD fallen below theta
+        return var(target) - var(theta) >= 0
+
+    for drug in drugs:
+        target, _inh, theta = DRUG_MODES[drug]
+        modes.append(Mode(drug, _field(target), invariant=alive_inv))
+        if target == "nad":
+            recovery = var("nad") - 0.9 >= 0  # NAD restored
+        else:
+            recovery = var("recover") - var(target) >= 0
+        jumps.append(Jump("live", drug, guard=decision(target, theta)))
+        jumps.append(Jump(drug, "live", guard=recovery))
+        jumps.append(Jump(drug, "death", guard=death_guard))
+        # combination therapy: switch to another drug only when its
+        # pathway is both past its decision threshold and *more urgent*
+        # than the one currently treated (prevents threshold chatter)
+        for other in drugs:
+            if other == drug:
+                continue
+            o_target, _oi, o_theta = DRUG_MODES[other]
+            o_guard = And(
+                decision(o_target, o_theta),
+                urgency(o_target) - urgency(target) - var("switch_margin") >= 0,
+            )
+            jumps.append(Jump(drug, other, guard=o_guard))
+
+    init = {
+        "dmg": (dose, dose),
+        "clox": (0.0, 0.0),
+        "rip3": (0.0, 0.0),
+        "peox": (0.0, 0.0),
+        "il": (0.0, 0.0),
+        "nad": (1.0, 1.0),
+    }
+    return HybridAutomaton(
+        variables=["dmg", "clox", "rip3", "peox", "il", "nad"],
+        modes=modes,
+        jumps=jumps,
+        initial_mode="live",
+        init=Box.from_bounds(init),
+        params=p,
+        name="tbi",
+    )

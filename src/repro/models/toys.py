@@ -1,0 +1,123 @@
+"""Standard small models used in tests, examples and benchmarks."""
+
+from __future__ import annotations
+
+from repro.expr import var
+from repro.hybrid import HybridAutomaton, Jump, Mode
+from repro.intervals import Box
+from repro.logic import And
+from repro.odes import ODESystem
+
+__all__ = [
+    "logistic",
+    "lotka_volterra",
+    "sir",
+    "damped_oscillator",
+    "van_der_pol",
+    "thermostat",
+    "bouncing_ball",
+]
+
+
+def logistic(r: float = 1.0, K: float = 10.0) -> ODESystem:
+    """Logistic growth ``dx/dt = r x (1 - x/K)``."""
+    x = var("x")
+    return ODESystem(
+        {"x": var("r") * x * (1.0 - x / var("K"))},
+        {"r": r, "K": K},
+        name="logistic",
+    )
+
+
+def lotka_volterra(
+    alpha: float = 1.0, beta: float = 0.5, gamma: float = 1.0, delta: float = 0.25
+) -> ODESystem:
+    """Predator-prey: ``x' = a x - b x y``, ``y' = -c y + d x y``."""
+    x, y = var("x"), var("y")
+    return ODESystem(
+        {
+            "x": var("alpha") * x - var("beta") * x * y,
+            "y": -var("gamma") * y + var("delta") * x * y,
+        },
+        {"alpha": alpha, "beta": beta, "gamma": gamma, "delta": delta},
+        name="lotka_volterra",
+    )
+
+
+def sir(beta: float = 0.3, gamma: float = 0.1) -> ODESystem:
+    """SIR epidemic model with normalized population."""
+    s, i = var("s"), var("i")
+    return ODESystem(
+        {
+            "s": -var("beta") * s * i,
+            "i": var("beta") * s * i - var("gamma") * i,
+            "r": var("gamma") * i,
+        },
+        {"beta": beta, "gamma": gamma},
+        name="sir",
+    )
+
+
+def damped_oscillator(k: float = 1.0, c: float = 1.0) -> ODESystem:
+    """``x'' + c x' + k x = 0`` as a first-order system."""
+    x, v = var("x"), var("v")
+    return ODESystem(
+        {"x": v, "v": -var("k") * x - var("c") * v},
+        {"k": k, "c": c},
+        name="damped_oscillator",
+    )
+
+
+def van_der_pol(mu: float = 1.0) -> ODESystem:
+    """Van der Pol oscillator (stable limit cycle)."""
+    x, v = var("x"), var("v")
+    return ODESystem(
+        {"x": v, "v": var("mu") * (1.0 - x * x) * v - x},
+        {"mu": mu},
+        name="van_der_pol",
+    )
+
+
+def thermostat(
+    theta_on: float = 18.0, theta_off: float = 22.0, heat: float = 30.0
+) -> HybridAutomaton:
+    """Classic two-mode thermostat with hysteresis thresholds as
+    parameters (useful for threshold-synthesis demos)."""
+    x = var("x")
+    t_on, t_off = var("theta_on"), var("theta_off")
+    return HybridAutomaton(
+        variables=["x"],
+        modes=[
+            Mode("off", {"x": -x}),
+            Mode("on", {"x": var("heat") - x}),
+        ],
+        jumps=[
+            Jump("off", "on", guard=(x <= t_on)),
+            Jump("on", "off", guard=(x >= t_off)),
+        ],
+        initial_mode="off",
+        init=Box.from_bounds({"x": (20.0, 21.0)}),
+        params={"theta_on": theta_on, "theta_off": theta_off, "heat": heat},
+        name="thermostat",
+    )
+
+
+def bouncing_ball(c: float = 0.8, g: float = 9.81, h0: float = 1.0) -> HybridAutomaton:
+    """Bouncing ball with restitution coefficient ``c``."""
+    x, v = var("x"), var("v")
+    return HybridAutomaton(
+        variables=["x", "v"],
+        modes=[Mode("fall", {"x": v, "v": 0.0 * x - var("g")}, invariant=(x >= -1e-6))],
+        jumps=[
+            Jump(
+                "fall",
+                "fall",
+                guard=And(x <= 0.0, v <= 0.0),
+                reset={"v": -var("c") * v, "x": 1e-9},
+            )
+        ],
+        initial_mode="fall",
+        init=Box.from_bounds({"x": (h0, h0), "v": (0.0, 0.0)}),
+        params={"c": c, "g": g},
+        name="bouncing_ball",
+    )

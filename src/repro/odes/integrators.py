@@ -1,0 +1,325 @@
+"""Numerical ODE integration: fixed-step RK4 and adaptive Dormand-Prince.
+
+Written from scratch (no scipy dependency in the hot path) because the
+hybrid simulator needs dense output and bisection-based event location
+under our control, and the SMC layer needs deterministic, seedable,
+cheap trajectories.
+
+The integrators return a :class:`Trajectory` supporting interpolation,
+which the BLTL monitor (:mod:`repro.smc`) and the feature extractors
+(:mod:`repro.models.cardiac`) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from .system import ODESystem
+
+__all__ = ["Trajectory", "IntegrationError", "rk4", "rk45", "simulate"]
+
+
+class IntegrationError(RuntimeError):
+    """Raised when integration fails (blow-up, step underflow)."""
+
+
+@dataclass
+class Trajectory:
+    """A sampled solution ``x(t)`` with dense-output access.
+
+    Attributes
+    ----------
+    times:
+        Strictly increasing sample times, shape ``(n,)``.
+    states:
+        Sampled states, shape ``(n, dim)``.
+    names:
+        State variable names (column order of ``states``).
+    derivs:
+        Optional vector-field samples matching ``states``; when present,
+        interpolation is cubic Hermite (high-accuracy dense output),
+        otherwise linear.
+    """
+
+    times: np.ndarray
+    states: np.ndarray
+    names: list[str]
+    derivs: np.ndarray | None = None
+
+    def __post_init__(self):
+        self.times = np.asarray(self.times, dtype=float)
+        self.states = np.asarray(self.states, dtype=float)
+        if self.states.ndim == 1:
+            self.states = self.states.reshape(-1, 1)
+        if len(self.times) != len(self.states):
+            raise ValueError("times/states length mismatch")
+        if self.derivs is not None:
+            self.derivs = np.asarray(self.derivs, dtype=float)
+            if self.derivs.shape != self.states.shape:
+                raise ValueError("derivs/states shape mismatch")
+
+    def _interp_row(self, t: float) -> np.ndarray:
+        """Dense-output state at ``t`` (Hermite if derivatives stored)."""
+        idx = int(np.searchsorted(self.times, t, side="right")) - 1
+        idx = min(max(idx, 0), len(self.times) - 2) if len(self.times) > 1 else 0
+        if len(self.times) == 1:
+            return self.states[0]
+        t0, t1 = self.times[idx], self.times[idx + 1]
+        h = t1 - t0
+        y0, y1 = self.states[idx], self.states[idx + 1]
+        if h <= 0:
+            return y0
+        s = (t - t0) / h
+        if self.derivs is None:
+            return y0 + s * (y1 - y0)
+        d0, d1 = self.derivs[idx], self.derivs[idx + 1]
+        h00 = (1 + 2 * s) * (1 - s) ** 2
+        h10 = s * (1 - s) ** 2
+        h01 = s * s * (3 - 2 * s)
+        h11 = s * s * (s - 1)
+        return h00 * y0 + h10 * h * d0 + h01 * y1 + h11 * h * d1
+
+    @property
+    def t0(self) -> float:
+        return float(self.times[0])
+
+    @property
+    def t_end(self) -> float:
+        return float(self.times[-1])
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def column(self, name: str) -> np.ndarray:
+        return self.states[:, self.names.index(name)]
+
+    def at(self, t: float) -> dict[str, float]:
+        """State at time ``t`` by dense-output interpolation."""
+        t = float(t)
+        if not (self.t0 - 1e-12 <= t <= self.t_end + 1e-12):
+            raise ValueError(f"time {t} outside trajectory [{self.t0}, {self.t_end}]")
+        row = self._interp_row(min(max(t, self.t0), self.t_end))
+        return dict(zip(self.names, map(float, row)))
+
+    def value(self, name: str, t: float) -> float:
+        return self.at(t)[name]
+
+    def final(self) -> dict[str, float]:
+        return dict(zip(self.names, map(float, self.states[-1])))
+
+    def restricted(self, t_from: float, t_to: float) -> "Trajectory":
+        """Sub-trajectory on ``[t_from, t_to]`` (endpoints interpolated)."""
+        mask = (self.times > t_from) & (self.times < t_to)
+        ts = np.concatenate([[t_from], self.times[mask], [t_to]])
+        rows = [self._interp_row(t_from)] + [r for r in self.states[mask]] + [
+            self._interp_row(t_to)
+        ]
+        derivs = None
+        if self.derivs is not None:
+            # endpoint derivatives approximated by the nearest sample
+            i0 = int(np.searchsorted(self.times, t_from))
+            i1 = int(np.searchsorted(self.times, t_to)) - 1
+            i0 = min(max(i0, 0), len(self.times) - 1)
+            i1 = min(max(i1, 0), len(self.times) - 1)
+            derivs = np.vstack(
+                [self.derivs[i0], self.derivs[mask], self.derivs[i1]]
+            )
+        return Trajectory(ts, np.array(rows), list(self.names), derivs)
+
+    def concat(self, other: "Trajectory") -> "Trajectory":
+        """Join two trajectories end-to-start (shared sample dropped)."""
+        if other.names != self.names:
+            raise ValueError("state name mismatch")
+        skip = 1 if abs(other.t0 - self.t_end) < 1e-12 else 0
+        derivs = None
+        if self.derivs is not None and other.derivs is not None:
+            derivs = np.vstack([self.derivs, other.derivs[skip:]])
+        return Trajectory(
+            np.concatenate([self.times, other.times[skip:]]),
+            np.vstack([self.states, other.states[skip:]]),
+            list(self.names),
+            derivs,
+        )
+
+
+# ----------------------------------------------------------------------
+# Fixed-step classic RK4
+# ----------------------------------------------------------------------
+
+
+def rk4(
+    system: ODESystem,
+    x0: Mapping[str, float],
+    t_span: tuple[float, float],
+    dt: float,
+    params: Mapping[str, float] | None = None,
+) -> Trajectory:
+    """Classic 4th-order Runge-Kutta with fixed step ``dt``."""
+    f = system.rhs()
+    p = {**system.params, **(params or {})}
+    names = system.state_names
+    t0, t1 = map(float, t_span)
+    if t1 <= t0:
+        raise ValueError("t_span must be increasing")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    y = np.array([float(x0[n]) for n in names])
+    times = [t0]
+    rows = [y.copy()]
+    derivs = [f(t0, y, p)]
+    t = t0
+    while t < t1 - 1e-12:
+        h = min(dt, t1 - t)
+        k1 = f(t, y, p)
+        k2 = f(t + 0.5 * h, y + 0.5 * h * k1, p)
+        k3 = f(t + 0.5 * h, y + 0.5 * h * k2, p)
+        k4 = f(t + h, y + h * k3, p)
+        y = y + (h / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+        if not np.all(np.isfinite(y)):
+            raise IntegrationError(f"state blew up at t={t + h:.6g}")
+        t += h
+        times.append(t)
+        rows.append(y.copy())
+        derivs.append(f(t, y, p))
+    return Trajectory(np.array(times), np.array(rows), names, np.array(derivs))
+
+
+# ----------------------------------------------------------------------
+# Adaptive Dormand-Prince RK45
+# ----------------------------------------------------------------------
+
+# Butcher tableau of Dormand-Prince 5(4)
+_DP_C = np.array([0.0, 1 / 5, 3 / 10, 4 / 5, 8 / 9, 1.0, 1.0])
+_DP_A = [
+    [],
+    [1 / 5],
+    [3 / 40, 9 / 40],
+    [44 / 45, -56 / 15, 32 / 9],
+    [19372 / 6561, -25360 / 2187, 64448 / 6561, -212 / 729],
+    [9017 / 3168, -355 / 33, 46732 / 5247, 49 / 176, -5103 / 18656],
+    [35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84],
+]
+_DP_B5 = np.array([35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0.0])
+_DP_B4 = np.array(
+    [5179 / 57600, 0.0, 7571 / 16695, 393 / 640, -92097 / 339200, 187 / 2100, 1 / 40]
+)
+
+
+def rk45(
+    system: ODESystem,
+    x0: Mapping[str, float],
+    t_span: tuple[float, float],
+    params: Mapping[str, float] | None = None,
+    rtol: float = 1e-6,
+    atol: float = 1e-9,
+    max_step: float | None = None,
+    first_step: float | None = None,
+    max_steps: int = 1_000_000,
+) -> Trajectory:
+    """Adaptive Dormand-Prince 5(4) integration with PI step control."""
+    f = system.rhs()
+    p = {**system.params, **(params or {})}
+    names = system.state_names
+    t0, t1 = map(float, t_span)
+    if t1 <= t0:
+        raise ValueError("t_span must be increasing")
+    span = t1 - t0
+    hmax = max_step if max_step is not None else span / 10.0
+    y = np.array([float(x0[n]) for n in names])
+    h = first_step if first_step is not None else min(hmax, span / 100.0)
+    times = [t0]
+    rows = [y.copy()]
+    derivs = [f(t0, y, p)]
+    t = t0
+    steps = 0
+    while t < t1 - 1e-12:
+        if steps > max_steps:
+            raise IntegrationError("max step count exceeded")
+        steps += 1
+        h = min(h, t1 - t, hmax)
+        if h < 1e-14 * max(1.0, abs(t)):
+            raise IntegrationError(f"step size underflow at t={t:.6g}")
+        ks = np.empty((7, len(y)))
+        ks[0] = f(t, y, p)
+        for i in range(1, 7):
+            yi = y + h * sum(a * ks[j] for j, a in enumerate(_DP_A[i]))
+            ks[i] = f(t + _DP_C[i] * h, yi, p)
+        y5 = y + h * (_DP_B5 @ ks)
+        y4 = y + h * (_DP_B4 @ ks)
+        if not np.all(np.isfinite(y5)):
+            h *= 0.25
+            continue
+        scale = atol + rtol * np.maximum(np.abs(y), np.abs(y5))
+        err = float(np.sqrt(np.mean(((y5 - y4) / scale) ** 2)))
+        if err <= 1.0:
+            t += h
+            y = y5
+            times.append(t)
+            rows.append(y.copy())
+            derivs.append(ks[6])  # FSAL: k7 = f(t+h, y5)
+        # PI controller
+        factor = 0.9 * (err + 1e-16) ** (-0.2)
+        h *= min(5.0, max(0.2, factor))
+    return Trajectory(np.array(times), np.array(rows), names, np.array(derivs))
+
+
+def simulate(
+    system: ODESystem,
+    x0: Mapping[str, float],
+    t_span: tuple[float, float],
+    params: Mapping[str, float] | None = None,
+    method: str = "rk45",
+    **kwargs,
+) -> Trajectory:
+    """Front door: ``simulate(system, x0, (0, 10))``."""
+    if method == "rk45":
+        return rk45(system, x0, t_span, params, **kwargs)
+    if method == "rk4":
+        dt = kwargs.pop("dt", (t_span[1] - t_span[0]) / 1000.0)
+        return rk4(system, x0, t_span, dt, params)
+    raise ValueError(f"unknown method {method!r}")
+
+
+# ----------------------------------------------------------------------
+# Event location
+# ----------------------------------------------------------------------
+
+
+def find_event(
+    traj: Trajectory,
+    event: Callable[[dict[str, float]], float],
+    direction: int = 0,
+    refine: Callable[[float], dict[str, float]] | None = None,
+    tol: float = 1e-10,
+) -> float | None:
+    """First time the scalar ``event(state)`` crosses zero.
+
+    ``direction`` restricts to rising (+1), falling (-1) or any (0)
+    crossings.  The crossing is located by bisection on the
+    (interpolated) trajectory; ``refine`` may supply a more accurate
+    state lookup (e.g. a re-integration).
+    """
+    lookup = refine if refine is not None else traj.at
+    values = [event(dict(zip(traj.names, row))) for row in traj.states]
+    for i in range(1, len(values)):
+        a, b = values[i - 1], values[i]
+        if a == 0.0:
+            continue
+        crossed = (a < 0 <= b) if direction >= 0 else False
+        crossed = crossed or ((a > 0 >= b) if direction <= 0 else False)
+        if not crossed:
+            continue
+        lo, hi = float(traj.times[i - 1]), float(traj.times[i])
+        flo = a
+        while hi - lo > tol * max(1.0, abs(hi)):
+            mid = 0.5 * (lo + hi)
+            fmid = event(lookup(mid))
+            if (flo < 0) == (fmid < 0):
+                lo, flo = mid, fmid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+    return None

@@ -1,0 +1,70 @@
+"""Statistical model checking (S8 in DESIGN.md).
+
+Bounded LTL monitoring, SPRT/Chernoff/Bayesian statistics, probabilistic
+initial states, and SMC-driven parameter search -- the left loop of the
+paper's Fig. 2 workflow ([11]-[13]).
+"""
+
+from .bltl import (
+    BLTL,
+    Always,
+    AndOp,
+    At,
+    Eventually,
+    NotOp,
+    OrOp,
+    Prop,
+    Until,
+    F,
+    G,
+    U,
+    at_time,
+    monitor,
+    prop,
+    robustness,
+)
+from .stats import (
+    BayesianEstimate,
+    SPRTResult,
+    bayesian_estimate,
+    chernoff_sample_size,
+    estimate_probability,
+    sprt,
+)
+from .engine import InitialDistribution, StatisticalModelChecker
+from .dbn import DBNApproximation, Discretization, build_dbn
+from .search import SearchResult, cross_entropy_search, genetic_search, smc_objective
+
+__all__ = [
+    "BLTL",
+    "Prop",
+    "NotOp",
+    "AndOp",
+    "OrOp",
+    "Eventually",
+    "Always",
+    "Until",
+    "At",
+    "at_time",
+    "prop",
+    "F",
+    "G",
+    "U",
+    "monitor",
+    "robustness",
+    "SPRTResult",
+    "sprt",
+    "chernoff_sample_size",
+    "estimate_probability",
+    "BayesianEstimate",
+    "bayesian_estimate",
+    "InitialDistribution",
+    "StatisticalModelChecker",
+    "SearchResult",
+    "smc_objective",
+    "cross_entropy_search",
+    "genetic_search",
+    "DBNApproximation",
+    "Discretization",
+    "build_dbn",
+]

@@ -1,0 +1,276 @@
+"""Bounded linear temporal logic (BLTL) over sampled trajectories.
+
+The paper's SMC framework ([11]-[13], Fig. 2 left loop) uses bounded
+LTL to "encode quantitative behavioral constraints and qualitative
+properties of biochemical networks".  Formulas are interpreted over a
+finitely sampled trajectory; temporal bounds are in model time units.
+
+Syntax::
+
+    prop(formula)                      state predicate (an L_RF formula)
+    ~phi, phi & psi, phi | psi         boolean connectives
+    F(T, phi)   "eventually within T"
+    G(T, phi)   "always within T"
+    U(T, phi, psi)  "phi until psi, within T"
+
+Quantitative robustness semantics (max/min margins) are also provided;
+they drive SMC-based parameter search toward satisfaction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.hybrid import formula_margin
+from repro.logic import Formula
+from repro.odes import Trajectory
+
+__all__ = ["BLTL", "Prop", "NotOp", "AndOp", "OrOp", "Eventually", "Always",
+           "Until", "At", "at_time", "prop", "F", "G", "U", "monitor", "robustness"]
+
+
+class BLTL:
+    """Base class of BLTL formulas."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "BLTL") -> "BLTL":
+        return AndOp(self, other)
+
+    def __or__(self, other: "BLTL") -> "BLTL":
+        return OrOp(self, other)
+
+    def __invert__(self) -> "BLTL":
+        return NotOp(self)
+
+    def horizon(self) -> float:
+        """The time window the formula can look ahead."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Prop(BLTL):
+    """Atomic state predicate: an L_RF formula over the state variables."""
+
+    formula: Formula
+
+    def horizon(self) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class NotOp(BLTL):
+    arg: BLTL
+
+    def horizon(self) -> float:
+        return self.arg.horizon()
+
+
+@dataclass(frozen=True)
+class AndOp(BLTL):
+    left: BLTL
+    right: BLTL
+
+    def horizon(self) -> float:
+        return max(self.left.horizon(), self.right.horizon())
+
+
+@dataclass(frozen=True)
+class OrOp(BLTL):
+    left: BLTL
+    right: BLTL
+
+    def horizon(self) -> float:
+        return max(self.left.horizon(), self.right.horizon())
+
+
+@dataclass(frozen=True)
+class Eventually(BLTL):
+    bound: float
+    arg: BLTL
+
+    def horizon(self) -> float:
+        return self.bound + self.arg.horizon()
+
+
+@dataclass(frozen=True)
+class Always(BLTL):
+    bound: float
+    arg: BLTL
+
+    def horizon(self) -> float:
+        return self.bound + self.arg.horizon()
+
+
+@dataclass(frozen=True)
+class Until(BLTL):
+    bound: float
+    left: BLTL
+    right: BLTL
+
+    def horizon(self) -> float:
+        return self.bound + max(self.left.horizon(), self.right.horizon())
+
+
+@dataclass(frozen=True)
+class At(BLTL):
+    """Time-anchored check: ``arg`` holds exactly ``offset`` time units
+    from the evaluation instant (checkpoint-band encoding helper)."""
+
+    offset: float
+    arg: BLTL
+
+    def horizon(self) -> float:
+        return self.offset + self.arg.horizon()
+
+
+def prop(formula: Formula) -> Prop:
+    return Prop(formula)
+
+
+def F(bound: float, phi: BLTL | Formula) -> Eventually:
+    """Eventually within ``bound`` time units."""
+    return Eventually(float(bound), _as_bltl(phi))
+
+
+def G(bound: float, phi: BLTL | Formula) -> Always:
+    """Always during the next ``bound`` time units."""
+    return Always(float(bound), _as_bltl(phi))
+
+
+def U(bound: float, phi: BLTL | Formula, psi: BLTL | Formula) -> Until:
+    """``phi`` holds until ``psi``, with ``psi`` within ``bound``."""
+    return Until(float(bound), _as_bltl(phi), _as_bltl(psi))
+
+
+def at_time(offset: float, phi: BLTL | Formula) -> At:
+    """``phi`` holds exactly ``offset`` time units ahead."""
+    return At(float(offset), _as_bltl(phi))
+
+
+def _as_bltl(x: BLTL | Formula) -> BLTL:
+    if isinstance(x, BLTL):
+        return x
+    if isinstance(x, Formula):
+        return Prop(x)
+    raise TypeError(f"expected BLTL or Formula, got {type(x).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Boolean monitoring
+# ----------------------------------------------------------------------
+
+
+def monitor(
+    phi: BLTL | Formula,
+    traj: Trajectory,
+    t_start: float = 0.0,
+    extra_env: Mapping[str, float] | None = None,
+) -> bool:
+    """Does the sampled trajectory satisfy ``phi`` from ``t_start``?
+
+    Temporal operators quantify over the trajectory's sample times
+    within their bound (plus the exact window endpoints).
+    """
+    phi = _as_bltl(phi)
+    if t_start + phi.horizon() > traj.t_end + 1e-9:
+        raise ValueError(
+            f"trajectory ends at {traj.t_end}, but formula needs horizon "
+            f"{t_start + phi.horizon()}"
+        )
+    env = dict(extra_env or {})
+    return _sat(phi, traj, float(t_start), env)
+
+
+def _times_in(traj: Trajectory, lo: float, hi: float) -> list[float]:
+    ts = traj.times[(traj.times >= lo - 1e-12) & (traj.times <= hi + 1e-12)]
+    out = list(map(float, ts))
+    if not out or out[0] > lo + 1e-12:
+        out.insert(0, lo)
+    if out[-1] < hi - 1e-12:
+        out.append(hi)
+    return out
+
+
+def _sat(phi: BLTL, traj: Trajectory, t: float, env: dict[str, float]) -> bool:
+    if isinstance(phi, Prop):
+        return phi.formula.eval({**env, **traj.at(t)})
+    if isinstance(phi, NotOp):
+        return not _sat(phi.arg, traj, t, env)
+    if isinstance(phi, AndOp):
+        return _sat(phi.left, traj, t, env) and _sat(phi.right, traj, t, env)
+    if isinstance(phi, OrOp):
+        return _sat(phi.left, traj, t, env) or _sat(phi.right, traj, t, env)
+    if isinstance(phi, Eventually):
+        return any(
+            _sat(phi.arg, traj, u, env) for u in _times_in(traj, t, t + phi.bound)
+        )
+    if isinstance(phi, Always):
+        return all(
+            _sat(phi.arg, traj, u, env) for u in _times_in(traj, t, t + phi.bound)
+        )
+    if isinstance(phi, Until):
+        times = _times_in(traj, t, t + phi.bound)
+        for i, u in enumerate(times):
+            if _sat(phi.right, traj, u, env):
+                return all(_sat(phi.left, traj, w, env) for w in times[:i])
+        return False
+    if isinstance(phi, At):
+        return _sat(phi.arg, traj, t + phi.offset, env)
+    raise TypeError(type(phi).__name__)
+
+
+# ----------------------------------------------------------------------
+# Quantitative robustness
+# ----------------------------------------------------------------------
+
+
+def robustness(
+    phi: BLTL | Formula,
+    traj: Trajectory,
+    t_start: float = 0.0,
+    extra_env: Mapping[str, float] | None = None,
+) -> float:
+    """Quantitative satisfaction margin (positive iff satisfied).
+
+    Standard max/min semantics: Eventually = max over window, Always =
+    min over window, negation flips sign.  Used as the fitness signal of
+    SMC-based parameter search.
+    """
+    phi = _as_bltl(phi)
+    env = dict(extra_env or {})
+    return _rob(phi, traj, float(t_start), env)
+
+
+def _rob(phi: BLTL, traj: Trajectory, t: float, env: dict[str, float]) -> float:
+    if isinstance(phi, Prop):
+        return formula_margin(phi.formula, {**env, **traj.at(t)})
+    if isinstance(phi, NotOp):
+        return -_rob(phi.arg, traj, t, env)
+    if isinstance(phi, AndOp):
+        return min(_rob(phi.left, traj, t, env), _rob(phi.right, traj, t, env))
+    if isinstance(phi, OrOp):
+        return max(_rob(phi.left, traj, t, env), _rob(phi.right, traj, t, env))
+    if isinstance(phi, Eventually):
+        return max(
+            _rob(phi.arg, traj, u, env) for u in _times_in(traj, t, t + phi.bound)
+        )
+    if isinstance(phi, Always):
+        return min(
+            _rob(phi.arg, traj, u, env) for u in _times_in(traj, t, t + phi.bound)
+        )
+    if isinstance(phi, Until):
+        times = _times_in(traj, t, t + phi.bound)
+        best = -math.inf
+        for i, u in enumerate(times):
+            r_right = _rob(phi.right, traj, u, env)
+            r_left = min(
+                (_rob(phi.left, traj, w, env) for w in times[:i]), default=math.inf
+            )
+            best = max(best, min(r_right, r_left))
+        return best
+    if isinstance(phi, At):
+        return _rob(phi.arg, traj, t + phi.offset, env)
+    raise TypeError(type(phi).__name__)

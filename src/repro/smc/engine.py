@@ -1,0 +1,155 @@
+"""Statistical model checking engine for ODE and hybrid models.
+
+Paper Fig. 2 (left loop) and [11]-[13]: ODE systems with *probabilistic
+initial states* (and/or probabilistic parameters) are analyzed by
+sampling trajectories and monitoring a BLTL property; satisfaction
+probabilities are tested (SPRT) or estimated (Chernoff / Bayesian).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.hybrid import HybridAutomaton, simulate_hybrid
+from repro.odes import ODESystem, rk45
+
+from .bltl import BLTL, monitor
+from .stats import (
+    BayesianEstimate,
+    SPRTResult,
+    bayesian_estimate,
+    estimate_probability,
+    sprt,
+)
+
+__all__ = ["InitialDistribution", "StatisticalModelChecker"]
+
+
+Sampler = Callable[[random.Random], float]
+
+
+@dataclass
+class InitialDistribution:
+    """Probabilistic initial states (and optionally parameters).
+
+    Each entry maps a variable/parameter name to either
+
+    * a constant float,
+    * a ``(lo, hi)`` tuple -- uniform on the interval, or
+    * a callable ``rng -> float`` for arbitrary distributions.
+    """
+
+    entries: Mapping[str, float | tuple[float, float] | Sampler] = field(
+        default_factory=dict
+    )
+
+    def sample(self, rng: random.Random) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for name, spec in self.entries.items():
+            if callable(spec):
+                out[name] = float(spec(rng))
+            elif isinstance(spec, tuple):
+                lo, hi = spec
+                out[name] = rng.uniform(float(lo), float(hi))
+            else:
+                out[name] = float(spec)
+        return out
+
+
+class StatisticalModelChecker:
+    """Sampling-based verifier for BLTL properties.
+
+    Parameters
+    ----------
+    model:
+        An :class:`ODESystem` or :class:`HybridAutomaton`.
+    init:
+        Distribution over initial states (names must cover the model's
+        state variables) and, optionally, over parameters.
+    horizon:
+        Simulation time per sample; must cover the property's horizon.
+    seed:
+        RNG seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        model: ODESystem | HybridAutomaton,
+        init: InitialDistribution | Mapping,
+        horizon: float,
+        seed: int = 0,
+        rtol: float = 1e-6,
+        max_step: float | None = None,
+    ):
+        self.model = model
+        self.init = (
+            init if isinstance(init, InitialDistribution) else InitialDistribution(dict(init))
+        )
+        self.horizon = float(horizon)
+        self.rng = random.Random(seed)
+        self.rtol = rtol
+        self.max_step = max_step
+        if isinstance(model, HybridAutomaton):
+            self._states = list(model.variables)
+            self._params = set(model.params)
+        else:
+            self._states = list(model.state_names)
+            self._params = set(model.params)
+
+    # ------------------------------------------------------------------
+    def sample_trajectory(self):
+        """One random trajectory (flattened for hybrid models)."""
+        draw = self.init.sample(self.rng)
+        x0 = {k: v for k, v in draw.items() if k in self._states}
+        p = {k: v for k, v in draw.items() if k in self._params}
+        missing = set(self._states) - set(x0)
+        if missing:
+            raise ValueError(f"initial distribution misses states {sorted(missing)}")
+        if isinstance(self.model, HybridAutomaton):
+            htraj = simulate_hybrid(
+                self.model, x0, t_final=self.horizon, params=p, rtol=self.rtol,
+                max_step=self.max_step,
+            )
+            return htraj.flatten()
+        return rk45(
+            self.model, x0, (0.0, self.horizon), params=p, rtol=self.rtol,
+            max_step=self.max_step if self.max_step else self.horizon / 200.0,
+        )
+
+    def _bernoulli(self, phi: BLTL) -> Callable[[], bool]:
+        def draw() -> bool:
+            traj = self.sample_trajectory()
+            return monitor(phi, traj)
+
+        return draw
+
+    # ------------------------------------------------------------------
+    # The three SMC queries
+    # ------------------------------------------------------------------
+    def probability(
+        self, phi: BLTL, epsilon: float = 0.05, alpha: float = 0.05
+    ) -> tuple[float, int]:
+        """Chernoff-guaranteed estimate of ``P(model |= phi)``."""
+        return estimate_probability(self._bernoulli(phi), epsilon, alpha)
+
+    def hypothesis_test(
+        self,
+        phi: BLTL,
+        theta: float,
+        alpha: float = 0.05,
+        beta: float = 0.05,
+        indifference: float = 0.05,
+        max_samples: int = 100_000,
+    ) -> SPRTResult:
+        """SPRT for ``P(model |= phi) >= theta``."""
+        return sprt(
+            self._bernoulli(phi), theta, alpha, beta, indifference, max_samples
+        )
+
+    def bayesian(
+        self, phi: BLTL, n: int = 200, credibility: float = 0.95
+    ) -> BayesianEstimate:
+        """Beta-posterior estimate of ``P(model |= phi)``."""
+        return bayesian_estimate(self._bernoulli(phi), n, credibility=credibility)

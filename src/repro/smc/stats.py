@@ -1,0 +1,136 @@
+"""Statistical machinery for SMC: SPRT, Chernoff bounds, Bayesian estimation.
+
+These are the standard ingredients of statistical model checking as used
+by the paper's SMC framework [11]-[13]: Wald's sequential probability
+ratio test for hypothesis testing ``P(phi) >= theta``, the
+Okamoto/Chernoff fixed-sample bound for probability estimation, and a
+Beta-posterior Bayesian estimator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = [
+    "SPRTResult",
+    "sprt",
+    "chernoff_sample_size",
+    "estimate_probability",
+    "BayesianEstimate",
+    "bayesian_estimate",
+]
+
+
+@dataclass
+class SPRTResult:
+    """Outcome of a sequential probability ratio test."""
+
+    accept: bool  # True: H0 (p >= p0) accepted, False: H1 (p <= p1) accepted
+    samples_used: int
+    successes: int
+
+    @property
+    def decision(self) -> str:
+        return "H0" if self.accept else "H1"
+
+
+def sprt(
+    sampler: Callable[[], bool] | Iterator[bool],
+    theta: float,
+    alpha: float = 0.05,
+    beta: float = 0.05,
+    indifference: float = 0.05,
+    max_samples: int = 100_000,
+) -> SPRTResult:
+    """Wald's SPRT for ``H0: p >= theta + indifference`` vs
+    ``H1: p <= theta - indifference``.
+
+    ``sampler`` produces i.i.d. Bernoulli observations (one simulation =
+    one sample).  Error bounds: P(accept H1 | H0) <= alpha,
+    P(accept H0 | H1) <= beta.  If the budget runs out, the decision is
+    by the empirical mean (best effort).
+    """
+    p0 = min(theta + indifference, 1.0 - 1e-9)
+    p1 = max(theta - indifference, 1e-9)
+    if p1 >= p0:
+        raise ValueError("indifference region collapsed; reduce indifference")
+    a = math.log(beta / (1.0 - alpha))       # accept H0 at or below
+    b = math.log((1.0 - beta) / alpha)       # accept H1 at or above
+    llr = 0.0
+    n = 0
+    k = 0
+    succ_inc = math.log(p1 / p0)
+    fail_inc = math.log((1.0 - p1) / (1.0 - p0))
+    draw = sampler if callable(sampler) else lambda it=iter(sampler): next(it)
+    while n < max_samples:
+        x = bool(draw())
+        n += 1
+        if x:
+            k += 1
+            llr += succ_inc
+        else:
+            llr += fail_inc
+        if llr <= a:
+            return SPRTResult(accept=True, samples_used=n, successes=k)
+        if llr >= b:
+            return SPRTResult(accept=False, samples_used=n, successes=k)
+    return SPRTResult(accept=(k / max(n, 1)) >= theta, samples_used=n, successes=k)
+
+
+def chernoff_sample_size(epsilon: float, alpha: float) -> int:
+    """Okamoto/Chernoff bound: samples needed so that
+    ``P(|p_hat - p| >= epsilon) <= alpha``."""
+    if not (0 < epsilon < 1) or not (0 < alpha < 1):
+        raise ValueError("epsilon and alpha must be in (0, 1)")
+    return math.ceil(math.log(2.0 / alpha) / (2.0 * epsilon * epsilon))
+
+
+def estimate_probability(
+    sampler: Callable[[], bool],
+    epsilon: float = 0.05,
+    alpha: float = 0.05,
+) -> tuple[float, int]:
+    """Fixed-size estimation: returns ``(p_hat, n)`` with the Chernoff
+    guarantee ``P(|p_hat - p| >= epsilon) <= alpha``."""
+    n = chernoff_sample_size(epsilon, alpha)
+    k = sum(1 for _ in range(n) if sampler())
+    return k / n, n
+
+
+@dataclass
+class BayesianEstimate:
+    """Beta-posterior summary of a Bernoulli probability."""
+
+    mean: float
+    ci_low: float
+    ci_high: float
+    n: int
+    successes: int
+
+
+def bayesian_estimate(
+    sampler: Callable[[], bool],
+    n: int,
+    prior_a: float = 1.0,
+    prior_b: float = 1.0,
+    credibility: float = 0.95,
+) -> BayesianEstimate:
+    """Draw ``n`` samples and summarize the Beta posterior.
+
+    The credible interval uses the Beta quantile function (via scipy).
+    """
+    from scipy.stats import beta as beta_dist
+
+    k = sum(1 for _ in range(n) if sampler())
+    a = prior_a + k
+    b = prior_b + (n - k)
+    lo = (1.0 - credibility) / 2.0
+    return BayesianEstimate(
+        mean=a / (a + b),
+        ci_low=float(beta_dist.ppf(lo, a, b)),
+        ci_high=float(beta_dist.ppf(1.0 - lo, a, b)),
+        n=n,
+        successes=k,
+    )

@@ -1,0 +1,28 @@
+"""Delta-decision procedures (S4 in DESIGN.md).
+
+A pure-Python delta-complete decision procedure for bounded L_RF
+sentences (paper Section III, Theorem 1): ICP branch-and-prune with
+HC4 contractors, plus a CEGIS exists-forall solver used for Lyapunov
+synthesis (Section IV-C).
+"""
+
+from .contractor import contract_formula, fixpoint_contract, hc4_revise
+from .eval3 import Certainty, certainly_delta_sat, eval_formula
+from .icp import DeltaSolver, Result, SolverStats, Status, solve
+from .exists_forall import EFResult, ExistsForallSolver
+
+__all__ = [
+    "hc4_revise",
+    "contract_formula",
+    "fixpoint_contract",
+    "Certainty",
+    "eval_formula",
+    "certainly_delta_sat",
+    "DeltaSolver",
+    "Result",
+    "SolverStats",
+    "Status",
+    "solve",
+    "EFResult",
+    "ExistsForallSolver",
+]

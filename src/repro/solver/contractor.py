@@ -1,0 +1,313 @@
+"""HC4-revise interval contractors.
+
+The workhorse of the ICP-based delta-decision procedure (paper Section
+III-A; [52] dReal combines DPLL(T) with exactly this kind of interval
+constraint propagation).  Given an atomic constraint ``t(x) >= 0`` and a
+box ``B``, HC4-revise runs
+
+* a **forward** pass computing interval enclosures bottom-up, then
+* a **backward** pass pushing the output constraint ``[0, +inf)`` down
+  through the expression tree, narrowing variable domains.
+
+Both passes only ever *remove* points that cannot satisfy the
+constraint, so contraction is sound: no solution of the constraint in
+``B`` is lost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.expr import Binary, Const, Expr, Unary, Var
+from repro.intervals import EMPTY, Box, Interval
+from repro.logic import And, Atom, Formula, Or
+
+__all__ = ["hc4_revise", "contract_formula", "fixpoint_contract"]
+
+_INF = math.inf
+_POS = Interval(0.0, _INF)  # closure of both {t > 0} and {t >= 0}
+
+
+def hc4_revise(atom: Atom, box: Box) -> Box:
+    """Contract ``box`` w.r.t. the single atomic constraint ``atom``.
+
+    Returns a sub-box of ``box`` (possibly empty) containing all points
+    of ``box`` satisfying the atom.
+    """
+    env: dict[str, Interval] = dict(box)
+    cache: dict[int, Interval] = {}
+    root_iv = _forward(atom.term, env, cache)
+    if root_iv.is_empty:
+        return Box({k: EMPTY for k in box})
+    # Constrain the root to t >= 0 (closure also covers strict atoms).
+    want = root_iv.intersect(_POS)
+    if want.is_empty:
+        return Box({k: EMPTY for k in box})
+    _backward(atom.term, want, env, cache)
+    return Box({k: env[k] for k in box})
+
+
+def _forward(e: Expr, env: Mapping[str, Interval], cache: dict[int, Interval]) -> Interval:
+    key = id(e)
+    if key in cache:
+        return cache[key]
+    iv = e.eval_interval(env) if isinstance(e, (Var, Const)) else _forward_node(e, env, cache)
+    cache[key] = iv
+    return iv
+
+
+def _forward_node(e: Expr, env: Mapping[str, Interval], cache: dict[int, Interval]) -> Interval:
+    if isinstance(e, Unary):
+        arg = _forward(e.arg, env, cache)
+        return _apply_unary(e.op, arg)
+    if isinstance(e, Binary):
+        a = _forward(e.left, env, cache)
+        b = _forward(e.right, env, cache)
+        return _apply_binary(e.op, a, b)
+    raise TypeError(type(e).__name__)
+
+
+def _apply_unary(op: str, iv: Interval) -> Interval:
+    from repro.expr.ast import UNARY_INTERVAL
+
+    return UNARY_INTERVAL[op](iv)
+
+
+def _apply_binary(op: str, a: Interval, b: Interval) -> Interval:
+    if a.is_empty or b.is_empty:
+        return EMPTY
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "div":
+        return a / b
+    if op == "pow":
+        if b.is_point:
+            return a.pow(b.lo)
+        return (a.log() * b).exp()
+    if op == "min":
+        return a.min_with(b)
+    if op == "max":
+        return a.max_with(b)
+    raise NotImplementedError(op)
+
+
+def _backward(e: Expr, want: Interval, env: dict[str, Interval], cache: dict[int, Interval]) -> None:
+    """Narrow sub-term enclosures so the value of ``e`` stays in ``want``."""
+    if want.is_empty:
+        _poison(env)
+        return
+    if isinstance(e, Var):
+        env[e.name] = env[e.name].intersect(want)
+        if env[e.name].is_empty:
+            _poison(env)
+        return
+    if isinstance(e, Const):
+        if not want.contains(e.value):
+            _poison(env)
+        return
+    if isinstance(e, Unary):
+        arg_iv = cache[id(e.arg)]
+        new_arg = _invert_unary(e.op, want, arg_iv)
+        new_arg = arg_iv.intersect(new_arg)
+        if new_arg != arg_iv:
+            cache[id(e.arg)] = new_arg
+            _backward(e.arg, new_arg, env, cache)
+        elif isinstance(e.arg, (Var,)):
+            _backward(e.arg, new_arg, env, cache)
+        return
+    if isinstance(e, Binary):
+        a = cache[id(e.left)]
+        b = cache[id(e.right)]
+        new_a, new_b = _invert_binary(e.op, want, a, b)
+        new_a = a.intersect(new_a)
+        new_b = b.intersect(new_b)
+        cache[id(e.left)] = new_a
+        cache[id(e.right)] = new_b
+        _backward(e.left, new_a, env, cache)
+        _backward(e.right, new_b, env, cache)
+        return
+    raise TypeError(type(e).__name__)
+
+
+def _poison(env: dict[str, Interval]) -> None:
+    for k in env:
+        env[k] = EMPTY
+
+
+def _invert_unary(op: str, want: Interval, arg: Interval) -> Interval:
+    """Preimage over-approximation of ``want`` under the unary ``op``."""
+    if op == "neg":
+        return -want
+    if op == "exp":
+        return want.log()
+    if op == "log":
+        return want.exp()
+    if op == "sqrt":
+        w = want.intersect(_POS)
+        return w.sqr()
+    if op == "abs":
+        w = want.intersect(_POS)
+        if w.is_empty:
+            return EMPTY
+        return Interval(-w.hi, w.hi)
+    if op == "tanh":
+        w = want.intersect(Interval(-1.0, 1.0))
+        if w.is_empty:
+            return EMPTY
+        lo = -_INF if w.lo <= -1.0 else math.atanh(w.lo)
+        hi = _INF if w.hi >= 1.0 else math.atanh(w.hi)
+        return Interval(lo, hi).inflate(1e-12)
+    if op == "sigmoid":
+        w = want.intersect(Interval(0.0, 1.0))
+        if w.is_empty:
+            return EMPTY
+
+        def logit(p: float) -> float:
+            if p <= 0.0:
+                return -_INF
+            if p >= 1.0:
+                return _INF
+            return math.log(p / (1.0 - p))
+
+        return Interval(logit(w.lo), logit(w.hi)).inflate(1e-12)
+    # sin / cos / tan: multivalued inverse -- no contraction (sound identity)
+    return Interval.entire()
+
+
+def _invert_binary(
+    op: str, want: Interval, a: Interval, b: Interval
+) -> tuple[Interval, Interval]:
+    """Componentwise preimage over-approximations for binary ops."""
+    if op == "add":
+        return want - b, want - a
+    if op == "sub":
+        return want + b, a - want
+    if op == "mul":
+        new_a = want / b if not b.contains(0.0) or b.mignitude() > 0 else _safe_div(want, b)
+        new_b = want / a if not a.contains(0.0) or a.mignitude() > 0 else _safe_div(want, a)
+        return new_a, new_b
+    if op == "div":
+        # want = a / b  =>  a = want * b, b = a / want
+        return want * b, _safe_div(a, want)
+    if op == "pow":
+        if b.is_point and (b.lo == int(b.lo)):
+            n = int(b.lo)
+            return _invert_int_pow(want, a, n), b
+        return Interval.entire(), Interval.entire()
+    if op in ("min", "max"):
+        # value between both operands' reachable ranges; weak but sound:
+        # each operand must be >= want.lo for min (resp. <= want.hi for max)
+        if op == "min":
+            return (
+                Interval(want.lo, _INF),
+                Interval(want.lo, _INF),
+            )
+        return (
+            Interval(-_INF, want.hi),
+            Interval(-_INF, want.hi),
+        )
+    raise NotImplementedError(op)
+
+
+def _safe_div(num: Interval, den: Interval) -> Interval:
+    """num/den, returning the entire line when den spans zero."""
+    if den.contains(0.0):
+        return Interval.entire()
+    return num / den
+
+
+def _invert_int_pow(want: Interval, base: Interval, n: int) -> Interval:
+    if n == 0:
+        return Interval.entire() if want.contains(1.0) else EMPTY
+    if n < 0:
+        inv = want.inverse()
+        return _invert_int_pow(inv, base, -n)
+    if n % 2 == 1:
+
+        def root(v: float) -> float:
+            return math.copysign(abs(v) ** (1.0 / n), v) if math.isfinite(v) else v
+
+        return Interval(root(want.lo), root(want.hi)).inflate(1e-12)
+    # even power: preimage is symmetric
+    w = want.intersect(_POS)
+    if w.is_empty:
+        return EMPTY
+    hi_root = w.hi ** (1.0 / n) if math.isfinite(w.hi) else _INF
+    lo_root = w.lo ** (1.0 / n)
+    pos = Interval(lo_root, hi_root).inflate(1e-12)
+    neg = -pos
+    # keep both branches but restrict to base's current sign info
+    if base.lo >= 0.0:
+        return pos
+    if base.hi <= 0.0:
+        return neg
+    return neg.hull(pos)
+
+
+# ----------------------------------------------------------------------
+# Formula-level contraction
+# ----------------------------------------------------------------------
+
+
+def contract_formula(phi: Formula, box: Box) -> Box:
+    """One contraction sweep of ``box`` with respect to formula ``phi``.
+
+    Conjunctions intersect the contractions of their parts (applied
+    sequentially so narrowing compounds); disjunctions take the hull of
+    per-disjunct contractions; quantified subformulas are left alone
+    (identity contraction is sound).
+    """
+    from repro.logic import Exists, Forall, FalseFormula, TrueFormula
+
+    if isinstance(phi, Atom):
+        return hc4_revise(phi, box)
+    if isinstance(phi, And):
+        for part in phi.parts:
+            box = contract_formula(part, box)
+            if box.is_empty:
+                return box
+        return box
+    if isinstance(phi, Or):
+        hull: Box | None = None
+        for part in phi.parts:
+            contracted = contract_formula(part, box)
+            if contracted.is_empty:
+                continue
+            hull = contracted if hull is None else hull.hull(contracted)
+        if hull is None:
+            return Box({k: EMPTY for k in box})
+        return hull
+    if isinstance(phi, TrueFormula):
+        return box
+    if isinstance(phi, FalseFormula):
+        return Box({k: EMPTY for k in box})
+    if isinstance(phi, (Exists, Forall)):
+        return box  # handled by hoisting / verification, identity is sound
+    raise TypeError(f"cannot contract {type(phi).__name__}")
+
+
+def fixpoint_contract(
+    phi: Formula, box: Box, tol: float = 1e-3, max_sweeps: int = 30
+) -> Box:
+    """Iterate :func:`contract_formula` until the box stops shrinking.
+
+    ``tol`` is the relative reduction in max width below which iteration
+    stops (classic ICP fixed-point loop with a progress threshold).
+    """
+    def total_width(b: Box) -> float:
+        return sum(min(iv.width(), 1e9) for iv in b.values())
+
+    for _ in range(max_sweeps):
+        before = total_width(box)
+        box = contract_formula(phi, box)
+        if box.is_empty:
+            return box
+        after = total_width(box)
+        if before <= 0.0 or (before - after) < tol * before:
+            return box
+    return box

@@ -1,0 +1,250 @@
+"""The delta-complete decision procedure (ICP branch-and-prune).
+
+Implements the algorithm behind paper Theorem 1 for bounded ``L_RF``
+sentences: given a quantifier-free (or existentially quantified) formula
+``phi`` and an initial bounding box, answer
+
+* ``UNSAT``     -- ``phi`` has no solution in the box (exact, one-sided), or
+* ``DELTA_SAT`` -- the delta-weakening ``phi^delta`` is satisfiable, with a
+  witness box every point of which satisfies ``phi^delta``.
+
+The loop alternates HC4 fixed-point contraction (pruning) with bisection
+(branching), exactly the DPLL(T)+ICP combination the paper cites as a
+delta-complete procedure [52].  Soundness of UNSAT follows from
+contractor soundness; soundness of DELTA_SAT from the certain-truth
+verification of the weakened formula over the candidate box.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.expr import var as _var
+from repro.intervals import Box
+from repro.logic import And, Exists, Formula, Or
+
+from .contractor import fixpoint_contract
+from .eval3 import Certainty, certainly_delta_sat, eval_formula
+
+__all__ = ["Status", "Result", "SolverStats", "DeltaSolver", "solve"]
+
+
+class Status(enum.Enum):
+    DELTA_SAT = "delta-sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"  # budget exhausted before a verdict
+
+
+@dataclass
+class SolverStats:
+    """Counters describing a solver run."""
+
+    boxes_processed: int = 0
+    boxes_pruned: int = 0
+    splits: int = 0
+    max_depth: int = 0
+    wall_time: float = 0.0
+
+
+@dataclass
+class Result:
+    """Outcome of a delta-decision query."""
+
+    status: Status
+    witness_box: Box | None = None
+    delta: float = 0.0
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    @property
+    def witness(self) -> dict[str, float] | None:
+        """A point witness (midpoint of the witness box), if delta-sat."""
+        if self.witness_box is None:
+            return None
+        return self.witness_box.midpoint()
+
+    def __bool__(self) -> bool:
+        return self.status is Status.DELTA_SAT
+
+    def __repr__(self) -> str:
+        w = f", witness={self.witness}" if self.witness_box is not None else ""
+        return f"Result({self.status.value}{w})"
+
+
+def _hoist_existentials(phi: Formula, box: Box) -> tuple[Formula, Box]:
+    """Pull bounded existentials into the search box.
+
+    Existential variables are just extra search dimensions for ICP.  We
+    hoist ``Exists`` nodes occurring positively outside any ``Forall``;
+    names are freshened on clashes.  Remaining quantifiers are handled
+    by interval judgment inside :func:`eval_formula`.
+    """
+    counter = itertools.count()
+    new_dims: dict[str, tuple[float, float]] = {}
+
+    def fresh(name: str) -> str:
+        while True:
+            cand = f"{name}#{next(counter)}"
+            if cand not in box and cand not in new_dims:
+                return cand
+
+    def walk(f: Formula) -> Formula:
+        if isinstance(f, Exists):
+            lo_iv = f.lo.eval_interval(box)
+            hi_iv = f.hi.eval_interval(box)
+            name = f.name
+            if name in box or name in new_dims:
+                name2 = fresh(name)
+                body = f.body.subs({name: _var(name2)})
+                name = name2
+            else:
+                body = f.body
+            new_dims[name] = (lo_iv.lo, hi_iv.hi)
+            return walk(body)
+        if isinstance(f, And):
+            return And(*[walk(p) for p in f.parts])
+        if isinstance(f, Or):
+            return Or(*[walk(p) for p in f.parts])
+        return f
+
+    phi2 = walk(phi)
+    if new_dims:
+        box = box.merged(Box.from_bounds(new_dims))
+    return phi2, box
+
+
+@dataclass
+class DeltaSolver:
+    """A delta-complete decision procedure for bounded L_RF sentences.
+
+    Parameters
+    ----------
+    delta:
+        The perturbation bound of Definition 4.  Smaller deltas give
+        sharper answers but more search work.
+    max_boxes:
+        Branch-and-prune budget; exceeding it yields ``Status.UNKNOWN``
+        together with the most promising unresolved box.
+    contract_tol:
+        Progress threshold of the fixed-point contraction loop.
+    min_width:
+        Boxes narrower than this in every dimension are submitted to
+        delta-verification even if interval judgment is still UNKNOWN
+        (they then count as unresolved if verification fails).
+    """
+
+    delta: float = 1e-3
+    max_boxes: int = 100_000
+    contract_tol: float = 1e-2
+    min_width: float = 1e-12
+
+    def solve(self, phi: Formula, box: Box) -> Result:
+        """Decide ``exists box. phi`` in the delta-relaxed sense."""
+        t0 = time.perf_counter()
+        stats = SolverStats()
+        phi, box = _hoist_existentials(phi, box)
+
+        missing = phi.variables() - set(box.names)
+        if missing:
+            raise ValueError(f"free variables without bounds: {sorted(missing)}")
+
+        # Priority queue: explore widest boxes first (fair coverage).
+        tie = itertools.count()
+        heap: list[tuple[float, int, int, Box]] = []
+
+        def push(b: Box, depth: int) -> None:
+            heapq.heappush(heap, (-b.max_width(), next(tie), depth, b))
+
+        push(box, 0)
+        unresolved: Box | None = None
+
+        while heap:
+            if stats.boxes_processed >= self.max_boxes:
+                stats.wall_time = time.perf_counter() - t0
+                return Result(Status.UNKNOWN, unresolved or heap[0][3], self.delta, stats)
+            __, __, depth, current = heapq.heappop(heap)
+            stats.boxes_processed += 1
+            stats.max_depth = max(stats.max_depth, depth)
+
+            contracted = fixpoint_contract(phi, current, tol=self.contract_tol)
+            if contracted.is_empty:
+                stats.boxes_pruned += 1
+                continue
+
+            judgment = eval_formula(phi, contracted, delta=0.0)
+            if judgment is Certainty.CERTAIN_FALSE:
+                stats.boxes_pruned += 1
+                continue
+
+            # Try to certify delta-sat on this box directly.
+            if certainly_delta_sat(phi, contracted, self.delta):
+                stats.wall_time = time.perf_counter() - t0
+                return Result(Status.DELTA_SAT, contracted, self.delta, stats)
+
+            if contracted.max_width() <= self.min_width:
+                # Cannot split further; remember as unresolved.
+                if unresolved is None:
+                    unresolved = contracted
+                continue
+
+            left, right = contracted.split()
+            stats.splits += 1
+            push(left, depth + 1)
+            push(right, depth + 1)
+
+        stats.wall_time = time.perf_counter() - t0
+        if unresolved is not None:
+            return Result(Status.UNKNOWN, unresolved, self.delta, stats)
+        return Result(Status.UNSAT, None, self.delta, stats)
+
+    # ------------------------------------------------------------------
+    # Paving: partition a box into certainly-sat / unsat / undecided
+    # ------------------------------------------------------------------
+    def pave(
+        self, phi: Formula, box: Box, min_width: float = 1e-2
+    ) -> tuple[list[Box], list[Box], list[Box]]:
+        """Partition ``box`` into (delta-sat, unsat, undecided) sub-boxes.
+
+        This is the guaranteed parameter-set synthesis of BioPSy [53]:
+        green boxes consist entirely of delta-solutions, red boxes contain
+        no solutions, yellow boxes are smaller than ``min_width`` and
+        remain undecided.
+        """
+        sat_boxes: list[Box] = []
+        unsat_boxes: list[Box] = []
+        undecided: list[Box] = []
+        work = [box]
+        processed = 0
+        while work:
+            processed += 1
+            if processed > self.max_boxes:
+                undecided.extend(work)
+                break
+            current = work.pop()
+            contracted = fixpoint_contract(phi, current, tol=self.contract_tol)
+            if contracted.is_empty:
+                unsat_boxes.append(current)
+                continue
+            judgment = eval_formula(phi, contracted, delta=0.0)
+            if judgment is Certainty.CERTAIN_FALSE:
+                unsat_boxes.append(current)
+                continue
+            if certainly_delta_sat(phi, contracted, self.delta):
+                sat_boxes.append(contracted)
+                # the pruned-away shell contains no solutions
+                continue
+            if contracted.max_width() <= min_width:
+                undecided.append(contracted)
+                continue
+            left, right = contracted.split()
+            work.append(left)
+            work.append(right)
+        return sat_boxes, unsat_boxes, undecided
+
+
+def solve(phi: Formula, box: Box, delta: float = 1e-3, **kwargs) -> Result:
+    """Convenience wrapper: ``DeltaSolver(delta, **kwargs).solve(phi, box)``."""
+    return DeltaSolver(delta=delta, **kwargs).solve(phi, box)

@@ -1,0 +1,138 @@
+"""Tests for BLTL syntax, boolean monitoring and robustness semantics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.expr import var
+from repro.odes import ODESystem, Trajectory, rk45
+from repro.smc import F, G, U, monitor, prop, robustness
+
+x = var("x")
+
+
+def make_traj(fn, t_end=10.0, n=501):
+    ts = np.linspace(0.0, t_end, n)
+    return Trajectory(ts, np.array([[fn(t)] for t in ts]), ["x"])
+
+
+@pytest.fixture
+def decay_traj():
+    sys_ = ODESystem({"x": -x})
+    return rk45(sys_, {"x": 1.0}, (0.0, 10.0), max_step=0.05)
+
+
+class TestSyntax:
+    def test_horizon(self):
+        phi = F(5.0, G(2.0, x >= 0))
+        assert phi.horizon() == pytest.approx(7.0)
+
+    def test_connective_horizon(self):
+        phi = F(3.0, x >= 0) & G(4.0, x >= 0)
+        assert phi.horizon() == pytest.approx(4.0)
+
+    def test_operators_build(self):
+        phi = ~prop(x >= 0) | prop(x <= 1)
+        assert phi.horizon() == 0.0
+
+    def test_until_horizon(self):
+        phi = U(2.0, x >= 0, F(1.0, x >= 1))
+        assert phi.horizon() == pytest.approx(3.0)
+
+    def test_formula_coerced(self):
+        # passing a raw L_RF formula wraps it into a Prop
+        assert monitor(F(1.0, x >= 0), make_traj(lambda t: 1.0))
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            F(1.0, "x > 0")
+
+
+class TestMonitor:
+    def test_eventually_true(self, decay_traj):
+        # x decays below 0.5 at t = ln 2 < 1
+        assert monitor(F(1.0, 0.5 - x >= 0), decay_traj)
+
+    def test_eventually_false_window_too_short(self, decay_traj):
+        # below 0.1 needs t = ln 10 ~ 2.3 > 1
+        assert not monitor(F(1.0, 0.1 - x >= 0), decay_traj)
+
+    def test_always(self, decay_traj):
+        assert monitor(G(5.0, x >= 0), decay_traj)
+        assert not monitor(G(5.0, x >= 0.5), decay_traj)
+
+    def test_nested(self, decay_traj):
+        # eventually (within 3) it's always (for 2) below 0.2
+        phi = F(3.0, G(2.0, 0.2 - x >= 0))
+        assert monitor(phi, decay_traj)
+
+    def test_until(self):
+        # x(t) = t: (x <= 5) U (x >= 3) within 10
+        traj = make_traj(lambda t: t)
+        assert monitor(U(10.0, 5.0 - x >= 0, x - 3 >= 0), traj)
+        # (x <= 1) U (x >= 3): left fails before right becomes true
+        assert not monitor(U(10.0, 1.0 - x >= 0, x - 3 >= 0), traj)
+
+    def test_until_right_immediately(self):
+        traj = make_traj(lambda t: t)
+        # right true at t=0: left irrelevant
+        assert monitor(U(5.0, x >= 100, x >= 0), traj)
+
+    def test_not_and_or(self, decay_traj):
+        assert monitor(~F(1.0, x >= 2.0), decay_traj)
+        assert monitor(F(1.0, x >= 0.9) & G(1.0, x >= 0.3), decay_traj)
+        assert monitor(F(1.0, x >= 2.0) | G(1.0, x >= 0.1), decay_traj)
+
+    def test_horizon_exceeds_trajectory(self, decay_traj):
+        with pytest.raises(ValueError, match="horizon"):
+            monitor(F(100.0, x >= 0), decay_traj)
+
+    def test_t_start_offset(self):
+        traj = make_traj(lambda t: t)
+        assert monitor(G(1.0, x >= 4.9), traj, t_start=5.0)
+        assert not monitor(G(1.0, x >= 4.9), traj, t_start=0.0)
+
+    def test_extra_env(self):
+        traj = make_traj(lambda t: t)
+        thr = var("thr")
+        assert monitor(F(10.0, x >= thr), traj, extra_env={"thr": 8.0})
+        assert not monitor(F(10.0, x >= thr), traj, extra_env={"thr": 100.0})
+
+
+class TestRobustness:
+    def test_sign_matches_monitor(self, decay_traj):
+        cases = [
+            F(1.0, 0.5 - x >= 0),
+            F(1.0, 0.1 - x >= 0),
+            G(5.0, x >= 0),
+            G(5.0, x >= 0.5),
+            F(3.0, G(2.0, 0.2 - x >= 0)),
+        ]
+        for phi in cases:
+            sat = monitor(phi, decay_traj)
+            rob = robustness(phi, decay_traj)
+            if rob > 1e-9:
+                assert sat, f"{phi} rob={rob}"
+            if rob < -1e-9:
+                assert not sat, f"{phi} rob={rob}"
+
+    def test_eventually_is_max(self):
+        traj = make_traj(lambda t: math.sin(t))
+        rob = robustness(F(10.0, x >= 0.5), traj)
+        # max margin = max sin - 0.5 = 0.5
+        assert rob == pytest.approx(0.5, abs=1e-3)
+
+    def test_always_is_min(self):
+        traj = make_traj(lambda t: math.sin(t))
+        rob = robustness(G(10.0, x >= -2.0), traj)
+        assert rob == pytest.approx(1.0, abs=1e-3)  # min sin + 2 = 1
+
+    def test_negation_flips(self):
+        traj = make_traj(lambda t: 1.0)
+        assert robustness(~prop(x >= 0), traj) == pytest.approx(-1.0)
+
+    def test_until_robustness(self):
+        traj = make_traj(lambda t: t)
+        rob = robustness(U(10.0, 20.0 - x >= 0, x - 3 >= 0), traj)
+        assert rob > 0

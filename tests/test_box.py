@@ -1,0 +1,125 @@
+"""Unit tests for repro.intervals.Box."""
+
+import random
+
+import pytest
+
+from repro.intervals import Box, Interval
+
+
+@pytest.fixture
+def box():
+    return Box.from_bounds({"x": (0.0, 2.0), "y": (-1.0, 1.0)})
+
+
+class TestConstruction:
+    def test_from_bounds(self, box):
+        assert box["x"] == Interval(0, 2)
+        assert box["y"] == Interval(-1, 1)
+
+    def test_from_point(self):
+        b = Box.from_point({"x": 1.0})
+        assert b["x"].is_point and b["x"].lo == 1.0
+
+    def test_mapping_protocol(self, box):
+        assert set(box) == {"x", "y"}
+        assert len(box) == 2
+        assert "x" in box and "z" not in box
+
+
+class TestMeasures:
+    def test_max_width(self, box):
+        assert box.max_width() == 2.0
+
+    def test_widest_dimension(self, box):
+        assert box.widest_dimension() in {"x", "y"}  # both width 2
+        b = Box.from_bounds({"x": (0, 1), "y": (0, 5)})
+        assert b.widest_dimension() == "y"
+
+    def test_volume(self, box):
+        assert box.volume() == 4.0
+
+    def test_empty_box(self):
+        b = Box({"x": Interval.make(2, 1)})
+        assert b.is_empty
+        assert b.volume() == 0.0
+
+    def test_contains_point(self, box):
+        assert box.contains_point({"x": 1.0, "y": 0.0})
+        assert not box.contains_point({"x": 3.0, "y": 0.0})
+        # partial points check only named coordinates
+        assert box.contains_point({"x": 1.0})
+
+    def test_contains_box(self, box):
+        inner = Box.from_bounds({"x": (0.5, 1.0), "y": (0.0, 0.5)})
+        assert box.contains_box(inner)
+        assert not inner.contains_box(box)
+
+
+class TestOperations:
+    def test_with_interval(self, box):
+        b2 = box.with_interval("x", Interval(5, 6))
+        assert b2["x"] == Interval(5, 6)
+        assert box["x"] == Interval(0, 2)  # original untouched
+
+    def test_without_restrict(self, box):
+        assert set(box.without("y")) == {"x"}
+        assert set(box.restrict(["y"])) == {"y"}
+
+    def test_merged(self, box):
+        b2 = box.merged(Box.from_bounds({"z": (0, 1)}))
+        assert set(b2) == {"x", "y", "z"}
+
+    def test_intersect(self, box):
+        other = Box.from_bounds({"x": (1.0, 3.0)})
+        inter = box.intersect(other)
+        assert inter["x"] == Interval(1, 2)
+        assert inter["y"] == Interval(-1, 1)
+
+    def test_hull(self):
+        a = Box.from_bounds({"x": (0, 1)})
+        b = Box.from_bounds({"x": (2, 3)})
+        assert a.hull(b)["x"] == Interval(0, 3)
+
+    def test_split_default_widest(self):
+        b = Box.from_bounds({"x": (0, 1), "y": (0, 10)})
+        left, right = b.split()
+        assert left["y"] == Interval(0, 5) and right["y"] == Interval(5, 10)
+        assert left["x"] == b["x"]
+
+    def test_split_named(self, box):
+        left, right = box.split("x")
+        assert left["x"] == Interval(0, 1) and right["x"] == Interval(1, 2)
+
+    def test_midpoint(self, box):
+        mid = box.midpoint()
+        assert mid == {"x": 1.0, "y": 0.0}
+
+    def test_corners(self, box):
+        corners = box.corners()
+        assert len(corners) == 4
+        assert {"x": 0.0, "y": -1.0} in corners
+        assert {"x": 2.0, "y": 1.0} in corners
+
+    def test_corners_with_point_dim(self):
+        b = Box({"x": Interval(0, 1), "y": Interval.point(5.0)})
+        assert len(b.corners()) == 2
+
+    def test_sample_random_inside(self, box):
+        rng = random.Random(42)
+        for _ in range(50):
+            assert box.contains_point(box.sample_random(rng))
+
+    def test_sample_grid(self, box):
+        pts = box.sample_grid(3)
+        assert len(pts) == 9
+        assert all(box.contains_point(p) for p in pts)
+
+    def test_inflate(self, box):
+        b = box.inflate(0.5)
+        assert b["x"] == Interval(-0.5, 2.5)
+
+    def test_eq_hash(self, box):
+        same = Box.from_bounds({"x": (0.0, 2.0), "y": (-1.0, 1.0)})
+        assert box == same
+        assert hash(box) == hash(same)

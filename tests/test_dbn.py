@@ -1,0 +1,130 @@
+"""Tests for the DBN approximation of ODE dynamics (paper Sec. V
+future work, prototype of the technique in [5])."""
+
+import numpy as np
+import pytest
+
+from repro.expr import var
+from repro.odes import ODESystem, rk4
+from repro.smc import Discretization, InitialDistribution, build_dbn
+
+
+@pytest.fixture(scope="module")
+def decay_dbn():
+    sys_ = ODESystem({"x": -var("x")})
+    init = InitialDistribution({"x": (0.8, 1.0)})
+    return build_dbn(
+        sys_,
+        {"x": (0.0, 1.2)},
+        init.sample,
+        dt=0.2,
+        levels=6,
+        n_samples=400,
+        horizon_steps=20,
+        seed=1,
+    )
+
+
+class TestDiscretization:
+    def test_uniform_levels(self):
+        d = Discretization.uniform({"x": (0.0, 1.0)}, 4)
+        assert d.n_levels("x") == 4
+        assert d.level("x", 0.1) == 0
+        assert d.level("x", 0.30) == 1
+        assert d.level("x", 0.99) == 3
+
+    def test_clamping(self):
+        d = Discretization.uniform({"x": (0.0, 1.0)}, 4)
+        assert d.level("x", -5.0) == 0
+        assert d.level("x", 5.0) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Discretization.uniform({"x": (0.0, 1.0)}, 1)
+        with pytest.raises(ValueError):
+            Discretization.uniform({"x": (1.0, 0.0)}, 4)
+
+
+class TestStructure:
+    def test_parents_from_vector_field(self):
+        sys_ = ODESystem({"x": var("y"), "y": -var("y")})
+        init = InitialDistribution({"x": (0, 1), "y": (0, 1)})
+        dbn = build_dbn(sys_, {"x": (-1, 3), "y": (-1, 2)}, init.sample,
+                        n_samples=50, horizon_steps=5, seed=0)
+        assert dbn.parents["x"] == ["x", "y"]  # dx/dt mentions y
+        assert dbn.parents["y"] == ["y"]       # dy/dt self-contained
+
+    def test_missing_range_rejected(self):
+        sys_ = ODESystem({"x": -var("x")})
+        with pytest.raises(ValueError, match="ranges missing"):
+            build_dbn(sys_, {}, lambda rng: {"x": 1.0}, n_samples=5)
+
+
+class TestInference:
+    def test_decay_mass_moves_down(self, decay_dbn):
+        # start concentrated in the highest *trained* cell (the very top
+        # cell [1.0, 1.2] is never visited from x0 in [0.8, 1.0])
+        n = decay_dbn.disc.n_levels("x")
+        top = decay_dbn.disc.level("x", 0.9)
+        init = {"x": [1.0 if i == top else 0.0 for i in range(n)]}
+        m0 = decay_dbn.marginal_after(init, 0)
+        m10 = decay_dbn.marginal_after(init, 10)
+        mean0 = float(np.dot(m0["x"], np.arange(n)))
+        mean10 = float(np.dot(m10["x"], np.arange(n)))
+        assert mean10 < mean0 - 1.5  # mass shifted down substantially
+
+    def test_probability_query_matches_ode(self, decay_dbn):
+        """P(x below 0.4 after 1.6 time units) should be ~1 for decay
+        from [0.8, 1.0] (true value x(1.6) ~ 0.18-0.2)."""
+        n = decay_dbn.disc.n_levels("x")
+        # initial marginal: uniform over the cells covering [0.8, 1.0]
+        init_vec = np.zeros(n)
+        lo_cell = decay_dbn.disc.level("x", 0.8)
+        hi_cell = decay_dbn.disc.level("x", 0.99)
+        init_vec[lo_cell : hi_cell + 1] = 1.0
+        threshold_cell = decay_dbn.disc.level("x", 0.4)
+        p = decay_dbn.probability(
+            {"x": init_vec}, "x", (0, threshold_cell), steps=8
+        )
+        assert p > 0.9
+
+    def test_marginals_normalized(self, decay_dbn):
+        n = decay_dbn.disc.n_levels("x")
+        init = {"x": np.ones(n)}
+        out = decay_dbn.marginal_after(init, 5)
+        assert out["x"].sum() == pytest.approx(1.0)
+
+    def test_bad_marginal_rejected(self, decay_dbn):
+        with pytest.raises(ValueError, match="wrong length"):
+            decay_dbn.marginal_after({"x": [1.0, 0.0]}, 1)
+        n = decay_dbn.disc.n_levels("x")
+        with pytest.raises(ValueError, match="sums to zero"):
+            decay_dbn.marginal_after({"x": [0.0] * n}, 1)
+
+    def test_dbn_vs_monte_carlo(self):
+        """DBN filtering approximates direct Monte-Carlo estimates."""
+        import random
+
+        sys_ = ODESystem({"x": -var("x")})
+        init = InitialDistribution({"x": (0.6, 1.0)})
+        dbn = build_dbn(sys_, {"x": (0.0, 1.2)}, init.sample,
+                        dt=0.2, levels=8, n_samples=600, horizon_steps=15,
+                        seed=3)
+        n = dbn.disc.n_levels("x")
+        init_vec = np.zeros(n)
+        for c in range(dbn.disc.level("x", 0.6), dbn.disc.level("x", 0.99) + 1):
+            init_vec[c] = 1.0
+        cell = dbn.disc.level("x", 0.3)
+        p_dbn = dbn.probability({"x": init_vec}, "x", (0, cell), steps=6)
+
+        rng = random.Random(9)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            x0 = init.sample(rng)
+            traj = rk4(sys_, x0, (0.0, 1.2), dt=0.05)
+            # level() maps values to cells; threshold uses the cell edge
+            if dbn.disc.level("x", traj.value("x", 1.2)) <= cell:
+                hits += 1
+        p_mc = hits / trials
+        assert abs(p_dbn - p_mc) < 0.25  # coarse approximation contract

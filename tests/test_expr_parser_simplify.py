@@ -1,0 +1,143 @@
+"""Tests for the infix parser, simplifier, and numpy compiler."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.expr import (
+    Const,
+    ParseError,
+    compile_numpy,
+    compile_vector_field,
+    exp,
+    parse_expr,
+    simplify,
+    var,
+    variables,
+)
+
+x, y = variables("x y")
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "text,env,expected",
+        [
+            ("1 + 2 * 3", {}, 7.0),
+            ("(1 + 2) * 3", {}, 9.0),
+            ("2 ^ 3 ^ 1", {}, 8.0),
+            ("2 ** 3", {}, 8.0),
+            ("-x^2", {"x": 3.0}, -9.0),  # unary minus binds looser than ^
+            ("x / y / 2", {"x": 8.0, "y": 2.0}, 2.0),  # left assoc
+            ("exp(0)", {}, 1.0),
+            ("sin(pi)", {}, math.sin(math.pi)),
+            ("min(3, 4) + max(1, 2)", {}, 5.0),
+            ("pow(2, 10)", {}, 1024.0),
+            ("sigmoid(0)", {}, 0.5),
+            ("1.5e2 + .5", {}, 150.5),
+            ("sqrt(abs(-4))", {}, 2.0),
+        ],
+    )
+    def test_eval_matches(self, text, env, expected):
+        assert parse_expr(text).eval(env) == pytest.approx(expected)
+
+    def test_variables_extracted(self):
+        e = parse_expr("k1 * s / (km + s)")
+        assert e.variables() == {"k1", "s", "km"}
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "1 +", "(1", "foo(1, 2, 3)", "1 2", "bogusfn(1)", "min(1)", "@"],
+    )
+    def test_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_expr(bad)
+
+    def test_precedence_pow_right_assoc(self):
+        assert parse_expr("2^2^3").eval({}) == 256.0
+
+    def test_power_negative_exponent(self):
+        assert parse_expr("2^-1").eval({}) == 0.5
+
+
+class TestSimplify:
+    @pytest.mark.parametrize(
+        "e,expected",
+        [
+            (x + 0, x),
+            (0 + x, x),
+            (x - 0, x),
+            (x * 1, x),
+            (1 * x, x),
+            (x * 0, Const(0.0)),
+            (x / 1, x),
+            (x - x, Const(0.0)),
+            (x / x, Const(1.0)),
+            (x ** 1, x),
+            (x ** 0, Const(1.0)),
+            (-(-x), x),
+        ],
+    )
+    def test_identities(self, e, expected):
+        assert simplify(e) == expected
+
+    def test_constant_folding_nested(self):
+        e = parse_expr("2 * 3 + 4 * x * 0")
+        assert simplify(e) == Const(6.0)
+
+    def test_exp_log_cancel(self):
+        assert simplify(exp(parse_expr("log(x)"))) == x
+
+    def test_preserves_semantics_random(self):
+        import random
+
+        rng = random.Random(0)
+        e = parse_expr("x^2 * (y - y) + (x + 0) * 1 + exp(log(y))")
+        s = simplify(e)
+        for _ in range(30):
+            env = {"x": rng.uniform(-5, 5), "y": rng.uniform(0.1, 5)}
+            assert s.eval(env) == pytest.approx(e.eval(env), rel=1e-12)
+
+    def test_derivative_simplification_shrinks(self):
+        e = (x * x * x).diff("x")
+        s = simplify(e)
+        assert s.eval({"x": 2.0}) == pytest.approx(12.0)
+
+
+class TestCompileNumpy:
+    def test_scalar_matches_eval(self):
+        e = parse_expr("x^2 + sin(y) * exp(-x)")
+        f = compile_numpy(e, ["x", "y"])
+        env = {"x": 0.7, "y": 1.3}
+        assert f(0.7, 1.3) == pytest.approx(e.eval(env))
+
+    def test_vectorised(self):
+        e = parse_expr("x * y + 1")
+        f = compile_numpy(e, ["x", "y"])
+        xs = np.linspace(0, 1, 5)
+        out = f(xs, 2.0)
+        assert np.allclose(out, xs * 2.0 + 1)
+
+    def test_sigmoid_compiled(self):
+        e = parse_expr("sigmoid(x)")
+        f = compile_numpy(e, ["x"])
+        assert f(0.0) == pytest.approx(0.5)
+        assert f(50.0) == pytest.approx(1.0)
+
+    def test_unbound_variable_compile_error(self):
+        with pytest.raises(KeyError):
+            compile_numpy(parse_expr("x + z"), ["x"])
+
+    def test_vector_field(self):
+        fx = parse_expr("a * x - b * x * y")
+        fy = parse_expr("-c * y + d * x * y")
+        f = compile_vector_field([fx, fy], ["x", "y"], ["a", "b", "c", "d"])
+        p = {"a": 1.0, "b": 0.5, "c": 1.0, "d": 0.25}
+        out = f(0.0, np.array([2.0, 1.0]), p)
+        assert out == pytest.approx([2.0 - 1.0, -1.0 + 0.5])
+
+    def test_vector_field_time_dependent(self):
+        f = compile_vector_field([parse_expr("sin(t) + x")], ["x"], [])
+        out = f(math.pi / 2, np.array([1.0]), {})
+        assert out[0] == pytest.approx(2.0)

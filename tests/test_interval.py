@@ -1,0 +1,271 @@
+"""Unit tests for repro.intervals.Interval."""
+
+import math
+
+import pytest
+
+from repro.intervals import EMPTY, Interval
+
+
+class TestConstruction:
+    def test_point(self):
+        iv = Interval.point(3.0)
+        assert iv.lo == iv.hi == 3.0
+        assert iv.is_point
+
+    def test_make_ordered(self):
+        iv = Interval.make(1.0, 2.0)
+        assert (iv.lo, iv.hi) == (1.0, 2.0)
+
+    def test_make_inverted_is_empty(self):
+        assert Interval.make(2.0, 1.0).is_empty
+
+    def test_make_nan_is_empty(self):
+        assert Interval.make(math.nan, 1.0).is_empty
+
+    def test_entire(self):
+        iv = Interval.entire()
+        assert iv.lo == -math.inf and iv.hi == math.inf
+        assert not iv.is_bounded
+
+    def test_hull_of(self):
+        assert Interval.hull_of([3.0, -1.0, 2.0]) == Interval(-1.0, 3.0)
+        assert Interval.hull_of([]).is_empty
+
+
+class TestPredicates:
+    def test_contains(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.contains(1.0) and iv.contains(2.0) and iv.contains(1.5)
+        assert not iv.contains(0.999)
+
+    def test_empty_contains_nothing(self):
+        assert not EMPTY.contains(0.0)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(1, 2))
+        assert not Interval(1, 2).contains_interval(Interval(0, 10))
+        assert Interval(1, 2).contains_interval(EMPTY)
+
+    def test_sign_predicates(self):
+        assert Interval(1, 2).strictly_positive()
+        assert Interval(-2, -1).strictly_negative()
+        assert Interval(0, 2).nonnegative()
+        assert not Interval(0, 2).strictly_positive()
+        assert Interval(-2, 0).nonpositive()
+
+    def test_overlaps(self):
+        assert Interval(0, 2).overlaps(Interval(1, 3))
+        assert Interval(0, 1).overlaps(Interval(1, 2))  # touching counts
+        assert not Interval(0, 1).overlaps(Interval(2, 3))
+
+
+class TestMeasures:
+    def test_width_midpoint(self):
+        iv = Interval(1.0, 3.0)
+        assert iv.width() == 2.0
+        assert iv.midpoint() == 2.0
+
+    def test_midpoint_unbounded(self):
+        assert Interval(0.0, math.inf).midpoint() == 1.0
+        assert Interval(-math.inf, 0.0).midpoint() == -1.0
+        assert Interval.entire().midpoint() == 0.0
+
+    def test_midpoint_empty_raises(self):
+        with pytest.raises(ValueError):
+            EMPTY.midpoint()
+
+    def test_magnitude_mignitude(self):
+        assert Interval(-3, 2).magnitude() == 3.0
+        assert Interval(-3, 2).mignitude() == 0.0
+        assert Interval(1, 2).mignitude() == 1.0
+        assert Interval(-5, -2).mignitude() == 2.0
+
+
+class TestSetOps:
+    def test_intersect(self):
+        assert Interval(0, 2).intersect(Interval(1, 3)) == Interval(1, 2)
+        assert Interval(0, 1).intersect(Interval(2, 3)).is_empty
+
+    def test_hull(self):
+        assert Interval(0, 1).hull(Interval(2, 3)) == Interval(0, 3)
+        assert EMPTY.hull(Interval(1, 2)) == Interval(1, 2)
+
+    def test_split(self):
+        left, right = Interval(0, 2).split()
+        assert left == Interval(0, 1) and right == Interval(1, 2)
+
+    def test_split_at(self):
+        left, right = Interval(0, 2).split(at=0.5)
+        assert left == Interval(0, 0.5) and right == Interval(0.5, 2)
+
+    def test_split_clamps_cut(self):
+        left, right = Interval(0, 2).split(at=5.0)
+        assert left == Interval(0, 2) and right == Interval(2, 2)
+
+    def test_inflate(self):
+        assert Interval(1, 2).inflate(0.5) == Interval(0.5, 2.5)
+
+    def test_sample(self):
+        pts = Interval(0, 1).sample(3)
+        assert pts == [0.0, 0.5, 1.0]
+        assert Interval(0, 1).sample(1) == [0.5]
+        assert EMPTY.sample(5) == []
+
+
+class TestArithmetic:
+    def test_add(self):
+        r = Interval(1, 2) + Interval(3, 4)
+        assert r.lo <= 4.0 <= 6.0 <= r.hi
+        assert r.width() < 3.0 + 1e-9
+
+    def test_add_scalar(self):
+        r = Interval(1, 2) + 1.0
+        assert r.contains(2.0) and r.contains(3.0)
+
+    def test_sub(self):
+        r = Interval(1, 2) - Interval(0.5, 1.0)
+        assert r.contains(0.0) and r.contains(1.5)
+
+    def test_neg(self):
+        assert -Interval(1, 2) == Interval(-2, -1)
+
+    def test_mul_signs(self):
+        assert (Interval(-1, 2) * Interval(3, 4)).contains(-4.0)
+        assert (Interval(-1, 2) * Interval(3, 4)).contains(8.0)
+        assert (Interval(-2, -1) * Interval(-3, -2)).contains(2.0)
+
+    def test_mul_zero_inf(self):
+        r = Interval(0, 0) * Interval.entire()
+        assert r.contains(0.0)
+
+    def test_div(self):
+        r = Interval(1, 2) / Interval(2, 4)
+        assert r.contains(0.25) and r.contains(1.0)
+
+    def test_div_by_zero_spanning(self):
+        r = Interval(1, 2) / Interval(-1, 1)
+        assert not r.is_bounded
+
+    def test_inverse_half_lines(self):
+        r = Interval(0, 2).inverse()
+        assert r.contains(0.5) and r.hi == math.inf
+        r2 = Interval(-2, 0).inverse()
+        assert r2.contains(-0.5) and r2.lo == -math.inf
+
+    def test_inverse_of_zero_point_is_empty(self):
+        assert Interval.point(0.0).inverse().is_empty
+
+    def test_abs(self):
+        assert abs(Interval(-3, 2)) == Interval(0, 3)
+        assert abs(Interval(1, 2)) == Interval(1, 2)
+        assert abs(Interval(-2, -1)) == Interval(1, 2)
+
+    def test_sqr_even_power(self):
+        r = Interval(-2, 3).sqr()
+        assert r.lo <= 0.0 and r.contains(9.0) and not r.contains(-0.1)
+
+    def test_pow_odd(self):
+        r = Interval(-2, 2).pow(3)
+        assert r.contains(-8.0) and r.contains(8.0)
+
+    def test_pow_zero(self):
+        assert Interval(-5, 5).pow(0) == Interval.point(1.0)
+
+    def test_pow_negative(self):
+        r = Interval(2, 4).pow(-1)
+        assert r.contains(0.25) and r.contains(0.5)
+
+    def test_pow_fractional(self):
+        r = Interval(4, 9).pow(0.5)
+        assert r.contains(2.0) and r.contains(3.0)
+
+    def test_sqrt(self):
+        r = Interval(4, 9).sqrt()
+        assert r.contains(2.0) and r.contains(3.0)
+        assert Interval(-4, -1).sqrt().is_empty
+        # negative part is clipped
+        assert Interval(-1, 4).sqrt().contains(0.0)
+
+
+class TestTranscendental:
+    def test_exp_log_roundtrip(self):
+        iv = Interval(0.5, 2.0)
+        r = iv.exp().log()
+        assert r.contains_interval(Interval(0.5 + 1e-12, 2.0 - 1e-12))
+
+    def test_exp_overflow(self):
+        r = Interval(700, 800).exp()
+        assert r.hi == math.inf
+
+    def test_log_domain(self):
+        assert Interval(-2, -1).log().is_empty
+        r = Interval(0, 1).log()
+        assert r.lo == -math.inf and r.contains(0.0)
+
+    def test_sin_small(self):
+        r = Interval(0.0, 0.1).sin()
+        assert r.contains(0.0) and r.contains(math.sin(0.1))
+
+    def test_sin_captures_max(self):
+        r = Interval(0.0, math.pi).sin()
+        assert r.hi >= 1.0 - 1e-12
+
+    def test_sin_captures_min(self):
+        r = Interval(math.pi, 2 * math.pi).sin()
+        assert r.lo <= -1.0 + 1e-12
+
+    def test_sin_wide(self):
+        assert Interval(0, 100).sin() == Interval(-1, 1)
+
+    def test_cos_captures_extrema(self):
+        r = Interval(0.0, math.pi).cos()
+        assert r.hi >= 1.0 - 1e-12 and r.lo <= -1.0 + 1e-12
+
+    def test_cos_small(self):
+        r = Interval(1.0, 1.5).cos()
+        assert r.contains(math.cos(1.2))
+
+    def test_tan_monotone_branch(self):
+        r = Interval(-0.5, 0.5).tan()
+        assert r.contains(math.tan(0.3)) and r.is_bounded
+
+    def test_tan_pole(self):
+        assert not Interval(1.0, 2.0).tan().is_bounded
+
+    def test_tanh(self):
+        r = Interval(-1, 1).tanh()
+        assert r.contains(math.tanh(-1)) and r.contains(math.tanh(1))
+        assert -1.0 <= r.lo and r.hi <= 1.0
+
+    def test_sigmoid(self):
+        r = Interval(-100, 100).sigmoid()
+        assert 0.0 <= r.lo <= 0.001 and 0.999 <= r.hi <= 1.0
+        assert Interval.point(0.0).sigmoid().contains(0.5)
+
+    def test_min_max_with(self):
+        assert Interval(0, 2).min_with(Interval(1, 3)) == Interval(0, 2)
+        assert Interval(0, 2).max_with(Interval(1, 3)) == Interval(1, 3)
+
+
+class TestEmptyPropagation:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda e: e + Interval(1, 2),
+            lambda e: e - Interval(1, 2),
+            lambda e: e * Interval(1, 2),
+            lambda e: e / Interval(1, 2),
+            lambda e: -e,
+            lambda e: abs(e),
+            lambda e: e.exp(),
+            lambda e: e.log(),
+            lambda e: e.sin(),
+            lambda e: e.cos(),
+            lambda e: e.sqrt(),
+            lambda e: e.sqr(),
+            lambda e: e.tanh(),
+        ],
+    )
+    def test_ops_propagate_empty(self, op):
+        assert op(EMPTY).is_empty

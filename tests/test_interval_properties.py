@@ -1,0 +1,151 @@
+"""Hypothesis property tests: the inclusion property of interval arithmetic.
+
+Soundness of the whole delta-decision stack rests on these invariants:
+for x in X and y in Y, op(x, y) must lie in op(X, Y).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import Interval
+
+FINITE = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def interval_with_member(draw):
+    """An interval together with a point guaranteed to lie inside it."""
+    a = draw(FINITE)
+    b = draw(FINITE)
+    lo, hi = min(a, b), max(a, b)
+    t = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    x = lo + t * (hi - lo)
+    x = min(max(x, lo), hi)
+    return Interval(lo, hi), x
+
+
+@given(interval_with_member(), interval_with_member())
+@settings(max_examples=300)
+def test_add_inclusion(ab, cd):
+    (X, x), (Y, y) = ab, cd
+    assert (X + Y).contains(x + y)
+
+
+@given(interval_with_member(), interval_with_member())
+@settings(max_examples=300)
+def test_sub_inclusion(ab, cd):
+    (X, x), (Y, y) = ab, cd
+    assert (X - Y).contains(x - y)
+
+
+@given(interval_with_member(), interval_with_member())
+@settings(max_examples=300)
+def test_mul_inclusion(ab, cd):
+    (X, x), (Y, y) = ab, cd
+    assert (X * Y).contains(x * y)
+
+
+@given(interval_with_member(), interval_with_member())
+@settings(max_examples=300)
+def test_div_inclusion(ab, cd):
+    (X, x), (Y, y) = ab, cd
+    if y == 0.0:
+        return
+    q = x / y
+    assert (X / Y).contains(q)
+
+
+@given(interval_with_member())
+@settings(max_examples=300)
+def test_neg_abs_sqr_inclusion(ab):
+    X, x = ab
+    assert (-X).contains(-x)
+    assert abs(X).contains(abs(x))
+    assert X.sqr().contains(x * x)
+
+
+@given(interval_with_member(), st.integers(min_value=0, max_value=6))
+@settings(max_examples=300)
+def test_pow_inclusion(ab, n):
+    X, x = ab
+    v = x ** n
+    if math.isfinite(v):
+        assert X.pow(n).contains(v)
+
+
+@given(interval_with_member())
+@settings(max_examples=300)
+def test_exp_inclusion(ab):
+    X, x = ab
+    try:
+        v = math.exp(x)
+    except OverflowError:
+        return
+    assert X.exp().contains(v)
+
+
+@given(interval_with_member())
+@settings(max_examples=300)
+def test_log_inclusion(ab):
+    X, x = ab
+    if x <= 0.0:
+        return
+    assert X.log().contains(math.log(x))
+
+
+@given(interval_with_member())
+@settings(max_examples=300)
+def test_sqrt_inclusion(ab):
+    X, x = ab
+    if x < 0.0:
+        return
+    assert X.sqrt().contains(math.sqrt(x))
+
+
+@given(interval_with_member())
+@settings(max_examples=300)
+def test_trig_inclusion(ab):
+    X, x = ab
+    assert X.sin().contains(math.sin(x))
+    assert X.cos().contains(math.cos(x))
+    assert X.tanh().contains(math.tanh(x))
+
+
+@given(interval_with_member())
+@settings(max_examples=200)
+def test_sigmoid_inclusion(ab):
+    X, x = ab
+    sig = 1.0 / (1.0 + math.exp(-x)) if x >= 0 else math.exp(x) / (1.0 + math.exp(x))
+    assert X.sigmoid().contains(sig)
+
+
+@given(interval_with_member())
+@settings(max_examples=200)
+def test_split_covers(ab):
+    X, x = ab
+    left, right = X.split()
+    assert left.contains(x) or right.contains(x)
+    assert left.hull(right) == X
+
+
+@given(interval_with_member(), interval_with_member())
+@settings(max_examples=200)
+def test_intersection_exactness(ab, cd):
+    (X, x), (Y, _) = ab, cd
+    inter = X.intersect(Y)
+    if Y.contains(x):
+        assert inter.contains(x)
+    if not inter.is_empty:
+        assert X.contains_interval(inter) and Y.contains_interval(inter)
+
+
+@given(interval_with_member(), interval_with_member())
+@settings(max_examples=200)
+def test_min_max_inclusion(ab, cd):
+    (X, x), (Y, y) = ab, cd
+    assert X.min_with(Y).contains(min(x, y))
+    assert X.max_with(Y).contains(max(x, y))

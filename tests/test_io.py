@@ -1,0 +1,224 @@
+"""Tests for the IO layer: SBML subset, native JSON, CSV time series."""
+
+import math
+
+import pytest
+
+from repro.io import (
+    SBMLError,
+    dump_model,
+    hybrid_from_dict,
+    hybrid_to_dict,
+    load_model,
+    ode_from_dict,
+    ode_to_dict,
+    parse_sbml,
+    parse_timeseries_csv,
+)
+from repro.models import ias_model, logistic, thermostat
+from repro.odes import rk45
+
+SBML_DECAY = """<?xml version="1.0" encoding="UTF-8"?>
+<sbml xmlns="http://www.sbml.org/sbml/level2/version4" level="2" version="4">
+  <model id="decay">
+    <listOfCompartments>
+      <compartment id="cell" size="1"/>
+    </listOfCompartments>
+    <listOfSpecies>
+      <species id="A" compartment="cell" initialConcentration="2.0"/>
+    </listOfSpecies>
+    <listOfParameters>
+      <parameter id="k" value="0.5"/>
+    </listOfParameters>
+    <listOfReactions>
+      <reaction id="deg" reversible="false">
+        <listOfReactants>
+          <speciesReference species="A" stoichiometry="1"/>
+        </listOfReactants>
+        <kineticLaw>
+          <math xmlns="http://www.w3.org/1998/Math/MathML">
+            <apply><times/><ci>k</ci><ci>A</ci></apply>
+          </math>
+        </kineticLaw>
+      </reaction>
+    </listOfReactions>
+  </model>
+</sbml>
+"""
+
+SBML_ENZYME = """<?xml version="1.0"?>
+<sbml xmlns="http://www.sbml.org/sbml/level2/version4" level="2" version="4">
+  <model id="mm">
+    <listOfCompartments><compartment id="c" size="2"/></listOfCompartments>
+    <listOfSpecies>
+      <species id="S" compartment="c" initialConcentration="10"/>
+      <species id="P" compartment="c" initialConcentration="0"/>
+      <species id="E" compartment="c" initialConcentration="1" boundaryCondition="true"/>
+    </listOfSpecies>
+    <listOfParameters>
+      <parameter id="Vmax" value="4"/>
+      <parameter id="Km" value="2"/>
+    </listOfParameters>
+    <listOfReactions>
+      <reaction id="cat">
+        <listOfReactants><speciesReference species="S"/></listOfReactants>
+        <listOfProducts><speciesReference species="P"/></listOfProducts>
+        <kineticLaw>
+          <math xmlns="http://www.w3.org/1998/Math/MathML">
+            <apply><divide/>
+              <apply><times/><ci>Vmax</ci><ci>E</ci><ci>S</ci></apply>
+              <apply><plus/><ci>Km</ci><ci>S</ci></apply>
+            </apply>
+          </math>
+        </kineticLaw>
+      </reaction>
+    </listOfReactions>
+  </model>
+</sbml>
+"""
+
+
+class TestSBML:
+    def test_decay_parsed(self):
+        model = parse_sbml(SBML_DECAY)
+        assert model.name == "decay"
+        assert model.initial == {"A": 2.0}
+        assert model.system.params["k"] == 0.5
+        f = model.system.eval_field({"A": 2.0})
+        assert f["A"] == pytest.approx(-1.0)
+
+    def test_decay_simulates_correctly(self):
+        model = parse_sbml(SBML_DECAY)
+        traj = rk45(model.system, model.initial, (0.0, 2.0))
+        assert traj.value("A", 2.0) == pytest.approx(2.0 * math.exp(-1.0), rel=1e-5)
+
+    def test_enzyme_compartment_scaling_and_boundary(self):
+        model = parse_sbml(SBML_ENZYME)
+        assert set(model.system.state_names) == {"S", "P"}  # E is boundary
+        # rate = Vmax*E*S/(Km+S)/size = 4*1*10/12/2
+        f = model.system.eval_field({"S": 10.0, "P": 0.0})
+        assert f["S"] == pytest.approx(-4.0 * 10.0 / 12.0 / 2.0)
+        assert f["P"] == pytest.approx(+4.0 * 10.0 / 12.0 / 2.0)
+
+    def test_mass_conservation(self):
+        model = parse_sbml(SBML_ENZYME)
+        traj = rk45(model.system, model.initial, (0.0, 5.0))
+        total = traj.column("S") + traj.column("P")
+        assert abs(total - 10.0).max() < 1e-6
+
+    @pytest.mark.parametrize(
+        "bad,msg",
+        [
+            ("<notsbml/>", "expected <sbml>"),
+            ("<sbml xmlns='x'></sbml>", "no <model>"),
+            ("not xml at all <", "XML parse error"),
+        ],
+    )
+    def test_malformed(self, bad, msg):
+        with pytest.raises(SBMLError, match=msg):
+            parse_sbml(bad)
+
+    def test_missing_kinetic_law(self):
+        text = SBML_DECAY.replace(
+            '<kineticLaw>', '<notes><p>x</p></notes><kineticLaw hidden="'
+        ).replace('</kineticLaw>', '"/>')
+        with pytest.raises(SBMLError):
+            parse_sbml(text)
+
+    def test_unsupported_event(self):
+        text = SBML_DECAY.replace(
+            "</model>", "<listOfEvents><event/></listOfEvents></model>"
+        )
+        with pytest.raises(SBMLError, match="listOfEvents"):
+            parse_sbml(text)
+
+    def test_e_notation(self):
+        text = SBML_DECAY.replace(
+            "<apply><times/><ci>k</ci><ci>A</ci></apply>",
+            '<apply><times/><cn type="e-notation">5<sep/>-1</cn><ci>A</ci></apply>',
+        )
+        model = parse_sbml(text)
+        f = model.system.eval_field({"A": 2.0})
+        assert f["A"] == pytest.approx(-1.0)
+
+
+class TestNativeJSON:
+    def test_ode_roundtrip(self):
+        sys_ = logistic(r=0.7, K=5.0)
+        d = ode_to_dict(sys_)
+        back = ode_from_dict(d)
+        assert back.params == sys_.params
+        f1 = sys_.eval_field({"x": 2.0})
+        f2 = back.eval_field({"x": 2.0})
+        assert f1["x"] == pytest.approx(f2["x"])
+
+    def test_hybrid_roundtrip_thermostat(self):
+        h = thermostat()
+        back = hybrid_from_dict(hybrid_to_dict(h))
+        assert back.mode_names == h.mode_names
+        assert back.params == h.params
+        from repro.hybrid import simulate_hybrid
+
+        t1 = simulate_hybrid(h, {"x": 21.0}, t_final=5.0)
+        t2 = simulate_hybrid(back, {"x": 21.0}, t_final=5.0)
+        assert t1.mode_path() == t2.mode_path()
+        assert t1.value("x", 5.0) == pytest.approx(t2.value("x", 5.0), rel=1e-6)
+
+    def test_hybrid_roundtrip_ias(self):
+        h = ias_model("patient_A")
+        back = hybrid_from_dict(hybrid_to_dict(h))
+        f1 = h.mode_system("on").eval_field({"x": 10.0, "y": 0.1, "z": 6.0})
+        f2 = back.mode_system("on").eval_field({"x": 10.0, "y": 0.1, "z": 6.0})
+        for k in f1:
+            assert f1[k] == pytest.approx(f2[k], rel=1e-12)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "model.json")
+        dump_model(logistic(), path)
+        back = load_model(path)
+        assert back.name == "logistic"
+
+        hpath = str(tmp_path / "h.json")
+        dump_model(thermostat(), hpath)
+        hback = load_model(hpath)
+        assert hback.name == "thermostat"
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ValueError):
+            ode_from_dict({"type": "hybrid"})
+        with pytest.raises(ValueError):
+            hybrid_from_dict({"type": "ode"})
+
+
+class TestCSV:
+    def test_parse_basic(self):
+        text = "time,x,y\n0.5,1.0,2.0\n1.0,0.5,1.5\n"
+        data = parse_timeseries_csv(text, tolerance=0.1)
+        assert len(data.checkpoints) == 2
+        assert data.checkpoints[0].bands["x"] == (0.9, 1.1)
+
+    def test_missing_cells_skipped(self):
+        text = "time,x,y\n0.5,1.0,\n1.0,,1.5\n"
+        data = parse_timeseries_csv(text)
+        assert "y" not in data.checkpoints[0].bands
+        assert "x" not in data.checkpoints[1].bands
+
+    def test_missing_time_column(self):
+        with pytest.raises(ValueError, match="time"):
+            parse_timeseries_csv("a,b\n1,2\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no data"):
+            parse_timeseries_csv("time,x\n")
+
+    def test_relative_tolerance(self):
+        data = parse_timeseries_csv("time,x\n1.0,10.0\n", tolerance=0.1, relative=True)
+        assert data.checkpoints[0].bands["x"] == pytest.approx((9.0, 11.0))
+
+    def test_file_reading(self, tmp_path):
+        from repro.io import read_timeseries_csv
+
+        p = tmp_path / "d.csv"
+        p.write_text("time,x\n1.0,2.0\n")
+        data = read_timeseries_csv(str(p), tolerance=0.5)
+        assert data.checkpoints[0].bands["x"] == (1.5, 2.5)

@@ -1,0 +1,207 @@
+"""Tests for the L_RF logic layer: atoms, connectives, quantifiers,
+negation-as-NNF, and delta-weakening (paper Definitions 1-4)."""
+
+import pytest
+
+from repro.expr import var, variables
+from repro.intervals import Box
+from repro.logic import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    box_formula,
+    eq_zero,
+    equals_within,
+    in_range,
+)
+
+x, y = variables("x y")
+
+
+class TestAtoms:
+    def test_strict_atom_from_comparison(self):
+        a = x > 0
+        assert isinstance(a, Atom) and a.strict
+
+    def test_weak_atom_from_comparison(self):
+        a = x >= 0
+        assert isinstance(a, Atom) and not a.strict
+
+    def test_lt_le_swap_operands(self):
+        assert (x < 1).eval({"x": 0.5})
+        assert not (x < 1).eval({"x": 1.0})
+        assert (x <= 1).eval({"x": 1.0})
+
+    def test_eval_boundary(self):
+        assert not (x > 0).eval({"x": 0.0})
+        assert (x >= 0).eval({"x": 0.0})
+
+    def test_variables(self):
+        assert (x + y > 0).variables() == {"x", "y"}
+
+
+class TestNegationNNF:
+    def test_negate_strict(self):
+        # not(t > 0) == -t >= 0
+        n = (x > 0).negate()
+        assert isinstance(n, Atom) and not n.strict
+        assert n.eval({"x": -1.0}) and not n.eval({"x": 1.0})
+        assert n.eval({"x": 0.0})  # boundary flips to weak
+
+    def test_negate_weak(self):
+        n = (x >= 0).negate()
+        assert isinstance(n, Atom) and n.strict
+        assert not n.eval({"x": 0.0})
+
+    def test_de_morgan(self):
+        phi = And(x > 0, y > 0)
+        n = Not(phi)
+        assert isinstance(n, Or)
+        # check semantics on samples
+        for env in [{"x": 1.0, "y": 1.0}, {"x": -1.0, "y": 1.0}, {"x": -1.0, "y": -1.0}]:
+            assert n.eval(env) == (not phi.eval(env))
+
+    def test_double_negation_semantics(self):
+        phi = Or(x > 1, And(y >= 0, x <= 0))
+        nn = Not(Not(phi))
+        for env in [
+            {"x": 2.0, "y": -1.0},
+            {"x": 0.0, "y": 0.0},
+            {"x": 0.5, "y": -0.5},
+        ]:
+            assert nn.eval(env) == phi.eval(env)
+
+    def test_quantifier_swap(self):
+        phi = Forall("x", 0, 1, x > 0)
+        n = Not(phi)
+        assert isinstance(n, Exists)
+
+
+class TestConnectives:
+    def test_and_flattening(self):
+        f = And(x > 0, And(y > 0, x > 1))
+        assert len(f.parts) == 3
+
+    def test_or_flattening(self):
+        f = Or(x > 0, Or(y > 0, x > 1))
+        assert len(f.parts) == 3
+
+    def test_constants_absorbed(self):
+        assert And(TRUE, x > 0) == (x > 0)
+        assert And(FALSE, x > 0) == FALSE
+        assert Or(TRUE, x > 0) == TRUE
+        assert Or(FALSE, x > 0) == (x > 0)
+        assert And() == TRUE
+        assert Or() == FALSE
+
+    def test_operators(self):
+        f = (x > 0) & (y > 0)
+        assert isinstance(f, And)
+        g = (x > 0) | (y > 0)
+        assert isinstance(g, Or)
+        assert isinstance(~(x > 0), Atom)
+
+    def test_implies(self):
+        f = Implies(x > 0, y > 0)
+        assert f.eval({"x": -1.0, "y": -1.0})  # vacuous
+        assert f.eval({"x": 1.0, "y": 1.0})
+        assert not f.eval({"x": 1.0, "y": -1.0})
+
+    def test_atoms_collection(self):
+        f = And(x > 0, Or(y >= 1, x > 2))
+        assert len(f.atoms()) == 3
+
+
+class TestDeltaWeakening:
+    def test_atom_weakening_monotone(self):
+        a = x > 0
+        w = a.delta_weaken(0.5)
+        # anything satisfying a satisfies w, plus boundary slack
+        assert w.eval({"x": 0.1})
+        assert w.eval({"x": -0.4})
+        assert not w.eval({"x": -0.6})
+
+    def test_weaken_zero_identity(self):
+        a = x >= 0
+        assert a.delta_weaken(0.0) == a
+
+    def test_strengthen_dual(self):
+        a = (x >= 0).delta_strengthen(0.5)
+        assert a.eval({"x": 0.6})
+        assert not a.eval({"x": 0.4})
+
+    def test_weakening_distributes(self):
+        phi = And(x > 0, Or(y >= 0, x > 1))
+        w = phi.delta_weaken(0.25)
+        # weakened formula accepts everything original accepts
+        for env in [{"x": 0.5, "y": 0.0}, {"x": 2.0, "y": -5.0}]:
+            if phi.eval(env):
+                assert w.eval(env)
+        # and strictly more
+        assert w.eval({"x": -0.2, "y": -0.2})
+
+    def test_weaken_quantified(self):
+        phi = Forall("x", 0, 1, x * (1 - x) >= -0.1)
+        assert phi.delta_weaken(0.2).eval({})
+
+
+class TestQuantifiers:
+    def test_exists_grid_eval(self):
+        phi = Exists("x", 0, 1, (x - 0.5) * (x - 0.5) <= 0.01)
+        assert phi.eval({})
+
+    def test_forall_grid_eval(self):
+        assert Forall("x", 0, 1, x >= 0).eval({})
+        assert not Forall("x", 0, 1, x > 0.5).eval({})
+
+    def test_bound_variable_not_free(self):
+        phi = Exists("x", 0, 1, (x + y) > 0)
+        assert phi.variables() == {"y"}
+
+    def test_bounds_may_reference_outer_vars(self):
+        phi = Exists("x", y, y + 1, x >= y)
+        assert "y" in phi.variables()
+        assert phi.eval({"y": 3.0})
+
+    def test_self_referencing_bound_rejected(self):
+        with pytest.raises(ValueError):
+            Exists("x", x, 1, x > 0)
+
+    def test_subs_avoids_capture(self):
+        phi = Exists("x", 0, 1, (x + y) > 10)
+        phi2 = phi.subs({"y": 100.0})
+        assert phi2.eval({})
+        phi3 = phi.subs({"x": 99.0})  # bound x must not be replaced
+        assert phi3.eval({"y": 0.0}) is False
+
+
+class TestBuilders:
+    def test_in_range(self):
+        f = in_range(x, 0.0, 1.0)
+        assert f.eval({"x": 0.0}) and f.eval({"x": 1.0}) and f.eval({"x": 0.5})
+        assert not f.eval({"x": 1.01})
+
+    def test_equals_within(self):
+        f = equals_within(x, 5.0, 0.1)
+        assert f.eval({"x": 5.05})
+        assert not f.eval({"x": 5.2})
+
+    def test_eq_zero(self):
+        f = eq_zero(x - 3)
+        assert f.eval({"x": 3.0})
+        assert not f.eval({"x": 3.1})
+
+    def test_box_formula(self):
+        f = box_formula(Box.from_bounds({"x": (0, 1), "y": (2, 3)}))
+        assert f.eval({"x": 0.5, "y": 2.5})
+        assert not f.eval({"x": 0.5, "y": 4.0})
+
+    def test_box_formula_from_mapping(self):
+        f = box_formula({"x": (0, 1)})
+        assert f.eval({"x": 1.0})

@@ -1,0 +1,173 @@
+"""Tests for Lyapunov templates, synthesis, certification and ROA."""
+
+import pytest
+
+from repro.expr import var, variables
+from repro.intervals import Box
+from repro.lyapunov import (
+    LyapunovAnalyzer,
+    diagonal_template,
+    polynomial_template,
+    quadratic_template,
+)
+from repro.odes import ODESystem
+from repro.solver import Status
+
+x, y = variables("x y")
+
+
+@pytest.fixture
+def stable_linear():
+    """x' = -x, y' = -2y: globally stable at origin."""
+    return ODESystem({"x": -x, "y": -2.0 * y})
+
+
+@pytest.fixture
+def unstable_linear():
+    return ODESystem({"x": x, "y": -y})  # saddle
+
+
+@pytest.fixture
+def damped_oscillator():
+    """x' = v, v' = -x - v (underdamped, stable)."""
+    return ODESystem({"x": var("v"), "v": -x - var("v")})
+
+
+def region2(r=1.0):
+    return Box.from_bounds({"x": (-r, r), "y": (-r, r)})
+
+
+class TestTemplates:
+    def test_quadratic_template_structure(self):
+        t = quadratic_template(["x", "y"])
+        assert len(t.coefficients) == 3  # xx, xy, yy
+        V = t.instantiate({c: 1.0 for c in t.coefficients})
+        assert V.eval({"x": 1.0, "y": 1.0}) == pytest.approx(3.0)
+
+    def test_diagonal_template(self):
+        t = diagonal_template(["x", "y"])
+        assert len(t.coefficients) == 2
+        V = t.instantiate({"c_x": 2.0, "c_y": 3.0})
+        assert V.eval({"x": 1.0, "y": 1.0}) == pytest.approx(5.0)
+
+    def test_shifted_equilibrium(self):
+        t = diagonal_template(["x"], equilibrium={"x": 2.0})
+        V = t.instantiate({"c_x": 1.0})
+        assert V.eval({"x": 2.0}) == pytest.approx(0.0)
+        assert V.eval({"x": 3.0}) == pytest.approx(1.0)
+
+    def test_polynomial_template(self):
+        t = polynomial_template(["x"], degree=4)
+        # monomials: x^2, x^4 (even only)
+        assert len(t.coefficients) == 2
+        with pytest.raises(ValueError):
+            polynomial_template(["x"], degree=1)
+
+    def test_missing_coefficient_rejected(self):
+        t = diagonal_template(["x", "y"])
+        with pytest.raises(KeyError):
+            t.instantiate({"c_x": 1.0})
+
+
+class TestCertification:
+    def test_certify_known_good(self, stable_linear):
+        V = x * x + y * y
+        an = LyapunovAnalyzer(stable_linear, region2())
+        res = an.certify(V)
+        assert res.status is Status.DELTA_SAT
+
+    def test_certify_rejects_bad(self, unstable_linear):
+        V = x * x + y * y
+        an = LyapunovAnalyzer(unstable_linear, region2())
+        res = an.certify(V)
+        assert res.status is Status.UNSAT
+        assert res.counterexample is not None
+        # counterexample should violate decrease along x-axis
+        ce = res.counterexample
+        assert abs(ce["x"]) > 0.0
+
+    def test_certify_rejects_indefinite_candidate(self, stable_linear):
+        V = x * x - y * y  # not positive definite
+        an = LyapunovAnalyzer(stable_linear, region2())
+        res = an.certify(V)
+        assert res.status is Status.UNSAT
+
+    def test_damped_oscillator_cross_term(self, damped_oscillator):
+        # classic certificate needs a cross term: V = x^2 + xv/... use
+        # V = 1.5x^2 + xv + v^2 (valid for x' = v, v' = -x - v)
+        v = var("v")
+        V = 1.5 * x * x + x * v + v * v
+        an = LyapunovAnalyzer(
+            damped_oscillator,
+            Box.from_bounds({"x": (-1, 1), "v": (-1, 1)}),
+            eps_v=1e-4,
+            eps_dv=1e-4,
+        )
+        res = an.certify(V)
+        assert res.status is Status.DELTA_SAT
+
+    def test_pure_energy_fails_for_damped_oscillator(self, damped_oscillator):
+        # V = x^2 + v^2 has dV/dt = -2v^2 <= 0, not strictly negative on
+        # the v=0 axis: the robust (eps_dv) condition must fail
+        v = var("v")
+        an = LyapunovAnalyzer(
+            damped_oscillator,
+            Box.from_bounds({"x": (-1, 1), "v": (-1, 1)}),
+            eps_dv=1e-2,
+        )
+        res = an.certify(x * x + v * v)
+        assert res.status is Status.UNSAT
+
+    def test_non_equilibrium_rejected(self, stable_linear):
+        with pytest.raises(ValueError, match="not an equilibrium"):
+            LyapunovAnalyzer(stable_linear, region2(), equilibrium={"x": 1.0, "y": 0.0})
+
+
+class TestSynthesis:
+    def test_synthesize_stable_linear(self, stable_linear):
+        an = LyapunovAnalyzer(stable_linear, region2())
+        res = an.synthesize(seed=1)
+        assert res.status is Status.DELTA_SAT
+        assert res.V is not None
+        # verify independently
+        check = an.certify(res.V)
+        assert check.status is Status.DELTA_SAT
+
+    def test_synthesis_fails_unstable(self, unstable_linear):
+        an = LyapunovAnalyzer(unstable_linear, region2())
+        res = an.synthesize(max_iterations=10, seed=0)
+        assert res.status in (Status.UNSAT, Status.UNKNOWN)
+
+    def test_synthesize_nonlinear(self):
+        # x' = -x + x^3/4 is stable near origin (|x| < 2)
+        sys_ = ODESystem({"x": -x + 0.25 * x ** 3})
+        an = LyapunovAnalyzer(sys_, Box.from_bounds({"x": (-1, 1)}))
+        res = an.synthesize(seed=0)
+        assert res.status is Status.DELTA_SAT
+
+    def test_shifted_equilibrium_synthesis(self):
+        # x' = 1 - x: equilibrium at x = 1
+        sys_ = ODESystem({"x": 1.0 - x})
+        an = LyapunovAnalyzer(
+            sys_,
+            Box.from_bounds({"x": (0.0, 2.0)}),
+            equilibrium={"x": 1.0},
+        )
+        res = an.synthesize(seed=0)
+        assert res.status is Status.DELTA_SAT
+        assert res.V.eval({"x": 1.0}) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestRegionOfAttraction:
+    def test_roa_positive_for_stable(self, stable_linear):
+        V = x * x + y * y
+        an = LyapunovAnalyzer(stable_linear, region2())
+        roa = an.region_of_attraction(V, levels=8)
+        # {x^2+y^2 <= c} must stay inside [-1,1]^2 => c < 1
+        assert 0.3 < roa <= 1.0
+
+    def test_roa_zero_for_bad_candidate(self, unstable_linear):
+        V = x * x + y * y
+        an = LyapunovAnalyzer(unstable_linear, region2())
+        roa = an.region_of_attraction(V, levels=6)
+        assert roa <= 0.2

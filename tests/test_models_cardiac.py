@@ -1,0 +1,158 @@
+"""Tests for the cardiac models (paper Section IV-A phenomena)."""
+
+import pytest
+
+from repro.hybrid import simulate_hybrid
+from repro.models import (
+    BCF_EPI_PARAMS,
+    FK_BR_PARAMS,
+    action_potential,
+    ap_features,
+    bcf_hybrid,
+    bueno_cherry_fenton,
+    fenton_karma,
+    fenton_karma_hybrid,
+)
+
+
+@pytest.fixture(scope="module")
+def fk_traj():
+    return action_potential(fenton_karma(), u0=0.4, t_final=500.0)
+
+
+@pytest.fixture(scope="module")
+def bcf_traj():
+    return action_potential(bueno_cherry_fenton(), u0=0.4, t_final=500.0)
+
+
+class TestFentonKarma:
+    def test_action_potential_fires(self, fk_traj):
+        f = ap_features(fk_traj)
+        assert f.peak > 0.8
+        assert f.repolarized
+        assert f.apd90 is not None and 80 < f.apd90 < 350
+
+    def test_no_dome(self, fk_traj):
+        """The paper's falsification claim: FK has no spike-and-dome."""
+        f = ap_features(fk_traj)
+        assert not f.has_dome
+
+    def test_subthreshold_stimulus_no_ap(self):
+        traj = action_potential(fenton_karma(), u0=0.05, t_final=100.0)
+        # voltage decays without firing
+        assert traj.column("u").max() <= 0.06
+
+    def test_parameters_default(self):
+        sys_ = fenton_karma()
+        assert sys_.params["u_c"] == FK_BR_PARAMS["u_c"]
+        assert set(sys_.state_names) == {"u", "v", "w"}
+
+    def test_hybrid_matches_smooth_qualitatively(self):
+        h = fenton_karma_hybrid()
+        traj = simulate_hybrid(
+            h, {"u": 0.4, "v": 1.0, "w": 1.0}, t_final=400.0, max_jumps=10,
+            max_step=1.0,
+        )
+        us = traj.flatten().column("u")
+        assert us.max() > 0.8  # AP fires
+        assert us[-1] < 0.15   # repolarizes
+        assert "excited" in traj.mode_path()
+
+    def test_hybrid_mode_structure(self):
+        h = fenton_karma_hybrid()
+        assert set(h.mode_names) == {"rest", "gate", "excited"}
+        assert len(h.jumps) == 4
+
+
+class TestBuenoCherryFenton:
+    def test_epicardial_ap(self, bcf_traj):
+        f = ap_features(bcf_traj)
+        assert f.peak > 1.2
+        assert f.repolarized
+        # published epicardial APD90 ~ 270 ms
+        assert 200 < f.apd90 < 350
+
+    def test_spike_and_dome(self, bcf_traj):
+        """Epicardial BCF reproduces the dome that FK cannot."""
+        f = ap_features(bcf_traj)
+        assert f.has_dome
+        assert f.notch_depth is not None and f.notch_depth > 0.1
+        assert f.dome_peak is not None and f.dome_peak > 1.0
+
+    def test_tau_so1_shortens_apd(self):
+        """Small tau_so1 -> strong outward current -> short APD
+        (the tachycardia-inducing regime identified in [37])."""
+        apds = []
+        for tau in (10.0, BCF_EPI_PARAMS["tau_so1"], 60.0):
+            traj = action_potential(
+                bueno_cherry_fenton({"tau_so1": tau}), u0=0.4, t_final=800.0
+            )
+            apds.append(ap_features(traj).apd90)
+        assert apds[0] < apds[1] < apds[2]
+
+    def test_extreme_tau_so1_blocks_repolarization_within_window(self):
+        traj = action_potential(
+            bueno_cherry_fenton({"tau_so1": 200.0}), u0=0.4, t_final=400.0
+        )
+        f = ap_features(traj)
+        # at 400 ms the cell has not repolarized (fibrillation-prone)
+        assert not f.repolarized
+
+    def test_hybrid_mode_structure(self):
+        h = bcf_hybrid()
+        assert set(h.mode_names) == {"m1", "m2", "m3", "m4"}
+        assert len(h.jumps) == 6
+
+    def test_hybrid_simulation(self):
+        h = bcf_hybrid()
+        traj = simulate_hybrid(
+            h, {"u": 0.4, "v": 1.0, "w": 1.0, "s": 0.0}, t_final=400.0,
+            max_jumps=12, max_step=1.0,
+        )
+        us = traj.flatten().column("u")
+        assert us.max() > 1.2
+        assert traj.mode_path()[0] == "m4"
+
+
+class TestAPFeatures:
+    def test_no_ap_features(self):
+        import numpy as np
+
+        from repro.odes import Trajectory
+
+        ts = np.linspace(0, 10, 50)
+        traj = Trajectory(ts, np.zeros((50, 1)), ["u"])
+        f = ap_features(traj)
+        assert not f.has_dome and f.peak == 0.0
+
+    def test_synthetic_dome_detected(self):
+        import numpy as np
+
+        from repro.odes import Trajectory
+
+        # spike to 1.0, notch to 0.6, dome to 0.9, repolarize
+        ts = np.linspace(0, 100, 401)
+
+        def u(t):
+            if t < 5:
+                return t / 5.0
+            if t < 20:
+                return 1.0 - 0.4 * (t - 5) / 15.0
+            if t < 40:
+                return 0.6 + 0.3 * (t - 20) / 20.0
+            return max(0.0, 0.9 - 0.9 * (t - 40) / 30.0)
+
+        traj = Trajectory(ts, np.array([[u(t)] for t in ts]), ["u"])
+        f = ap_features(traj)
+        assert f.has_dome
+        assert f.apd90 is not None
+
+    def test_monotone_repolarization_no_dome(self):
+        import numpy as np
+
+        from repro.odes import Trajectory
+
+        ts = np.linspace(0, 100, 401)
+        us = np.maximum(0.0, 1.0 - ts / 50.0)
+        traj = Trajectory(ts, us.reshape(-1, 1), ["u"])
+        assert not ap_features(traj).has_dome

@@ -1,0 +1,203 @@
+"""Tests for ODESystem, integrators and event location."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.expr import var, variables
+from repro.odes import (
+    IntegrationError,
+    ODESystem,
+    Trajectory,
+    find_event,
+    rk4,
+    rk45,
+    simulate,
+)
+
+x, y = variables("x y")
+
+
+@pytest.fixture
+def decay():
+    """dx/dt = -k x, solution x0 * exp(-k t)."""
+    return ODESystem({"x": -var("k") * var("x")}, {"k": 1.0}, name="decay")
+
+
+@pytest.fixture
+def oscillator():
+    """Harmonic oscillator: x'' = -x as first-order system."""
+    return ODESystem({"x": var("v"), "v": -var("x")}, name="oscillator")
+
+
+class TestODESystem:
+    def test_properties(self, decay):
+        assert decay.state_names == ["x"]
+        assert decay.param_names == ["k"]
+        assert decay.dim == 1
+        assert decay.is_autonomous()
+
+    def test_unbound_symbol_rejected(self):
+        with pytest.raises(ValueError, match="unbound"):
+            ODESystem({"x": var("x") * var("mystery")})
+
+    def test_time_dependence_allowed(self):
+        from repro.expr import sin
+
+        sys_ = ODESystem({"x": sin(var("t"))})
+        assert not sys_.is_autonomous()
+
+    def test_eval_field(self, oscillator):
+        f = oscillator.eval_field({"x": 1.0, "v": 2.0})
+        assert f == {"x": 2.0, "v": -1.0}
+
+    def test_eval_field_interval(self, decay):
+        from repro.intervals import Box
+
+        f = decay.eval_field_interval(Box.from_bounds({"x": (1, 2)}))
+        assert f["x"].contains(-1.5)
+
+    def test_jacobian(self, oscillator):
+        J = oscillator.jacobian()
+        assert J["x"]["v"].eval({}) == 1.0
+        assert J["v"]["x"].eval({}) == -1.0
+        assert J["x"]["x"].eval({}) == 0.0
+
+    def test_lie_derivative(self, oscillator):
+        # V = x^2 + v^2 is conserved: dV/dt = 0
+        v = var("x") ** 2 + var("v") ** 2
+        lie = oscillator.lie_derivative(v)
+        assert lie.eval({"x": 0.3, "v": -1.2}) == pytest.approx(0.0, abs=1e-12)
+
+    def test_with_params(self, decay):
+        d2 = decay.with_params(k=2.0)
+        assert d2.params["k"] == 2.0
+        assert decay.params["k"] == 1.0
+        with pytest.raises(KeyError):
+            decay.with_params(nope=1.0)
+
+    def test_substitute_params(self, decay):
+        inlined = decay.substitute_params()
+        assert inlined.params == {}
+        assert inlined.eval_field({"x": 2.0}) == {"x": -2.0}
+
+    def test_equilibria_conditions(self, decay):
+        phi = decay.equilibria_conditions()
+        assert phi.eval({"x": 0.0, "k": 1.0})
+        assert not phi.eval({"x": 1.0, "k": 1.0})
+
+
+class TestRK4:
+    def test_exponential_decay(self, decay):
+        traj = rk4(decay, {"x": 1.0}, (0.0, 2.0), dt=0.01)
+        assert traj.value("x", 2.0) == pytest.approx(math.exp(-2.0), rel=1e-6)
+
+    def test_convergence_order(self, decay):
+        """Halving dt must reduce error ~16x for a 4th-order method."""
+        errs = []
+        for dt in (0.2, 0.1, 0.05):
+            traj = rk4(decay, {"x": 1.0}, (0.0, 1.0), dt=dt)
+            errs.append(abs(traj.value("x", 1.0) - math.exp(-1.0)))
+        assert errs[0] / errs[1] > 12.0
+        assert errs[1] / errs[2] > 12.0
+
+    def test_param_override(self, decay):
+        traj = rk4(decay, {"x": 1.0}, (0.0, 1.0), dt=0.01, params={"k": 2.0})
+        assert traj.value("x", 1.0) == pytest.approx(math.exp(-2.0), rel=1e-5)
+
+    def test_invalid_args(self, decay):
+        with pytest.raises(ValueError):
+            rk4(decay, {"x": 1.0}, (1.0, 0.0), dt=0.1)
+        with pytest.raises(ValueError):
+            rk4(decay, {"x": 1.0}, (0.0, 1.0), dt=-0.1)
+
+    def test_blowup_detected(self):
+        sys_ = ODESystem({"x": var("x") * var("x")})
+        with pytest.raises(IntegrationError):
+            rk4(sys_, {"x": 3.0}, (0.0, 5.0), dt=0.05)
+
+
+class TestRK45:
+    def test_oscillator_period(self, oscillator):
+        traj = rk45(oscillator, {"x": 1.0, "v": 0.0}, (0.0, 2 * math.pi), rtol=1e-9)
+        final = traj.final()
+        assert final["x"] == pytest.approx(1.0, abs=1e-6)
+        assert final["v"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_energy_conservation(self, oscillator):
+        traj = rk45(oscillator, {"x": 0.0, "v": 1.0}, (0.0, 20.0), rtol=1e-9)
+        e = traj.column("x") ** 2 + traj.column("v") ** 2
+        assert np.max(np.abs(e - 1.0)) < 1e-5
+
+    def test_adaptive_beats_tolerance(self, decay):
+        traj = rk45(decay, {"x": 1.0}, (0.0, 3.0), rtol=1e-8, atol=1e-10)
+        for t in np.linspace(0.1, 3.0, 7):
+            assert traj.value("x", t) == pytest.approx(math.exp(-t), rel=1e-6)
+
+    def test_stiff_ish_system(self):
+        sys_ = ODESystem({"x": -50.0 * var("x")})
+        traj = rk45(sys_, {"x": 1.0}, (0.0, 1.0), rtol=1e-6)
+        assert traj.value("x", 1.0) == pytest.approx(math.exp(-50.0), abs=1e-8)
+
+    def test_simulate_front_door(self, decay):
+        t1 = simulate(decay, {"x": 1.0}, (0.0, 1.0))
+        t2 = simulate(decay, {"x": 1.0}, (0.0, 1.0), method="rk4", dt=0.001)
+        assert t1.value("x", 1.0) == pytest.approx(t2.value("x", 1.0), rel=1e-5)
+        with pytest.raises(ValueError):
+            simulate(decay, {"x": 1.0}, (0.0, 1.0), method="euler")
+
+
+class TestTrajectory:
+    def test_at_interpolates(self, decay):
+        traj = rk45(decay, {"x": 1.0}, (0.0, 1.0))
+        st = traj.at(0.5)
+        assert st["x"] == pytest.approx(math.exp(-0.5), rel=1e-3)
+
+    def test_at_out_of_range(self, decay):
+        traj = rk45(decay, {"x": 1.0}, (0.0, 1.0))
+        with pytest.raises(ValueError):
+            traj.at(2.0)
+
+    def test_restricted(self, decay):
+        traj = rk45(decay, {"x": 1.0}, (0.0, 2.0))
+        sub = traj.restricted(0.5, 1.5)
+        assert sub.t0 == pytest.approx(0.5)
+        assert sub.t_end == pytest.approx(1.5)
+        assert sub.value("x", 1.0) == pytest.approx(math.exp(-1.0), rel=1e-3)
+
+    def test_concat(self, decay):
+        a = rk45(decay, {"x": 1.0}, (0.0, 1.0))
+        b = rk45(decay, a.final(), (1.0, 2.0))
+        joined = a.concat(b)
+        assert joined.t_end == pytest.approx(2.0)
+        assert joined.value("x", 2.0) == pytest.approx(math.exp(-2.0), rel=1e-4)
+
+    def test_concat_name_mismatch(self, decay, oscillator):
+        a = rk45(decay, {"x": 1.0}, (0.0, 1.0))
+        b = rk45(oscillator, {"x": 1.0, "v": 0.0}, (1.0, 2.0))
+        with pytest.raises(ValueError):
+            a.concat(b)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(np.array([0.0, 1.0]), np.zeros((3, 1)), ["x"])
+
+
+class TestEventLocation:
+    def test_threshold_crossing(self, decay):
+        traj = rk45(decay, {"x": 1.0}, (0.0, 3.0), rtol=1e-9, max_step=0.05)
+        t_cross = find_event(traj, lambda s: 0.5 - s["x"], direction=+1)
+        assert t_cross == pytest.approx(math.log(2.0), abs=1e-4)
+
+    def test_direction_filter(self, oscillator):
+        traj = rk45(oscillator, {"x": 1.0, "v": 0.0}, (0.0, 7.0), max_step=0.02)
+        # x falls through zero at t = pi/2 (falling), rises at 3pi/2
+        t_fall = find_event(traj, lambda s: s["x"], direction=-1)
+        assert t_fall == pytest.approx(math.pi / 2, abs=1e-3)
+        t_rise = find_event(traj, lambda s: s["x"], direction=+1)
+        assert t_rise == pytest.approx(3 * math.pi / 2, abs=1e-3)
+
+    def test_no_event(self, decay):
+        traj = rk45(decay, {"x": 1.0}, (0.0, 1.0))
+        assert find_event(traj, lambda s: s["x"] - 100.0) is None
