@@ -1,83 +1,92 @@
-"""Quickstart: the delta-decision workflow on a small ODE model.
+"""Quickstart: the unified analysis API on a small ODE model.
 
 Walks the core loop of the paper (Fig. 2) end to end on logistic
-growth: build a model, calibrate it against data bands with the
-delta-decision procedure, reject an inconsistent hypothesis, and verify
-a reachability property of the calibrated model.
+growth -- build a model, calibrate it against data bands, reject an
+inconsistent hypothesis, check a reachability-style property -- all
+through one surface: a declarative :class:`TaskSpec` per question, one
+:class:`Engine`, one :class:`AnalysisReport` shape back.
 
 Run:  python examples/quickstart.py
 """
 
-import math
-
-from repro.apps import SMTCalibrator, TimeSeriesData, falsify_with_data
-from repro.expr import var
-from repro.logic import in_range
-from repro.odes import ODESystem, rk45
-from repro.solver import DeltaSolver
+from repro.api import Engine, Model, TaskSpec
+from repro.models import logistic
+from repro.odes import rk45
 
 
 def main() -> None:
+    engine = Engine(seed=0)
+
     # ------------------------------------------------------------------
     # 1. A model hypothesis: logistic growth with unknown rate r
     # ------------------------------------------------------------------
-    x = var("x")
-    model = ODESystem(
-        {"x": var("r") * x * (1.0 - x / var("K"))},
-        {"r": 1.0, "K": 10.0},
-        name="logistic",
-    )
+    model = Model.builtin("logistic")
     print(f"model: {model}")
 
     # ------------------------------------------------------------------
     # 2. "Experimental" data: bands around samples of a ground truth run
     # ------------------------------------------------------------------
     truth = {"r": 0.65, "K": 10.0}
-    traj = rk45(model, {"x": 0.5}, (0.0, 8.0), params=truth)
-    data = TimeSeriesData.from_samples(
-        [(t, {"x": traj.value("x", t)}) for t in (2.0, 4.0, 8.0)],
-        tolerance=0.15,
-    )
-    print(f"data bands: {[(c.t, c.bands['x']) for c in data.checkpoints]}")
+    traj = rk45(logistic(), {"x": 0.5}, (0.0, 8.0), params=truth)
+    samples = [[t, {"x": traj.value("x", t)}] for t in (2.0, 4.0, 8.0)]
+    print(f"data samples: {[(t, round(v['x'], 3)) for t, v in samples]}")
 
     # ------------------------------------------------------------------
     # 3. Calibration: delta-decision parameter synthesis (Sec. IV-A)
     # ------------------------------------------------------------------
-    calib = SMTCalibrator(model, data, {"r": (0.1, 2.0)}, {"x": 0.5}, delta=0.05)
-    result = calib.calibrate()
-    print(f"calibration: {result.status.value}, r = {result.params['r']:.4f} "
-          f"(true {truth['r']})")
+    calibration = engine.run(TaskSpec(
+        task="calibrate",
+        model=model,
+        query={
+            "data": {"samples": samples, "tolerance": 0.15},
+            "param_ranges": {"r": [0.1, 2.0]},
+            "x0": {"x": 0.5},
+        },
+    ))
+    print(f"calibration: {calibration.status.value}, "
+          f"r = {calibration.witness['r']:.4f} (true {truth['r']})")
 
     # ------------------------------------------------------------------
     # 4. Falsification: an impossible hypothesis gets rejected (unsat)
     # ------------------------------------------------------------------
-    impossible = TimeSeriesData.from_samples(
-        [(1.0, {"x": 5.0}), (2.0, {"x": 0.2})],  # up then down: not logistic
-        tolerance=0.1,
-    )
-    verdict = falsify_with_data(model, impossible, {"r": (0.1, 2.0)}, {"x": 0.5})
-    print(f"falsification of inconsistent data: rejected={verdict.rejected} "
-          f"({verdict.detail})")
+    falsification = engine.run(TaskSpec(
+        task="falsify",
+        model=model,
+        query={
+            "method": "data",
+            # up then down: not logistic
+            "data": {"samples": [[1.0, {"x": 5.0}], [2.0, {"x": 0.2}]],
+                     "tolerance": 0.1},
+            "param_ranges": {"r": [0.1, 2.0]},
+            "x0": {"x": 0.5},
+        },
+    ))
+    print(f"falsification of inconsistent data: "
+          f"{falsification.status.value} ({falsification.detail})")
 
     # ------------------------------------------------------------------
-    # 5. A pure L_RF query answered by the delta-complete solver (Sec. III)
+    # 5. The same questions as a declarative batch (JSON-able specs)
     # ------------------------------------------------------------------
-    from repro.intervals import Box
-
-    y = var("y")
-    phi = in_range(y * y + var("b") * y + 1.0, -0.001, 0.001)  # root of y^2+by+1
-    res = DeltaSolver(delta=1e-3).solve(
-        phi, Box.from_bounds({"y": (-3.0, 3.0), "b": (2.0, 3.0)})
-    )
-    w = res.witness
-    print(f"solver: {res.status.value}, witness y={w['y']:.4f} b={w['b']:.4f} "
-          f"(residual {w['y']**2 + w['b']*w['y'] + 1:.2e})")
+    probability = engine.run({
+        "task": "smc",
+        "model": {"builtin": "logistic", "args": {"r": 0.65}},
+        "query": {
+            "phi": {"op": "F", "bound": 8.0, "arg": "x >= 5.0"},
+            "init": {"x": [0.3, 0.7]},
+            "horizon": 8.0,
+            "epsilon": 0.2,
+            "alpha": 0.1,
+        },
+    })
+    print(f"smc: P(x reaches 5 within 8) ~ "
+          f"{probability.metrics['probability']:.2f} "
+          f"({int(probability.metrics['samples'])} samples)")
 
     # sanity for CI-style usage
-    assert result.status.value == "delta-sat"
-    assert abs(result.params["r"] - truth["r"]) < 0.1
-    assert verdict.rejected
-    assert res.status.value == "delta-sat"
+    assert calibration.status.value == "delta-sat"
+    assert abs(calibration.witness["r"] - truth["r"]) < 0.1
+    assert falsification.status.value == "falsified"
+    assert probability.metrics["probability"] > 0.9
     print("quickstart OK")
 
 

@@ -1,64 +1,89 @@
 """Statistical model checking workflow (paper Fig. 2 left loop).
 
 When a model has probabilistic initial states (cell-to-cell
-variability), BLTL properties are checked statistically:
+variability), BLTL properties are checked statistically.  The whole
+study is expressed as declarative ``smc`` specs dispatched through the
+unified :class:`repro.api.Engine` -- including a parallel scenario
+batch -- plus one lower-level SMC-driven parameter search:
 
 1. estimate the probability that an SIR outbreak exceeds 30% prevalence
-   (Chernoff-bounded estimation and Bayesian posterior),
-2. hypothesis-test a requirement with Wald's SPRT, and
+   (Chernoff-bounded estimation, Bayesian posterior, Wald's SPRT) as a
+   3-scenario batch,
+2. check a herd-safety property under fast recovery, and
 3. recover an unknown infection rate by SMC-driven parameter search
    (cross-entropy over BLTL robustness).
 
 Run:  python examples/smc_analysis.py
 """
 
+from repro.api import Engine
 from repro.expr import var
 from repro.models import sir
 from repro.odes import rk45
-from repro.smc import (
-    F,
-    G,
-    InitialDistribution,
-    StatisticalModelChecker,
-    cross_entropy_search,
-    robustness,
-)
+from repro.smc import F, G, cross_entropy_search, robustness
+
+OUTBREAK = {"op": "F", "bound": 120.0, "arg": "i >= 0.3"}
+SIR_INIT = {"s": 0.99, "i": [0.005, 0.03], "r": 0.0}
 
 
-def probabilistic_outbreak() -> None:
+def probabilistic_outbreak(engine: Engine) -> None:
     print("=" * 66)
     print("1. P(outbreak > 30%) with i(0) ~ U(0.005, 0.03), beta ~ U(0.25, 0.5)")
+    print("   (three statistical methods, run as a parallel batch)")
     print("=" * 66)
-    model = sir()
-    init = InitialDistribution(
-        {"s": 0.99, "i": (0.005, 0.03), "r": 0.0, "beta": (0.25, 0.5)}
+    base = {
+        "task": "smc",
+        "model": {"builtin": "sir"},
+        "query": {
+            "phi": OUTBREAK,
+            "init": {**SIR_INIT, "beta": [0.25, 0.5]},
+            "horizon": 120.0,
+        },
+        "seed": 4,
+    }
+
+    def variant(name, **extra):
+        spec = {**base, "name": name}
+        spec["query"] = {**base["query"], **extra}
+        return spec
+
+    chernoff, bayes, sprt = engine.run_batch(
+        [
+            variant("chernoff", method="probability", epsilon=0.1, alpha=0.05),
+            variant("bayes", method="bayesian", n=150),
+            variant("sprt", method="hypothesis", theta=0.2, alpha=0.01, beta=0.01),
+        ],
+        workers=3,
     )
-    checker = StatisticalModelChecker(model, init, horizon=120.0, seed=4)
-    phi = F(120.0, var("i") >= 0.3)
-
-    p_hat, n = checker.probability(phi, epsilon=0.1, alpha=0.05)
-    print(f"  Chernoff estimate: P = {p_hat:.3f}  ({n} simulations, +/-0.1 @95%)")
-
-    bayes = checker.bayesian(phi, n=150)
-    print(f"  Bayesian posterior: mean {bayes.mean:.3f}, "
-          f"95% CI [{bayes.ci_low:.3f}, {bayes.ci_high:.3f}]")
-
-    res = checker.hypothesis_test(phi, theta=0.2, alpha=0.01, beta=0.01)
-    print(f"  SPRT 'P >= 0.2': {res.decision} accepted "
-          f"after {res.samples_used} samples")
+    m = chernoff.metrics
+    print(f"  Chernoff estimate: P = {m['probability']:.3f}  "
+          f"({int(m['samples'])} simulations, +/-0.1 @95%)")
+    m = bayes.metrics
+    print(f"  Bayesian posterior: mean {m['probability']:.3f}, "
+          f"95% CI [{m['ci_low']:.3f}, {m['ci_high']:.3f}]")
+    print(f"  SPRT 'P >= 0.2': {sprt.payload['decision']} accepted "
+          f"after {int(sprt.metrics['samples'])} samples")
     print()
 
 
-def herd_safety() -> None:
+def herd_safety(engine: Engine) -> None:
     print("=" * 66)
     print("2. Safety: with gamma = 0.4 (fast recovery), outbreaks stay small")
     print("=" * 66)
-    model = sir(beta=0.3, gamma=0.4)  # R0 < 1
-    init = InitialDistribution({"s": 0.99, "i": (0.005, 0.03), "r": 0.0})
-    checker = StatisticalModelChecker(model, init, horizon=120.0, seed=5)
-    phi = G(120.0, var("i") <= 0.05)
-    p_hat, n = checker.probability(phi, epsilon=0.1, alpha=0.05)
-    print(f"  P(i stays <= 5%) = {p_hat:.3f}  ({n} simulations)")
+    report = engine.run({
+        "task": "smc",
+        "model": {"builtin": "sir", "args": {"beta": 0.3, "gamma": 0.4}},  # R0 < 1
+        "query": {
+            "phi": {"op": "G", "bound": 120.0, "arg": "i <= 0.05"},
+            "init": SIR_INIT,
+            "horizon": 120.0,
+            "epsilon": 0.1,
+            "alpha": 0.05,
+        },
+        "seed": 5,
+    })
+    print(f"  P(i stays <= 5%) = {report.metrics['probability']:.3f}  "
+          f"({int(report.metrics['samples'])} simulations)")
     print()
 
 
@@ -89,8 +114,9 @@ def recover_beta() -> None:
 
 
 def main() -> None:
-    probabilistic_outbreak()
-    herd_safety()
+    engine = Engine(seed=0)
+    probabilistic_outbreak(engine)
+    herd_safety(engine)
     recover_beta()
 
 

@@ -7,8 +7,27 @@ ODE and hybrid-automaton models analyzed with delta-decision procedures
 (ICP-based delta-complete solving, dReach-style bounded reachability),
 statistical model checking, and Lyapunov stability analysis.
 
+The front door is the unified task-oriented API::
+
+    import repro
+
+    report = repro.run({
+        "task": "calibrate",
+        "model": {"builtin": "logistic"},
+        "query": {
+            "data": {"samples": [[2.0, {"x": 1.45}]], "tolerance": 0.2},
+            "param_ranges": {"r": [0.1, 2.0]},
+            "x0": {"x": 0.5},
+        },
+    })
+
+or, batched and parallel::
+
+    reports = repro.Engine(workers=8).run_batch(specs)
+
 Subpackages
 -----------
+- :mod:`repro.api`        unified Engine / TaskSpec / AnalysisReport facade
 - :mod:`repro.intervals`  outward-rounded interval arithmetic
 - :mod:`repro.expr`       symbolic expressions (terms of L_RF)
 - :mod:`repro.logic`      L_RF formulas, bounded quantifiers, delta-weakening
@@ -23,6 +42,35 @@ Subpackages
 - :mod:`repro.io`         SBML-subset and native JSON model formats
 """
 
-__version__ = "0.1.0"
+from repro.api import (
+    AnalysisReport,
+    AnalysisStatus,
+    Engine,
+    Model,
+    PipelineStage,
+    SimOptions,
+    SolverOptions,
+    TaskSpec,
+    register_task,
+    run,
+    run_batch,
+    task_names,
+)
 
-__all__ = ["__version__"]
+__version__ = "0.2.0"
+
+__all__ = [
+    "__version__",
+    "AnalysisReport",
+    "AnalysisStatus",
+    "PipelineStage",
+    "Engine",
+    "Model",
+    "TaskSpec",
+    "SolverOptions",
+    "SimOptions",
+    "register_task",
+    "run",
+    "run_batch",
+    "task_names",
+]

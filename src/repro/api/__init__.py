@@ -1,0 +1,53 @@
+"""The unified task-oriented analysis API -- the framework's front door.
+
+One pipeline, one surface: wrap a model in a :class:`Model` handle,
+describe the analysis as a declarative :class:`TaskSpec`, hand it to the
+:class:`Engine`, get back an :class:`AnalysisReport`.  Every subsystem
+of the paper's framework -- delta-decision calibration, dReach-style
+BMC, statistical model checking, Lyapunov stability, therapy synthesis,
+robustness -- registers a task here and answers in the same shape.
+
+    >>> from repro.api import Engine, Model, TaskSpec
+    >>> spec = TaskSpec(
+    ...     task="calibrate",
+    ...     model=Model.builtin("logistic"),
+    ...     query={
+    ...         "data": {"samples": [[2.0, {"x": 1.45}]], "tolerance": 0.2},
+    ...         "param_ranges": {"r": [0.1, 2.0]},
+    ...         "x0": {"x": 0.5},
+    ...     },
+    ... )
+    >>> report = Engine().run(spec)
+    >>> report.status
+    <AnalysisStatus.DELTA_SAT: 'delta-sat'>
+
+Scenario sweeps run in parallel (``Engine.run_batch(specs, workers=8)``)
+and everything round-trips through JSON, so scenarios can be files and
+``python -m repro run scenario.json`` is a complete workflow.
+"""
+
+from repro.status import AnalysisStatus, PipelineStage
+
+from .engine import Engine, run, run_batch
+from .model import Model
+from .report import AnalysisReport
+from .spec import SimOptions, SolverOptions, TaskSpec
+from .tasks import Task, get_task, register_task, task_names, task_table
+
+__all__ = [
+    "AnalysisStatus",
+    "PipelineStage",
+    "Model",
+    "TaskSpec",
+    "SolverOptions",
+    "SimOptions",
+    "AnalysisReport",
+    "Engine",
+    "run",
+    "run_batch",
+    "Task",
+    "register_task",
+    "get_task",
+    "task_names",
+    "task_table",
+]

@@ -1,0 +1,114 @@
+"""``python -m repro`` -- the command-line front door.
+
+Subcommands
+-----------
+``run <scenario.json>``
+    Execute one scenario file (a single spec dict) and print its report.
+``batch <scenarios.json ...> [--workers N] [--out reports.json]``
+    Execute a sweep: each file holds either one spec dict, a list of
+    spec dicts, or ``{"scenarios": [...]}``.  Reports print in order.
+``list-tasks``
+    Show the registered task kinds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Sequence
+
+from .engine import Engine
+from .report import AnalysisReport
+from .spec import TaskSpec
+from .tasks import task_table
+
+__all__ = ["main"]
+
+
+def _load_scenarios(path: str) -> list[TaskSpec]:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload: Any = json.load(fh)
+    if isinstance(payload, dict) and "scenarios" in payload:
+        payload = payload["scenarios"]
+    if isinstance(payload, dict):
+        payload = [payload]
+    if not isinstance(payload, list):
+        raise ValueError(f"{path}: expected a spec dict or a list of specs")
+    return [TaskSpec.from_dict(d) for d in payload]
+
+
+def _emit(reports: Sequence[AnalysisReport], as_json: bool, out: str | None) -> None:
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump([r.to_dict() for r in reports], fh, indent=2)
+        print(f"wrote {len(reports)} report(s) to {out}")
+        return
+    if as_json:
+        if len(reports) == 1:
+            print(reports[0].to_json(indent=2))
+        else:
+            print(json.dumps([r.to_dict() for r in reports], indent=2))
+        return
+    for r in reports:
+        print(r.summary())
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Unified task-oriented analysis API (Liu, DAC 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute one scenario file")
+    p_run.add_argument("scenario", help="path to a scenario JSON file")
+    p_run.add_argument("--seed", type=int, default=0, help="default RNG seed")
+    p_run.add_argument("--json", action="store_true", help="print the raw report JSON")
+
+    p_batch = sub.add_parser("batch", help="execute a scenario sweep")
+    p_batch.add_argument("scenarios", nargs="+", help="scenario JSON file(s)")
+    p_batch.add_argument("--workers", type=int, default=1, help="process-pool size")
+    p_batch.add_argument("--seed", type=int, default=0, help="default RNG seed")
+    p_batch.add_argument("--json", action="store_true", help="print raw report JSON")
+    p_batch.add_argument("--out", default=None, help="write reports to a JSON file")
+
+    sub.add_parser("list-tasks", help="show the registered task kinds")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list-tasks":
+        rows = task_table()
+        width = max(len(name) for name, _ in rows)
+        for name, summary in rows:
+            print(f"{name:<{width}}  {summary}")
+        return 0
+
+    try:
+        if args.command == "run":
+            specs = _load_scenarios(args.scenario)
+        else:
+            specs = [s for path in args.scenarios for s in _load_scenarios(path)]
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not specs:
+        print("error: no scenarios to run", file=sys.stderr)
+        return 2
+
+    if args.command == "run":
+        engine = Engine(seed=args.seed)
+        reports = engine.run_batch(specs) if len(specs) > 1 else [engine.run(specs[0])]
+        _emit(reports, args.json, None)
+        return 0 if all(r.ok for r in reports) else 1
+
+    reports = Engine(workers=args.workers, seed=args.seed).run_batch(specs)
+    _emit(reports, args.json, args.out)
+    return 0 if all(r.ok for r in reports) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""The execution engine: one entry point for every analysis.
+
+``Engine.run`` dispatches a :class:`TaskSpec` through the task registry
+and wraps the outcome (or failure) in an :class:`AnalysisReport`.
+``Engine.run_batch`` fans a scenario sweep out over a
+:class:`concurrent.futures.ProcessPoolExecutor`: specs travel to the
+workers as JSON (so nothing non-picklable crosses the process
+boundary) and reports come back the same way, in submission order.
+Results are identical to serial execution because every task is
+deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.status import AnalysisStatus
+
+from .report import AnalysisReport
+from .spec import TaskSpec
+from .tasks import get_task
+
+__all__ = ["Engine", "run", "run_batch"]
+
+
+def _execute(spec: TaskSpec, seed_default: int | None) -> AnalysisReport:
+    """Run one spec, timing it and converting failures to ERROR reports."""
+    if spec.seed is None and seed_default is not None:
+        spec = TaskSpec(
+            task=spec.task, model=spec.model, query=spec.query,
+            solver=spec.solver, sim=spec.sim, seed=seed_default, name=spec.name,
+        )
+    t0 = time.perf_counter()
+    try:
+        report = get_task(spec.task).run(spec)
+    except Exception as exc:  # a bad scenario must not kill the batch
+        report = AnalysisReport(
+            spec.task,
+            AnalysisStatus.ERROR,
+            detail=f"{type(exc).__name__}: {exc}",
+            payload={"traceback": traceback.format_exc()},
+        )
+    report.wall_time = time.perf_counter() - t0
+    report.name = report.name or spec.name
+    if report.seed is None:
+        report.seed = spec.seed
+    return report
+
+
+def _run_spec_json(payload: tuple[str, int | None]) -> str:
+    """Process-pool worker: JSON spec in, JSON report out."""
+    text, seed_default = payload
+    return _execute(TaskSpec.from_json(text), seed_default).to_json()
+
+
+class Engine:
+    """Uniform dispatcher for declarative analysis specs.
+
+    Parameters
+    ----------
+    workers:
+        Default parallelism of :meth:`run_batch` (``None``/``0``/``1``
+        means serial execution in-process).
+    seed:
+        Engine-level default seed, applied to specs whose own ``seed``
+        is ``None`` -- one knob makes a whole sweep reproducible.
+    """
+
+    def __init__(self, workers: int | None = None, seed: int | None = 0):
+        self.workers = workers
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def run(self, spec: TaskSpec | dict | str) -> AnalysisReport:
+        """Run one spec (a :class:`TaskSpec`, a spec dict, or a path to
+        a scenario JSON file) and return its report."""
+        return _execute(self._coerce(spec), self.seed)
+
+    def run_batch(
+        self,
+        specs: Iterable[TaskSpec | dict | str],
+        workers: int | None = None,
+    ) -> list[AnalysisReport]:
+        """Run a scenario sweep, optionally across worker processes.
+
+        Reports come back in the order specs were given, and are
+        identical to what serial execution produces.
+        """
+        resolved: Sequence[TaskSpec] = [self._coerce(s) for s in specs]
+        n = workers if workers is not None else self.workers
+        if not n or n <= 1 or len(resolved) <= 1:
+            return [_execute(s, self.seed) for s in resolved]
+        # Specs whose query holds live domain objects (a BLTL, a
+        # TimeSeriesData, ...) cannot travel to a worker; run those
+        # in-process instead of killing the batch.
+        payloads: list[tuple[int, str]] = []
+        local: list[int] = []
+        for i, s in enumerate(resolved):
+            try:
+                payloads.append((i, s.to_json()))
+            except TypeError:
+                local.append(i)
+        reports: list[AnalysisReport | None] = [None] * len(resolved)
+        if payloads:
+            with ProcessPoolExecutor(max_workers=n) as pool:
+                texts = pool.map(
+                    _run_spec_json, [(p, self.seed) for _, p in payloads]
+                )
+                for (i, _), text in zip(payloads, texts):
+                    reports[i] = AnalysisReport.from_json(text)
+        for i in local:
+            reports[i] = _execute(resolved[i], self.seed)
+        return reports
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(spec: TaskSpec | dict | str) -> TaskSpec:
+        if isinstance(spec, TaskSpec):
+            return spec
+        if isinstance(spec, str):
+            return TaskSpec.from_file(spec)
+        return TaskSpec.from_dict(spec)
+
+
+def run(spec: TaskSpec | dict | str, seed: int | None = 0) -> AnalysisReport:
+    """Module-level convenience: ``Engine(seed=seed).run(spec)``."""
+    return Engine(seed=seed).run(spec)
+
+
+def run_batch(
+    specs: Iterable[TaskSpec | dict | str],
+    workers: int | None = None,
+    seed: int | None = 0,
+) -> list[AnalysisReport]:
+    """Module-level convenience: ``Engine(workers, seed).run_batch(specs)``."""
+    return Engine(workers=workers, seed=seed).run_batch(specs)

@@ -1,0 +1,154 @@
+"""The :class:`Model` handle: one object for every way a model enters
+the framework.
+
+A model can be built in Python (an :class:`ODESystem` or
+:class:`HybridAutomaton`), loaded from the native JSON interchange
+format, parsed from the SBML subset, or named symbolically (a *builtin*
+from :mod:`repro.models`, e.g. ``"logistic"``).  The handle remembers
+its declarative source, so a :class:`~repro.api.spec.TaskSpec` holding a
+Model serializes to plain JSON and reconstructs bit-identically in a
+worker process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.hybrid import HybridAutomaton
+from repro.io import (
+    hybrid_from_dict,
+    hybrid_to_dict,
+    load_sbml,
+    ode_from_dict,
+    ode_to_dict,
+)
+from repro.odes import ODESystem
+
+__all__ = ["Model"]
+
+
+def _builtin_registry() -> dict[str, Any]:
+    """Factory functions from :mod:`repro.models`, by name."""
+    import repro.models as models
+
+    out: dict[str, Any] = {}
+    for name in getattr(models, "__all__", dir(models)):
+        fn = getattr(models, name, None)
+        if callable(fn):
+            out[name] = fn
+    return out
+
+
+@dataclass
+class Model:
+    """A loaded model plus the declarative recipe that produced it.
+
+    Attributes
+    ----------
+    system:
+        The underlying :class:`ODESystem` or :class:`HybridAutomaton`.
+    source:
+        A JSON-able dict from which :meth:`from_dict` rebuilds the same
+        model: ``{"file": path}``, ``{"builtin": name, "args": {...}}``
+        or an inline native model dict.  When absent, :meth:`to_dict`
+        falls back to the native serialization of ``system``.
+    initial:
+        Default initial state, when the source supplies one (SBML
+        species concentrations); tasks use it when a spec omits ``x0``.
+    """
+
+    system: ODESystem | HybridAutomaton
+    source: dict[str, Any] | None = None
+    initial: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, system: "ODESystem | HybridAutomaton | Model") -> "Model":
+        """Wrap a Python-built system (idempotent on Model instances)."""
+        if isinstance(system, Model):
+            return system
+        if not isinstance(system, (ODESystem, HybridAutomaton)):
+            raise TypeError(f"cannot wrap {type(system).__name__} as a Model")
+        return cls(system)
+
+    @classmethod
+    def from_file(cls, path: str) -> "Model":
+        """Load a model file: native JSON, or SBML for ``.xml``/``.sbml``."""
+        lower = str(path).lower()
+        if lower.endswith((".xml", ".sbml")):
+            sbml = load_sbml(path)
+            return cls(sbml.system, {"file": str(path)}, dict(sbml.initial))
+        import json
+
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        model = cls.from_dict(payload)
+        model.source = {"file": str(path)}
+        return model
+
+    @classmethod
+    def builtin(cls, name: str, **args: float) -> "Model":
+        """Instantiate a named factory from :mod:`repro.models`."""
+        registry = _builtin_registry()
+        if name not in registry:
+            raise ValueError(
+                f"unknown builtin model {name!r}; available: {sorted(registry)}"
+            )
+        system = registry[name](**args)
+        return cls(system, {"builtin": name, "args": dict(args)})
+
+    @classmethod
+    def from_dict(cls, d: "Mapping[str, Any] | Model") -> "Model":
+        """Rebuild a model from any declarative form (see ``source``)."""
+        if isinstance(d, Model):
+            return d
+        if "file" in d:
+            return cls.from_file(d["file"])
+        if "builtin" in d:
+            return cls.builtin(d["builtin"], **dict(d.get("args", {})))
+        kind = d.get("type")
+        if kind == "ode":
+            return cls(ode_from_dict(dict(d)), dict(d))
+        if kind == "hybrid":
+            return cls(hybrid_from_dict(dict(d)), dict(d))
+        raise ValueError(f"cannot build a Model from {d!r}")
+
+    # ------------------------------------------------------------------
+    # introspection / serialization
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.system.name
+
+    @property
+    def is_hybrid(self) -> bool:
+        return isinstance(self.system, HybridAutomaton)
+
+    @property
+    def ode(self) -> ODESystem:
+        """The wrapped ODE system; raises for hybrid models."""
+        if not isinstance(self.system, ODESystem):
+            raise TypeError(f"task needs an ODE model, got hybrid {self.name!r}")
+        return self.system
+
+    @property
+    def automaton(self) -> HybridAutomaton:
+        """The wrapped automaton; raises for single-mode ODE models."""
+        if not isinstance(self.system, HybridAutomaton):
+            raise TypeError(f"task needs a hybrid model, got ODE {self.name!r}")
+        return self.system
+
+    def to_dict(self) -> dict[str, Any]:
+        """The declarative recipe (preferring the remembered source)."""
+        if self.source is not None:
+            return dict(self.source)
+        if isinstance(self.system, ODESystem):
+            return ode_to_dict(self.system)
+        return hybrid_to_dict(self.system)
+
+    def __repr__(self) -> str:
+        kind = "hybrid" if self.is_hybrid else "ode"
+        return f"Model({self.name!r}, {kind})"

@@ -1,0 +1,133 @@
+"""The common result envelope every task returns.
+
+Eight subsystems, one shape: an :class:`AnalysisReport` carries the
+verdict (:class:`~repro.status.AnalysisStatus`), the witness point/box
+if one exists, numeric metrics (probabilities, robustness margins,
+thresholds), solver effort counters, wall time, and a task-specific
+``payload`` for anything that does not fit the shared fields.  Reports
+serialize to JSON, so batch sweeps produce machine-readable artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
+
+from repro.status import AnalysisStatus
+
+__all__ = ["AnalysisStatus", "AnalysisReport"]
+
+
+@dataclass
+class AnalysisReport:
+    """Uniform outcome of one analysis task.
+
+    Attributes
+    ----------
+    task:
+        Registered task kind (``"calibrate"``, ``"reach"``, ...).
+    status:
+        The shared verdict enum.
+    witness:
+        A point witness (parameters, state, coefficients) when the
+        verdict carries one.
+    witness_box:
+        Bounds around the witness (e.g. the delta-sat box), when known.
+    metrics:
+        Scalar results: probabilities, sample counts, margins...
+    stats:
+        Solver effort: boxes processed, paths explored, iterations...
+    wall_time:
+        Total task wall time in seconds (measured by the engine).
+    seed:
+        The RNG seed the task actually ran with (reproducibility).
+    detail:
+        Human-readable one-liner.
+    payload:
+        Task-specific JSON-able extras (mode paths, stage traces...).
+    name:
+        The scenario name from the spec, for batch bookkeeping.
+    """
+
+    task: str
+    status: AnalysisStatus
+    witness: dict[str, float] | None = None
+    witness_box: dict[str, tuple[float, float]] | None = None
+    metrics: dict[str, float] = field(default_factory=dict)
+    stats: dict[str, float] = field(default_factory=dict)
+    wall_time: float = 0.0
+    seed: int | None = None
+    detail: str = ""
+    payload: dict[str, Any] = field(default_factory=dict)
+    name: str = ""
+
+    def __post_init__(self):
+        if not isinstance(self.status, AnalysisStatus):
+            self.status = AnalysisStatus(self.status)
+
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """The task completed (its verdict may still be negative)."""
+        return self.status is not AnalysisStatus.ERROR
+
+    def __bool__(self) -> bool:
+        """Truthy iff the task's own question was answered *yes*.
+
+        This mirrors the legacy result types so ported ``if result:``
+        code keeps its meaning: a ``falsify`` report is truthy when the
+        model IS rejected (as ``FalsificationVerdict.__bool__`` was),
+        every other task is truthy on an affirmative verdict (witness
+        found / property validated / estimate produced).
+        """
+        if self.task == "falsify":
+            return self.status is AnalysisStatus.FALSIFIED
+        return self.status in (
+            AnalysisStatus.DELTA_SAT,
+            AnalysisStatus.CALIBRATED,
+            AnalysisStatus.VALIDATED,
+            AnalysisStatus.ESTIMATED,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        d = asdict(self)
+        d["status"] = self.status.value
+        if self.witness_box is not None:
+            d["witness_box"] = {k: list(v) for k, v in self.witness_box.items()}
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "AnalysisReport":
+        d = dict(d)
+        box = d.get("witness_box")
+        if box is not None:
+            d["witness_box"] = {k: (float(lo), float(hi)) for k, (lo, hi) in box.items()}
+        return cls(**d)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnalysisReport":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """A terminal-friendly multi-line rendering."""
+        lines = [f"[{self.task}] {self.name or '(unnamed)'}: {self.status.value}"]
+        if self.detail:
+            lines.append(f"  detail:  {self.detail}")
+        if self.witness:
+            pairs = ", ".join(f"{k}={v:.6g}" for k, v in self.witness.items())
+            lines.append(f"  witness: {pairs}")
+        if self.metrics:
+            pairs = ", ".join(f"{k}={v:.6g}" for k, v in self.metrics.items())
+            lines.append(f"  metrics: {pairs}")
+        if self.stats:
+            pairs = ", ".join(f"{k}={v:g}" for k, v in self.stats.items())
+            lines.append(f"  stats:   {pairs}")
+        seed = "-" if self.seed is None else self.seed
+        lines.append(f"  time:    {self.wall_time:.3f}s  seed: {seed}")
+        return "\n".join(lines)

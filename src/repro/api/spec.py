@@ -1,0 +1,143 @@
+"""Declarative analysis requests: :class:`TaskSpec` plus the shared
+option dataclasses.
+
+A spec is the unit of work of the :class:`~repro.api.engine.Engine`:
+*which* task to run, on *which* model, with *what* query, under shared
+solver/simulation options and one RNG seed.  Specs are plain data --
+they serialize to JSON, travel to worker processes, and live in
+scenario files executed by ``python -m repro run``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Mapping
+
+from .model import Model
+
+__all__ = ["SolverOptions", "SimOptions", "TaskSpec"]
+
+
+def _options_from_dict(cls, d: Mapping[str, Any] | None, label: str):
+    d = dict(d or {})
+    unknown = set(d) - {f.name for f in fields(cls)}
+    if unknown:
+        raise ValueError(f"unknown {label} options: {sorted(unknown)}")
+    return cls(**d)
+
+
+@dataclass
+class SolverOptions:
+    """Knobs of the delta-decision machinery, shared by every task that
+    searches boxes (calibrate, falsify, reach, lyapunov, robustness)."""
+
+    delta: float = 0.05
+    max_boxes: int = 600
+    enclosure_step: float = 0.05
+    enclosure_order: int = 2
+    contract_tol: float = 1e-2
+    use_simulation_guidance: bool = True
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any] | None) -> "SolverOptions":
+        return _options_from_dict(cls, d, "solver")
+
+
+@dataclass
+class SimOptions:
+    """Numerical-simulation knobs of the sampling-based tasks (smc,
+    therapy policy search).  The pipeline task keeps its own fixed
+    validation tolerances."""
+
+    rtol: float = 1e-6
+    max_step: float | None = None
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any] | None) -> "SimOptions":
+        return _options_from_dict(cls, d, "sim")
+
+
+@dataclass
+class TaskSpec:
+    """One declarative analysis request.
+
+    Attributes
+    ----------
+    task:
+        A registered task kind (see ``python -m repro list-tasks``).
+    model:
+        A :class:`Model` handle (anything :meth:`Model.from_dict`
+        accepts coerces automatically: inline dicts, ``{"file": ...}``,
+        ``{"builtin": ...}``, or raw systems).
+    query:
+        Task-specific request body (see each task's docstring).
+    solver / sim:
+        Shared option groups.
+    seed:
+        RNG seed for every stochastic component of the task; ``None``
+        defers to the engine's default so one engine-level seed makes a
+        whole batch reproducible.
+    name:
+        Scenario label, copied onto the report.
+    """
+
+    task: str
+    model: Model
+    query: dict[str, Any] = field(default_factory=dict)
+    solver: SolverOptions = field(default_factory=SolverOptions)
+    sim: SimOptions = field(default_factory=SimOptions)
+    seed: int | None = None
+    name: str = ""
+
+    def __post_init__(self):
+        if not isinstance(self.model, Model):
+            self.model = (
+                Model.of(self.model)
+                if not isinstance(self.model, Mapping)
+                else Model.from_dict(self.model)
+            )
+        if isinstance(self.solver, Mapping):
+            self.solver = SolverOptions.from_dict(self.solver)
+        if isinstance(self.sim, Mapping):
+            self.sim = SimOptions.from_dict(self.sim)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "task": self.task,
+            "name": self.name,
+            "model": self.model.to_dict(),
+            "query": dict(self.query),
+            "solver": asdict(self.solver),
+            "sim": asdict(self.sim),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "TaskSpec":
+        if "task" not in d:
+            raise ValueError("spec needs a 'task' field")
+        if "model" not in d:
+            raise ValueError("spec needs a 'model' field")
+        return cls(
+            task=str(d["task"]),
+            model=Model.from_dict(d["model"]),
+            query=dict(d.get("query", {})),
+            solver=SolverOptions.from_dict(d.get("solver")),
+            sim=SimOptions.from_dict(d.get("sim")),
+            seed=None if d.get("seed") is None else int(d["seed"]),
+            name=str(d.get("name", "")),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TaskSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str) -> "TaskSpec":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))

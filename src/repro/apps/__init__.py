@@ -26,7 +26,7 @@ from .therapy import (
     synthesize_threshold_policy,
 )
 from .robustness import RobustnessResult, check_robustness, stimulus_threshold
-from .pipeline import AnalysisPipeline, PipelineReport
+from .pipeline import AnalysisPipeline, PipelineReport, PipelineStage
 
 __all__ = [
     "Checkpoint",
@@ -48,4 +48,5 @@ __all__ = [
     "stimulus_threshold",
     "AnalysisPipeline",
     "PipelineReport",
+    "PipelineStage",
 ]

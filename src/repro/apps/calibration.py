@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -240,7 +241,23 @@ class SMTCalibrator:
 
     # ------------------------------------------------------------------
     def calibrate(self) -> CalibrationResult:
-        """Search the parameter box for a data-consistent valuation."""
+        """Search the parameter box for a data-consistent valuation.
+
+        .. deprecated:: 0.2
+            Direct calls are deprecated in favor of the unified facade
+            (the ``calibrate`` task of ``repro.api``); this shim
+            delegates unchanged.
+        """
+        warnings.warn(
+            "SMTCalibrator.calibrate is deprecated; submit a 'calibrate' "
+            "spec through the unified repro.api facade (repro.run / "
+            "Engine.run) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._calibrate_impl()
+
+    def _calibrate_impl(self) -> CalibrationResult:
         t0 = time.perf_counter()
         root_params = Box.from_bounds(dict(self.param_ranges))
         state_box = self._initial_state_box()

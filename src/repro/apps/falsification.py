@@ -17,6 +17,7 @@ Two entry points:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -53,6 +54,7 @@ class FalsificationVerdict:
     conclusive: bool
     witness_params: dict[str, float] | None = None
     detail: str = ""
+    boxes_processed: int = 0
 
     def __bool__(self) -> bool:
         return self.rejected
@@ -67,22 +69,53 @@ def falsify_with_data(
     max_boxes: int = 600,
     enclosure_step: float = 0.05,
 ) -> FalsificationVerdict:
-    """Reject ``system`` if no parameters can reproduce ``data``."""
+    """Reject ``system`` if no parameters can reproduce ``data``.
+
+    .. deprecated:: 0.2
+        Use the ``falsify`` task of :mod:`repro.api` instead; this shim
+        delegates unchanged.
+    """
+    warnings.warn(
+        "falsify_with_data is deprecated; submit a 'falsify' spec through "
+        "the unified repro.api facade (repro.run / Engine.run) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _falsify_with_data_impl(
+        system, data, param_ranges, x0,
+        delta=delta, max_boxes=max_boxes, enclosure_step=enclosure_step,
+    )
+
+
+def _falsify_with_data_impl(
+    system: ODESystem,
+    data: TimeSeriesData,
+    param_ranges: Mapping[str, tuple[float, float]],
+    x0: Mapping[str, float] | Box,
+    delta: float = 0.05,
+    max_boxes: int = 600,
+    enclosure_step: float = 0.05,
+) -> FalsificationVerdict:
     calib = SMTCalibrator(
         system, data, param_ranges, x0,
         delta=delta, max_boxes=max_boxes, enclosure_step=enclosure_step,
     )
-    res = calib.calibrate()
+    res = calib._calibrate_impl()
     if res.status is CalibrationStatus.UNSAT:
         return FalsificationVerdict(
-            True, True, detail="no parameter value fits the data bands"
+            True, True, detail="no parameter value fits the data bands",
+            boxes_processed=res.boxes_processed,
         )
     if res.status is CalibrationStatus.DELTA_SAT:
         return FalsificationVerdict(
             False, True, witness_params=res.params,
             detail="model reproduces the data (delta-sat witness found)",
+            boxes_processed=res.boxes_processed,
         )
-    return FalsificationVerdict(False, False, detail="budget exhausted (unknown)")
+    return FalsificationVerdict(
+        False, False, detail="budget exhausted (unknown)",
+        boxes_processed=res.boxes_processed,
+    )
 
 
 def falsify_reachability(
@@ -92,19 +125,45 @@ def falsify_reachability(
     options: BMCOptions | None = None,
 ) -> FalsificationVerdict:
     """Reject ``automaton`` if the behavioral goal of ``spec`` is
-    unreachable for every parameter value in ``param_ranges``."""
-    res = BMCChecker(automaton, options).check(spec, param_ranges)
+    unreachable for every parameter value in ``param_ranges``.
+
+    .. deprecated:: 0.2
+        Use the ``falsify`` task of :mod:`repro.api` instead; this shim
+        delegates unchanged.
+    """
+    warnings.warn(
+        "falsify_reachability is deprecated; submit a 'falsify' spec "
+        "through the unified repro.api facade (repro.run / Engine.run) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _falsify_reachability_impl(automaton, spec, param_ranges, options)
+
+
+def _falsify_reachability_impl(
+    automaton: HybridAutomaton,
+    spec: ReachSpec,
+    param_ranges: Mapping[str, tuple[float, float]] | None = None,
+    options: BMCOptions | None = None,
+) -> FalsificationVerdict:
+    res = BMCChecker(automaton, options)._check_impl(spec, param_ranges)
     if res.status is BMCStatus.UNSAT:
         return FalsificationVerdict(
             True, True,
             detail=f"goal unreachable within k={spec.max_jumps}, M={spec.time_bound}",
+            boxes_processed=res.boxes_processed,
         )
     if res.status is BMCStatus.DELTA_SAT:
         return FalsificationVerdict(
             False, True, witness_params=res.witness_params,
             detail=f"goal reached via {'->'.join(res.mode_path())}",
+            boxes_processed=res.boxes_processed,
         )
-    return FalsificationVerdict(False, False, detail="budget exhausted (unknown)")
+    return FalsificationVerdict(
+        False, False, detail="budget exhausted (unknown)",
+        boxes_processed=res.boxes_processed,
+    )
 
 
 def falsify_ascent(
@@ -139,7 +198,33 @@ def falsify_ascent(
     ascent is (delta-)possible.
 
     ``to_level < from_level`` checks the symmetric descent barrier.
+
+    .. deprecated:: 0.2
+        Use the ``falsify`` task of :mod:`repro.api` instead; this shim
+        delegates unchanged.
     """
+    warnings.warn(
+        "falsify_ascent is deprecated; submit a 'falsify' spec through "
+        "the unified repro.api facade (repro.run / Engine.run) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _falsify_ascent_impl(
+        system, variable, from_level, to_level, state_bounds,
+        param_ranges, delta=delta, max_boxes=max_boxes,
+    )
+
+
+def _falsify_ascent_impl(
+    system: ODESystem,
+    variable: str,
+    from_level: float,
+    to_level: float,
+    state_bounds: Mapping[str, tuple[float, float]],
+    param_ranges: Mapping[str, tuple[float, float]] | None = None,
+    delta: float = 1e-4,
+    max_boxes: int = 200_000,
+) -> FalsificationVerdict:
     if variable not in system.state_names:
         raise ValueError(f"unknown state variable {variable!r}")
     unknown = set(param_ranges or {}) - set(system.params)
@@ -165,13 +250,14 @@ def falsify_ascent(
     dims.update(searched)
     box = Box.from_bounds(dims)
 
-    result = DeltaSolver(delta=delta, max_boxes=max_boxes).solve(query, box)
+    result = DeltaSolver(delta=delta, max_boxes=max_boxes)._solve_impl(query, box)
     direction = "ascent" if to_level >= from_level else "descent"
     if result.status is Status.UNSAT:
         return FalsificationVerdict(
             True, True,
             detail=f"{direction} of {variable} from {from_level} to {to_level} "
                    "is impossible for all parameters (barrier unsat)",
+            boxes_processed=result.stats.boxes_processed,
         )
     if result.status is Status.DELTA_SAT:
         w = result.witness
@@ -179,5 +265,9 @@ def falsify_ascent(
         return FalsificationVerdict(
             False, True, witness_params=params or None,
             detail=f"{direction} is delta-possible at {w}",
+            boxes_processed=result.stats.boxes_processed,
         )
-    return FalsificationVerdict(False, False, detail="budget exhausted (unknown)")
+    return FalsificationVerdict(
+        False, False, detail="budget exhausted (unknown)",
+        boxes_processed=result.stats.boxes_processed,
+    )

@@ -15,11 +15,13 @@ hypotheses" signal of the figure).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.odes import ODESystem, rk45
 from repro.smc import InitialDistribution, StatisticalModelChecker, prop
+from repro.status import PipelineStage
 
 from .calibration import (
     CalibrationStatus,
@@ -27,26 +29,36 @@ from .calibration import (
     TimeSeriesData,
 )
 
-__all__ = ["PipelineReport", "AnalysisPipeline"]
+__all__ = ["PipelineStage", "PipelineReport", "AnalysisPipeline"]
 
 
 @dataclass
 class PipelineReport:
-    """What happened at each stage of the Fig. 2 workflow."""
+    """What happened at each stage of the Fig. 2 workflow.
 
-    stage: str                      # "falsified" | "calibrated" | "validated" | "refine"
+    ``stage`` is a :class:`PipelineStage` member (FALSIFIED, CALIBRATED,
+    VALIDATED or REFINE); being a ``str``-mixin enum, it still compares
+    equal to the historical string literals (``stage == "validated"``).
+    """
+
+    stage: PipelineStage
     calibrated_params: dict[str, float] | None = None
     validation_errors: dict[float, dict[str, float]] = field(default_factory=dict)
     smc_probability: float | None = None
     detail: str = ""
+    calibration_boxes: int = 0
+
+    def __post_init__(self):
+        if not isinstance(self.stage, PipelineStage):
+            self.stage = PipelineStage(self.stage)
 
     @property
     def validated(self) -> bool:
-        return self.stage == "validated"
+        return self.stage is PipelineStage.VALIDATED
 
     @property
     def falsified(self) -> bool:
-        return self.stage == "falsified"
+        return self.stage is PipelineStage.FALSIFIED
 
 
 class AnalysisPipeline:
@@ -62,6 +74,9 @@ class AnalysisPipeline:
         Biologically plausible bounds for the unknown parameters.
     x0:
         Initial state.
+    seed:
+        RNG seed for the SMC refinement stage, so full pipeline runs
+        are reproducible end to end (previously hard-wired to 0).
     """
 
     def __init__(
@@ -74,6 +89,7 @@ class AnalysisPipeline:
         delta: float = 0.05,
         max_boxes: int = 400,
         enclosure_step: float = 0.05,
+        seed: int = 0,
     ):
         self.system = system
         self.train_data = train_data
@@ -83,40 +99,62 @@ class AnalysisPipeline:
         self.delta = delta
         self.max_boxes = max_boxes
         self.enclosure_step = enclosure_step
+        self.seed = seed
 
     # ------------------------------------------------------------------
     def run(self, smc_samples_epsilon: float = 0.1) -> PipelineReport:
-        """Execute calibrate -> validate -> (analyze | SMC-refine)."""
+        """Execute calibrate -> validate -> (analyze | SMC-refine).
+
+        .. deprecated:: 0.2
+            Use the ``pipeline`` task of :mod:`repro.api` instead; this
+            shim delegates unchanged.
+        """
+        warnings.warn(
+            "AnalysisPipeline.run is deprecated; submit a 'pipeline' spec "
+            "through the unified repro.api facade (repro.run / Engine.run) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._run_impl(smc_samples_epsilon)
+
+    def _run_impl(self, smc_samples_epsilon: float = 0.1) -> PipelineReport:
         calib = SMTCalibrator(
             self.system, self.train_data, self.param_ranges, self.x0,
             delta=self.delta, max_boxes=self.max_boxes,
             enclosure_step=self.enclosure_step,
         )
-        res = calib.calibrate()
+        res = calib._calibrate_impl()
         if res.status is CalibrationStatus.UNSAT:
             return PipelineReport(
-                "falsified",
+                PipelineStage.FALSIFIED,
                 detail="no parameters reproduce the training data; reject hypothesis",
+                calibration_boxes=res.boxes_processed,
             )
         if res.status is CalibrationStatus.UNKNOWN:
-            return PipelineReport("refine", detail="calibration inconclusive (budget)")
+            return PipelineReport(
+                PipelineStage.REFINE, detail="calibration inconclusive (budget)",
+                calibration_boxes=res.boxes_processed,
+            )
 
         params = res.params
         errors = self._validate(params)
         if not errors:
             return PipelineReport(
-                "validated", calibrated_params=params,
+                PipelineStage.VALIDATED, calibrated_params=params,
                 detail="test data reproduced; model ready for stability/therapy analysis",
+                calibration_boxes=res.boxes_processed,
             )
 
         # validation failed: quantify with SMC under parameter jitter
         prob = self._smc_probability(params, smc_samples_epsilon)
         return PipelineReport(
-            "refine",
+            PipelineStage.REFINE,
             calibrated_params=params,
             validation_errors=errors,
             smc_probability=prob,
             detail="test data missed; SMC estimate quantifies the discrepancy",
+            calibration_boxes=res.boxes_processed,
         )
 
     # ------------------------------------------------------------------
@@ -146,7 +184,7 @@ class AnalysisPipeline:
         }
         init = InitialDistribution({**self.x0, **jitter})
         checker = StatisticalModelChecker(
-            self.system, init, horizon=self.test_data.horizon + 1e-9, seed=0
+            self.system, init, horizon=self.test_data.horizon + 1e-9, seed=self.seed
         )
         phi = self._bands_bltl()
         p, _n = checker.probability(phi, epsilon=epsilon, alpha=0.1)

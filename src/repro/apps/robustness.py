@@ -16,6 +16,7 @@ proven-excitable one.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -39,6 +40,7 @@ class RobustnessResult:
     robust: bool | None
     witness: dict[str, float] | None = None
     detail: str = ""
+    boxes_processed: int = 0
 
     def __bool__(self) -> bool:
         return self.robust is True
@@ -58,19 +60,51 @@ def check_robustness(
     The disturbance box overrides the automaton's initial set for the
     named dimensions (e.g. the stimulated voltage range); unnamed state
     variables keep their default initial intervals.
+
+    .. deprecated:: 0.2
+        Use the ``robustness`` task of :mod:`repro.api` instead; this
+        shim delegates unchanged.
     """
+    warnings.warn(
+        "check_robustness is deprecated; submit a 'robustness' spec "
+        "through the unified repro.api facade (repro.run / Engine.run) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _check_robustness_impl(
+        automaton, disturbance, bad,
+        time_bound=time_bound, max_jumps=max_jumps, options=options,
+    )
+
+
+def _check_robustness_impl(
+    automaton: HybridAutomaton,
+    disturbance: Box | Mapping[str, tuple[float, float]],
+    bad: Formula,
+    time_bound: float = 50.0,
+    max_jumps: int = 2,
+    options: BMCOptions | None = None,
+) -> RobustnessResult:
     dist_box = disturbance if isinstance(disturbance, Box) else Box.from_bounds(dict(disturbance))
     init = automaton.initial_box().merged(dist_box)
     spec = ReachSpec(goal=bad, max_jumps=max_jumps, time_bound=time_bound)
-    res = BMCChecker(automaton, options).check(spec, init_box=init)
+    res = BMCChecker(automaton, options)._check_impl(spec, init_box=init)
     if res.status is BMCStatus.UNSAT:
-        return RobustnessResult(True, detail="bad region unreachable (unsat)")
+        return RobustnessResult(
+            True, detail="bad region unreachable (unsat)",
+            boxes_processed=res.boxes_processed,
+        )
     if res.status is BMCStatus.DELTA_SAT:
         return RobustnessResult(
             False, witness=res.witness_x0,
             detail=f"disturbance reaching bad region via {'->'.join(res.mode_path())}",
+            boxes_processed=res.boxes_processed,
         )
-    return RobustnessResult(None, detail="budget exhausted (unknown)")
+    return RobustnessResult(
+        None, detail="budget exhausted (unknown)",
+        boxes_processed=res.boxes_processed,
+    )
 
 
 def stimulus_threshold(
@@ -95,7 +129,7 @@ def stimulus_threshold(
     excitable_above = hi
     for _ in range(iterations):
         mid = 0.5 * (robust_below + excitable_above)
-        res = check_robustness(
+        res = _check_robustness_impl(
             automaton,
             {stimulus_var: (lo, mid)},
             bad,

@@ -17,6 +17,7 @@ Two synthesis routes:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -45,6 +46,8 @@ class TherapyPlan:
     mode_path: list[str] = field(default_factory=list)
     n_drugs: int = 0
     detail: str = ""
+    paths_tried: int = 0
+    boxes_processed: int = 0
 
     def __bool__(self) -> bool:
         return self.found
@@ -67,11 +70,41 @@ def synthesize_reach_therapy(
     minimum number of discrete treatment decisions able to reach the
     goal (paper: "we also aim to minimize the number of drugs used").
     Paths passing through ``forbidden_modes`` are skipped.
+
+    .. deprecated:: 0.2
+        Use the ``therapy`` task of :mod:`repro.api` instead; this shim
+        delegates unchanged.
     """
+    warnings.warn(
+        "synthesize_reach_therapy is deprecated; submit a 'therapy' spec "
+        "through the unified repro.api facade (repro.run / Engine.run) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _synthesize_reach_therapy_impl(
+        automaton, goal, threshold_ranges, goal_mode=goal_mode,
+        max_drugs=max_drugs, time_bound=time_bound, options=options,
+        forbidden_modes=forbidden_modes,
+    )
+
+
+def _synthesize_reach_therapy_impl(
+    automaton: HybridAutomaton,
+    goal: Formula,
+    threshold_ranges: Mapping[str, tuple[float, float]],
+    goal_mode: str = "live",
+    max_drugs: int = 3,
+    time_bound: float = 60.0,
+    options: BMCOptions | None = None,
+    forbidden_modes: tuple[str, ...] = ("death",),
+) -> TherapyPlan:
     opts = options or BMCOptions()
     checker = BMCChecker(automaton, opts)
     from repro.bmc import enumerate_paths
 
+    paths_tried = 0
+    total_boxes = 0
     for k in range(max_drugs + 1):
         for path in enumerate_paths(automaton, k, goal_mode):
             if len(path) != k:
@@ -81,9 +114,11 @@ def synthesize_reach_therapy(
             spec = ReachSpec(
                 goal=goal, goal_mode=goal_mode, max_jumps=k, time_bound=time_bound
             )
-            outcome, _boxes = checker._solve_path(
+            outcome, boxes = checker._solve_path(
                 path, spec, dict(threshold_ranges), automaton.initial_box()
             )
+            paths_tried += 1
+            total_boxes += boxes
             if outcome is not None and outcome.status is BMCStatus.DELTA_SAT:
                 drugs = [m for m in path.modes if m.startswith("drug")]
                 return TherapyPlan(
@@ -94,8 +129,13 @@ def synthesize_reach_therapy(
                     mode_path=path.modes,
                     n_drugs=len(set(drugs)),
                     detail=f"path {'->'.join(path.modes)} with {k} decisions",
+                    paths_tried=paths_tried,
+                    boxes_processed=total_boxes,
                 )
-    return TherapyPlan(False, detail="no feasible strategy within bounds")
+    return TherapyPlan(
+        False, detail="no feasible strategy within bounds",
+        paths_tried=paths_tried, boxes_processed=total_boxes,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -111,6 +151,7 @@ class PolicyResult:
     thresholds: dict[str, float] = field(default_factory=dict)
     robustness: float = 0.0
     success_probability: float | None = None
+    evaluations: int = 0
 
     def __bool__(self) -> bool:
         return self.found
@@ -129,14 +170,48 @@ def synthesize_threshold_policy(
 ) -> PolicyResult:
     """Cross-entropy search over treatment thresholds maximizing the
     BLTL robustness of ``phi``; the winner is confirmed by Monte Carlo.
+
+    .. deprecated:: 0.2
+        Use the ``therapy`` task of :mod:`repro.api` instead; this shim
+        delegates unchanged.
     """
-    objective = smc_objective(automaton, phi, init, horizon, n_samples=3, seed=seed)
+    warnings.warn(
+        "synthesize_threshold_policy is deprecated; submit a 'therapy' "
+        "spec through the unified repro.api facade (repro.run / "
+        "Engine.run) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _synthesize_threshold_policy_impl(
+        automaton, phi, threshold_ranges, init, horizon,
+        population=population, iterations=iterations, seed=seed,
+        confirm_samples=confirm_samples,
+    )
+
+
+def _synthesize_threshold_policy_impl(
+    automaton: HybridAutomaton,
+    phi: BLTL,
+    threshold_ranges: Mapping[str, tuple[float, float]],
+    init: InitialDistribution | Mapping,
+    horizon: float,
+    population: int = 24,
+    iterations: int = 12,
+    seed: int = 0,
+    confirm_samples: int = 40,
+    rtol: float = 1e-6,
+) -> PolicyResult:
+    objective = smc_objective(
+        automaton, phi, init, horizon, n_samples=3, seed=seed, rtol=rtol
+    )
     res = cross_entropy_search(
         objective, dict(threshold_ranges), population=population,
         iterations=iterations, seed=seed, target=None,
     )
     if res.best_fitness <= 0.0:
-        return PolicyResult(False, res.best_params, res.best_fitness)
+        return PolicyResult(
+            False, res.best_params, res.best_fitness, evaluations=res.evaluations
+        )
     # Monte-Carlo confirmation at the winning thresholds
     import random as _random
 
@@ -148,12 +223,13 @@ def synthesize_threshold_policy(
         draw = init_d.sample(rng)
         x0 = {k: draw[k] for k in states}
         traj = simulate_hybrid(
-            automaton, x0, t_final=horizon, params=res.best_params
+            automaton, x0, t_final=horizon, params=res.best_params, rtol=rtol
         ).flatten()
         if monitor(phi, traj):
             successes += 1
     return PolicyResult(
-        True, res.best_params, res.best_fitness, successes / confirm_samples
+        True, res.best_params, res.best_fitness, successes / confirm_samples,
+        evaluations=res.evaluations,
     )
 
 

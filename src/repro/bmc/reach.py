@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import enum
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -166,7 +167,26 @@ class BMCChecker:
 
         Returns delta-sat with a witness (parameters, initial state,
         dwell schedule, path), unsat, or unknown on budget exhaustion.
+
+        .. deprecated:: 0.2
+            Direct calls are deprecated in favor of the unified facade
+            (the ``reach`` task of ``repro.api``); this shim delegates
+            unchanged.
         """
+        warnings.warn(
+            "BMCChecker.check is deprecated; submit a 'reach' spec through "
+            "the unified repro.api facade (repro.run / Engine.run) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._check_impl(spec, param_ranges, init_box)
+
+    def _check_impl(
+        self,
+        spec: ReachSpec,
+        param_ranges: Mapping[str, tuple[float, float]] | None = None,
+        init_box: Box | None = None,
+    ) -> BMCResult:
         t0 = time.perf_counter()
         param_ranges = dict(param_ranges or {})
         unknown = set(param_ranges) - set(self.automaton.params)

@@ -8,6 +8,8 @@ loading for calibration data.
 from .sbml import SBMLError, SBMLModel, load_sbml, parse_sbml
 from .native import (
     dump_model,
+    formula_from_dict,
+    formula_to_dict,
     hybrid_from_dict,
     hybrid_to_dict,
     load_model,
@@ -21,6 +23,8 @@ __all__ = [
     "SBMLModel",
     "parse_sbml",
     "load_sbml",
+    "formula_to_dict",
+    "formula_from_dict",
     "ode_to_dict",
     "ode_from_dict",
     "hybrid_to_dict",

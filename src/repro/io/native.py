@@ -27,6 +27,8 @@ from repro.logic import (
 from repro.odes import ODESystem
 
 __all__ = [
+    "formula_to_dict",
+    "formula_from_dict",
     "ode_to_dict",
     "ode_from_dict",
     "hybrid_to_dict",
@@ -41,7 +43,7 @@ __all__ = [
 # ----------------------------------------------------------------------
 
 
-def _formula_to_dict(phi: Formula) -> dict[str, Any]:
+def formula_to_dict(phi: Formula) -> dict[str, Any]:
     if isinstance(phi, TrueFormula):
         return {"op": "true"}
     if isinstance(phi, FalseFormula):
@@ -49,13 +51,13 @@ def _formula_to_dict(phi: Formula) -> dict[str, Any]:
     if isinstance(phi, Atom):
         return {"op": "atom", "term": str(phi.term), "strict": phi.strict}
     if isinstance(phi, And):
-        return {"op": "and", "parts": [_formula_to_dict(p) for p in phi.parts]}
+        return {"op": "and", "parts": [formula_to_dict(p) for p in phi.parts]}
     if isinstance(phi, Or):
-        return {"op": "or", "parts": [_formula_to_dict(p) for p in phi.parts]}
+        return {"op": "or", "parts": [formula_to_dict(p) for p in phi.parts]}
     raise TypeError(f"cannot serialize formula {type(phi).__name__}")
 
 
-def _formula_from_dict(d: dict[str, Any]) -> Formula:
+def formula_from_dict(d: dict[str, Any]) -> Formula:
     op = d["op"]
     if op == "true":
         return TRUE
@@ -64,9 +66,9 @@ def _formula_from_dict(d: dict[str, Any]) -> Formula:
     if op == "atom":
         return Atom(_parse(d["term"]), strict=bool(d["strict"]))
     if op == "and":
-        return And(*[_formula_from_dict(p) for p in d["parts"]])
+        return And(*[formula_from_dict(p) for p in d["parts"]])
     if op == "or":
-        return Or(*[_formula_from_dict(p) for p in d["parts"]])
+        return Or(*[formula_from_dict(p) for p in d["parts"]])
     raise ValueError(f"unknown formula op {op!r}")
 
 
@@ -118,7 +120,7 @@ def hybrid_to_dict(automaton: HybridAutomaton) -> dict[str, Any]:
             {
                 "name": m.name,
                 "derivatives": {k: str(e) for k, e in m.derivatives.items()},
-                "invariant": _formula_to_dict(m.invariant),
+                "invariant": formula_to_dict(m.invariant),
             }
             for m in automaton.modes
         ],
@@ -126,7 +128,7 @@ def hybrid_to_dict(automaton: HybridAutomaton) -> dict[str, Any]:
             {
                 "source": j.source,
                 "target": j.target,
-                "guard": _formula_to_dict(j.guard),
+                "guard": formula_to_dict(j.guard),
                 "reset": {k: str(e) for k, e in j.reset.items()},
             }
             for j in automaton.jumps
@@ -141,7 +143,7 @@ def hybrid_from_dict(d: dict[str, Any]) -> HybridAutomaton:
         Mode(
             m["name"],
             {k: _parse(v) for k, v in m["derivatives"].items()},
-            invariant=_formula_from_dict(m.get("invariant", {"op": "true"})),
+            invariant=formula_from_dict(m.get("invariant", {"op": "true"})),
         )
         for m in d["modes"]
     ]
@@ -149,7 +151,7 @@ def hybrid_from_dict(d: dict[str, Any]) -> HybridAutomaton:
         Jump(
             j["source"],
             j["target"],
-            guard=_formula_from_dict(j.get("guard", {"op": "true"})),
+            guard=formula_from_dict(j.get("guard", {"op": "true"})),
             reset={k: _parse(v) for k, v in j.get("reset", {}).items()},
         )
         for j in d.get("jumps", [])

@@ -165,7 +165,7 @@ class LyapunovAnalyzer:
         conditions hold everywhere on the annulus (exact, one-sided).
         """
         solver = DeltaSolver(delta=self.delta, max_boxes=max_boxes)
-        res = solver.solve(self.violation(V), self.region)
+        res = solver._solve_impl(self.violation(V), self.region)
         if res.status is Status.UNSAT:
             return LyapunovResult(Status.DELTA_SAT, V=V)
         if res.status is Status.DELTA_SAT:
@@ -207,9 +207,9 @@ class LyapunovAnalyzer:
         def violated(c: float) -> bool:
             inside = Atom(Const(c) - V, strict=False)
             bad = And(inside, self.violation(V))
-            if solver.solve(bad, self.region).status is not Status.UNSAT:
+            if solver._solve_impl(bad, self.region).status is not Status.UNSAT:
                 return True
-            return solver.solve(boundary_touch(c), self.region).status is not Status.UNSAT
+            return solver._solve_impl(boundary_touch(c), self.region).status is not Status.UNSAT
 
         lo_ok, hi_bad = 0.0, float(v_hi)
         if violated(hi_bad):

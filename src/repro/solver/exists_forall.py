@@ -89,7 +89,7 @@ class ExistsForallSolver:
         for it in range(1, self.max_iterations + 1):
             # -- propose: parameters satisfying phi at every counterexample
             constraint = And(*[phi.subs(ce) for ce in counterexamples])
-            proposal: Result = proposer.solve(constraint, param_box)
+            proposal: Result = proposer._solve_impl(constraint, param_box)
             if proposal.status is Status.UNSAT:
                 return EFResult(Status.UNSAT, None, counterexamples, it)
             if proposal.status is Status.UNKNOWN:
@@ -97,7 +97,7 @@ class ExistsForallSolver:
             candidate = {k: proposal.witness[k] for k in param_box.names}
 
             # -- verify: search for a state falsifying phi at the candidate
-            refutation: Result = verifier.solve(not_phi.subs(candidate), state_box)
+            refutation: Result = verifier._solve_impl(not_phi.subs(candidate), state_box)
             if refutation.status is Status.UNSAT:
                 return EFResult(Status.DELTA_SAT, candidate, counterexamples, it)
             if refutation.status is Status.UNKNOWN:

@@ -21,6 +21,7 @@ import enum
 import heapq
 import itertools
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from repro.expr import var as _var
@@ -142,7 +143,22 @@ class DeltaSolver:
     min_width: float = 1e-12
 
     def solve(self, phi: Formula, box: Box) -> Result:
-        """Decide ``exists box. phi`` in the delta-relaxed sense."""
+        """Decide ``exists box. phi`` in the delta-relaxed sense.
+
+        .. deprecated:: 0.2
+            Direct calls are deprecated in favor of the unified facade
+            (``repro.api.Engine`` / ``repro.run``); this shim delegates
+            unchanged.
+        """
+        warnings.warn(
+            "DeltaSolver.solve is deprecated; submit specs through the "
+            "unified repro.api facade (repro.run / Engine.run) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._solve_impl(phi, box)
+
+    def _solve_impl(self, phi: Formula, box: Box) -> Result:
         t0 = time.perf_counter()
         stats = SolverStats()
         phi, box = _hoist_existentials(phi, box)
@@ -246,5 +262,15 @@ class DeltaSolver:
 
 
 def solve(phi: Formula, box: Box, delta: float = 1e-3, **kwargs) -> Result:
-    """Convenience wrapper: ``DeltaSolver(delta, **kwargs).solve(phi, box)``."""
-    return DeltaSolver(delta=delta, **kwargs).solve(phi, box)
+    """Convenience wrapper: ``DeltaSolver(delta, **kwargs).solve(phi, box)``.
+
+    .. deprecated:: 0.2
+        Use the unified facade (``repro.run`` / ``Engine.run``) instead.
+    """
+    warnings.warn(
+        "repro.solver.solve is deprecated; submit specs through the "
+        "unified repro.api facade (repro.run / Engine.run) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return DeltaSolver(delta=delta, **kwargs)._solve_impl(phi, box)

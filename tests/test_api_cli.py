@@ -1,0 +1,96 @@
+"""The ``python -m repro`` command-line front door."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.api.cli import main
+
+CALIBRATE_SCENARIO = {
+    "task": "calibrate",
+    "name": "cli-cal",
+    "model": {"builtin": "logistic"},
+    "query": {
+        "data": {"samples": [[2.0, {"x": 1.45}]], "tolerance": 0.2},
+        "param_ranges": {"r": [0.1, 2.0]},
+        "x0": {"x": 0.5},
+    },
+    "solver": {"delta": 0.05, "max_boxes": 400},
+}
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(CALIBRATE_SCENARIO))
+    return str(path)
+
+
+class TestListTasks:
+    def test_lists_all_kinds(self, capsys):
+        assert main(["list-tasks"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("calibrate", "falsify", "reach", "smc",
+                     "lyapunov", "therapy", "robustness", "pipeline"):
+            assert kind in out
+
+    def test_module_invocation(self):
+        import os
+        from pathlib import Path
+
+        import repro
+
+        src_dir = str(Path(repro.__file__).parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list-tasks"],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 0
+        assert "calibrate" in proc.stdout
+
+
+class TestRun:
+    def test_run_prints_report(self, scenario_file, capsys):
+        assert main(["run", scenario_file]) == 0
+        out = capsys.readouterr().out
+        assert "cli-cal" in out
+        assert "delta-sat" in out
+
+    def test_run_json_output(self, scenario_file, capsys):
+        assert main(["run", scenario_file, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "delta-sat"
+        assert report["task"] == "calibrate"
+
+    def test_run_bad_scenario_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "task": "nope", "model": {"builtin": "logistic"},
+        }))
+        assert main(["run", str(path)]) == 1
+        assert "error" in capsys.readouterr().out
+
+
+class TestBatch:
+    def test_batch_with_workers_and_out(self, tmp_path, capsys):
+        scenarios = []
+        for i, tol in enumerate((0.2, 0.3)):
+            s = json.loads(json.dumps(CALIBRATE_SCENARIO))
+            s["name"] = f"sweep-{i}"
+            s["query"]["data"]["tolerance"] = tol
+            scenarios.append(s)
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({"scenarios": scenarios}))
+        out_path = tmp_path / "reports.json"
+        assert main([
+            "batch", str(path), "--workers", "2", "--out", str(out_path),
+        ]) == 0
+        reports = json.loads(out_path.read_text())
+        assert [r["name"] for r in reports] == ["sweep-0", "sweep-1"]
+        assert all(r["status"] == "delta-sat" for r in reports)

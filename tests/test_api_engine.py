@@ -1,0 +1,311 @@
+"""Engine round-trips: every registered task kind returns a populated
+AnalysisReport, and parallel batches reproduce serial results."""
+
+import math
+
+import pytest
+
+from repro.api import AnalysisStatus, Engine, Model, TaskSpec, run, task_names
+
+HYBRID_SWITCH = {
+    "type": "hybrid",
+    "name": "switch",
+    "variables": ["x"],
+    "params": {},
+    "initial_mode": "a",
+    "init": {"x": [1.0, 1.0]},
+    "modes": [
+        {"name": "a", "derivatives": {"x": "-x"}, "invariant": {"op": "true"}},
+        {"name": "b", "derivatives": {"x": "x"}, "invariant": {"op": "true"}},
+    ],
+    "jumps": [
+        {
+            "source": "a",
+            "target": "b",
+            "guard": {"op": "atom", "term": "0.5 - x", "strict": False},
+            "reset": {},
+        }
+    ],
+}
+
+HYBRID_DECAY = {
+    "type": "hybrid",
+    "name": "decay",
+    "variables": ["x"],
+    "params": {},
+    "initial_mode": "m",
+    "init": {"x": [0.9, 1.1]},
+    "modes": [{"name": "m", "derivatives": {"x": "-x"}, "invariant": {"op": "true"}}],
+    "jumps": [],
+}
+
+STABLE_LINEAR = {
+    "type": "ode",
+    "name": "stable_linear",
+    "derivatives": {"x": "-x", "y": "-2*y"},
+    "params": {},
+}
+
+
+def _logistic_truth(t, r=0.65, K=10.0, x0=0.5):
+    return K / (1.0 + (K / x0 - 1.0) * math.exp(-r * t))
+
+
+def calibrate_spec(name="cal", tolerance=0.2):
+    return {
+        "task": "calibrate",
+        "name": name,
+        "model": {"builtin": "logistic"},
+        "query": {
+            "data": {
+                "samples": [[t, {"x": _logistic_truth(t)}] for t in (2.0, 4.0)],
+                "tolerance": tolerance,
+            },
+            "param_ranges": {"r": [0.1, 2.0]},
+            "x0": {"x": 0.5},
+        },
+        "solver": {"delta": 0.05, "max_boxes": 400},
+    }
+
+
+def smc_spec(name="smc", seed=None):
+    spec = {
+        "task": "smc",
+        "name": name,
+        "model": {"builtin": "logistic"},
+        "query": {
+            "phi": {"op": "F", "bound": 6.0, "arg": "x >= 5.0"},
+            "init": {"x": [0.3, 0.7]},
+            "horizon": 6.0,
+            "method": "probability",
+            "epsilon": 0.25,
+            "alpha": 0.2,
+        },
+    }
+    if seed is not None:
+        spec["seed"] = seed
+    return spec
+
+
+class TestEveryTaskKind:
+    """Each registered kind round-trips through Engine.run with status,
+    timing and stats/metrics populated."""
+
+    def _check(self, report, task, statuses):
+        assert report.task == task
+        assert report.status in statuses
+        assert report.ok
+        assert report.wall_time > 0.0
+        assert report.seed is not None
+        assert report.stats or report.metrics
+
+    def test_registry_has_all_eight(self):
+        assert task_names() == [
+            "calibrate", "falsify", "lyapunov", "pipeline",
+            "reach", "robustness", "smc", "therapy",
+        ]
+
+    def test_calibrate(self):
+        report = run(calibrate_spec())
+        self._check(report, "calibrate", {AnalysisStatus.DELTA_SAT})
+        assert abs(report.witness["r"] - 0.65) < 0.15
+        assert report.witness_box is not None
+
+    def test_falsify(self):
+        report = run({
+            "task": "falsify",
+            "model": {"builtin": "logistic"},
+            "query": {
+                "method": "data",
+                "data": {
+                    "samples": [[1.0, {"x": 5.0}], [2.0, {"x": 0.2}]],
+                    "tolerance": 0.1,
+                },
+                "param_ranges": {"r": [0.1, 2.0]},
+                "x0": {"x": 0.5},
+            },
+        })
+        self._check(report, "falsify", {AnalysisStatus.FALSIFIED})
+        assert report.payload["rejected"] is True
+
+    def test_reach(self):
+        report = run({
+            "task": "reach",
+            "model": HYBRID_SWITCH,
+            "query": {
+                "goal": "x >= 2.0",
+                "goal_mode": "b",
+                "max_jumps": 2,
+                "time_bound": 4.0,
+            },
+            "solver": {"delta": 0.1, "max_boxes": 200},
+        })
+        self._check(report, "reach", {AnalysisStatus.DELTA_SAT})
+        assert report.payload["mode_path"] == ["a", "b"]
+        assert report.stats["paths_explored"] >= 1
+
+    def test_smc(self):
+        report = run(smc_spec())
+        self._check(report, "smc", {AnalysisStatus.ESTIMATED})
+        assert report.metrics["probability"] == pytest.approx(1.0, abs=0.05)
+        assert report.metrics["samples"] > 0
+
+    def test_lyapunov(self):
+        report = run({
+            "task": "lyapunov",
+            "model": STABLE_LINEAR,
+            "query": {
+                "region": {"x": [-1.0, 1.0], "y": [-1.0, 1.0]},
+                "mode": "certify",
+                "V": "x^2 + y^2",
+            },
+            "solver": {"delta": 1e-3, "max_boxes": 50000},
+        })
+        self._check(report, "lyapunov", {AnalysisStatus.DELTA_SAT})
+        assert report.payload["V"]
+
+    def test_therapy_policy(self):
+        report = run({
+            "task": "therapy",
+            "model": {"builtin": "thermostat"},
+            "query": {
+                "method": "policy",
+                "phi": {
+                    "op": "G",
+                    "bound": 6.0,
+                    "arg": ["x >= 14.0", "x <= 26.0"],
+                },
+                "threshold_ranges": {
+                    "theta_on": [15.0, 19.0],
+                    "theta_off": [21.0, 25.0],
+                },
+                "init": {"x": [20.0, 21.0]},
+                "horizon": 6.0,
+                "population": 4,
+                "iterations": 2,
+                "confirm_samples": 5,
+            },
+        })
+        self._check(report, "therapy", {AnalysisStatus.DELTA_SAT})
+        assert set(report.witness) == {"theta_on", "theta_off"}
+        assert report.metrics["robustness"] > 0.0
+
+    def test_robustness(self):
+        report = run({
+            "task": "robustness",
+            "model": HYBRID_DECAY,
+            "query": {
+                "disturbance": {"x": [0.9, 1.1]},
+                "bad": "x >= 2.0",
+                "time_bound": 3.0,
+                "max_jumps": 0,
+            },
+            "solver": {"delta": 0.05, "max_boxes": 200},
+        })
+        self._check(report, "robustness", {AnalysisStatus.VALIDATED})
+
+    def test_pipeline(self):
+        report = run({
+            "task": "pipeline",
+            "model": {"builtin": "logistic"},
+            "query": {
+                "train": {
+                    "samples": [[t, {"x": _logistic_truth(t)}] for t in (2.0, 4.0)],
+                    "tolerance": 0.15,
+                },
+                "test": {
+                    "samples": [[6.0, {"x": _logistic_truth(6.0)}]],
+                    "tolerance": 0.2,
+                },
+                "param_ranges": {"r": [0.1, 2.0]},
+                "x0": {"x": 0.5},
+            },
+        })
+        self._check(report, "pipeline", {AnalysisStatus.VALIDATED})
+        assert report.payload["stage"] == "validated"
+
+
+class TestEngineBehavior:
+    def test_model_file_loading(self, tmp_path):
+        from repro.io import dump_model
+        from repro.models import logistic
+
+        path = tmp_path / "logistic.json"
+        dump_model(logistic(), str(path))
+        spec = calibrate_spec()
+        spec["model"] = {"file": str(path)}
+        report = run(spec)
+        assert report.status is AnalysisStatus.DELTA_SAT
+
+    def test_model_handle_accepts_raw_system(self):
+        from repro.models import logistic
+
+        spec = calibrate_spec()
+        ts = TaskSpec.from_dict(spec)
+        ts.model = Model.of(logistic())
+        assert run(ts).status is AnalysisStatus.DELTA_SAT
+
+    def test_unknown_task_becomes_error_report(self):
+        report = run({"task": "nope", "model": {"builtin": "logistic"}})
+        assert report.status is AnalysisStatus.ERROR
+        assert not report.ok
+        assert "unknown task" in report.detail
+
+    def test_bad_query_becomes_error_report(self):
+        report = run({"task": "calibrate", "model": {"builtin": "logistic"}})
+        assert report.status is AnalysisStatus.ERROR
+        assert "data" in report.detail
+
+    def test_engine_seed_defaults_are_recorded(self):
+        report = Engine(seed=11).run(smc_spec())
+        assert report.seed == 11
+        report = Engine(seed=11).run(smc_spec(seed=3))
+        assert report.seed == 3
+
+    def test_seed_changes_smc_sampling(self):
+        spec = smc_spec()
+        spec["query"]["init"] = {"x": [0.05, 0.9]}
+        spec["query"]["phi"] = {"op": "F", "bound": 4.0, "arg": "x >= 5.0"}
+        spec["query"]["horizon"] = 4.0
+        a = Engine(seed=1).run(spec)
+        b = Engine(seed=1).run(spec)
+        assert a.metrics == b.metrics  # same seed -> same estimate
+
+
+class TestParallelBatch:
+    def test_batch_parallel_matches_serial(self):
+        specs = [
+            calibrate_spec("a"),
+            smc_spec("b"),
+            smc_spec("c", seed=7),
+            calibrate_spec("d", tolerance=0.3),
+        ]
+        engine = Engine(seed=0)
+        serial = engine.run_batch(specs, workers=1)
+        parallel = engine.run_batch(specs, workers=2)
+        assert [r.name for r in parallel] == ["a", "b", "c", "d"]
+        for s, p in zip(serial, parallel):
+            s.wall_time = p.wall_time = 0.0
+            assert s.to_dict() == p.to_dict()
+
+    def test_batch_error_isolation(self):
+        reports = Engine().run_batch(
+            [{"task": "nope", "model": {"builtin": "logistic"}}, smc_spec()],
+            workers=2,
+        )
+        assert reports[0].status is AnalysisStatus.ERROR
+        assert reports[1].status is AnalysisStatus.ESTIMATED
+
+    def test_batch_with_unserializable_query_runs_locally(self):
+        # a live BLTL object cannot travel to a worker process; the
+        # batch must fall back to in-process execution for that spec
+        from repro.api.serialize import bltl_from_value
+
+        live = TaskSpec.from_dict(smc_spec("live"))
+        live.query["phi"] = bltl_from_value(live.query["phi"])
+        reports = Engine(seed=0).run_batch(
+            [live, smc_spec("plain")], workers=2
+        )
+        assert [r.name for r in reports] == ["live", "plain"]
+        assert all(r.status is AnalysisStatus.ESTIMATED for r in reports)
+        assert reports[0].metrics == reports[1].metrics

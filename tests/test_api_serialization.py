@@ -1,0 +1,162 @@
+"""JSON round-trips of specs, reports and the query value codecs."""
+
+import json
+
+import pytest
+
+from repro.api import AnalysisReport, AnalysisStatus, Model, SimOptions, SolverOptions, TaskSpec
+from repro.api.serialize import (
+    bltl_from_value,
+    bltl_to_value,
+    bounds_from_value,
+    formula_from_value,
+    formula_to_value,
+    timeseries_from_value,
+    timeseries_to_value,
+)
+from repro.smc import Always, At, Eventually, Prop
+
+
+class TestTaskSpecRoundTrip:
+    def spec(self):
+        return TaskSpec(
+            task="calibrate",
+            model=Model.builtin("logistic", r=0.7),
+            query={
+                "data": {"samples": [[2.0, {"x": 1.45}]], "tolerance": 0.2},
+                "param_ranges": {"r": [0.1, 2.0]},
+                "x0": {"x": 0.5},
+            },
+            solver=SolverOptions(delta=0.01, max_boxes=123),
+            sim=SimOptions(rtol=1e-7),
+            seed=42,
+            name="roundtrip",
+        )
+
+    def test_json_round_trip(self):
+        spec = self.spec()
+        back = TaskSpec.from_json(spec.to_json())
+        assert back.to_dict() == spec.to_dict()
+        assert back.task == "calibrate"
+        assert back.name == "roundtrip"
+        assert back.seed == 42
+        assert back.solver.delta == 0.01
+        assert back.solver.max_boxes == 123
+        assert back.sim.rtol == 1e-7
+        assert back.model.system.params == {"r": 0.7, "K": 10.0}
+
+    def test_builtin_model_survives(self):
+        back = TaskSpec.from_json(self.spec().to_json())
+        assert back.model.to_dict() == {"builtin": "logistic", "args": {"r": 0.7}}
+
+    def test_inline_model_survives(self):
+        spec = self.spec()
+        spec.model = Model.from_dict(
+            {"type": "ode", "name": "lin", "derivatives": {"x": "-x"}, "params": {}}
+        )
+        back = TaskSpec.from_json(spec.to_json())
+        assert back.model.name == "lin"
+        assert back.model.system.state_names == ["x"]
+
+    def test_unknown_solver_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown solver options"):
+            TaskSpec.from_dict(
+                {"task": "calibrate", "model": {"builtin": "logistic"},
+                 "solver": {"typo": 1}}
+            )
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError, match="task"):
+            TaskSpec.from_dict({"model": {"builtin": "logistic"}})
+        with pytest.raises(ValueError, match="model"):
+            TaskSpec.from_dict({"task": "calibrate"})
+
+
+class TestReportRoundTrip:
+    def test_json_round_trip(self):
+        report = AnalysisReport(
+            task="reach",
+            status=AnalysisStatus.DELTA_SAT,
+            witness={"k": 1.5},
+            witness_box={"k": (1.4, 1.6)},
+            metrics={"probability": 0.75},
+            stats={"boxes_processed": 42.0},
+            wall_time=0.5,
+            seed=7,
+            detail="found",
+            payload={"mode_path": ["a", "b"]},
+            name="scenario-1",
+        )
+        back = AnalysisReport.from_json(report.to_json())
+        assert back == report
+        assert back.status is AnalysisStatus.DELTA_SAT
+        assert isinstance(json.loads(report.to_json())["status"], str)
+
+    def test_status_string_coercion(self):
+        report = AnalysisReport(task="smc", status="estimated")
+        assert report.status is AnalysisStatus.ESTIMATED
+
+    def test_truthiness(self):
+        assert AnalysisReport("t", AnalysisStatus.DELTA_SAT)
+        assert AnalysisReport("t", AnalysisStatus.VALIDATED)
+        assert not AnalysisReport("t", AnalysisStatus.UNSAT)
+        assert not AnalysisReport("t", AnalysisStatus.ERROR)
+        assert AnalysisReport("t", AnalysisStatus.UNKNOWN).ok
+        assert not AnalysisReport("t", AnalysisStatus.ERROR).ok
+
+    def test_falsify_truthiness_matches_legacy_verdict(self):
+        # FalsificationVerdict.__bool__ is True when the model IS
+        # rejected; ported `if result:` code must keep its meaning
+        assert AnalysisReport("falsify", AnalysisStatus.FALSIFIED)
+        assert not AnalysisReport("falsify", AnalysisStatus.DELTA_SAT)
+        assert not AnalysisReport("falsify", AnalysisStatus.UNKNOWN)
+
+
+class TestQueryCodecs:
+    def test_formula_string_forms(self):
+        phi = formula_from_value("x >= 0.5")
+        assert phi.eval({"x": 0.6}) and not phi.eval({"x": 0.4})
+        phi = formula_from_value("x - y < 2")
+        assert phi.eval({"x": 1.0, "y": 0.0}) and not phi.eval({"x": 3.0, "y": 0.0})
+
+    def test_formula_conjunction_list(self):
+        phi = formula_from_value(["x >= 0.0", "x <= 1.0"])
+        assert phi.eval({"x": 0.5}) and not phi.eval({"x": 2.0})
+
+    def test_formula_dict_round_trip(self):
+        phi = formula_from_value("x >= 0.5")
+        back = formula_from_value(formula_to_value(phi))
+        assert back.eval({"x": 0.6}) and not back.eval({"x": 0.4})
+
+    def test_formula_bad_string(self):
+        with pytest.raises(ValueError, match="cannot parse formula"):
+            formula_from_value("x ~ 1")
+
+    def test_bltl_round_trip(self):
+        phi = Always(5.0, Eventually(1.0, Prop(formula_from_value("x >= 1.0"))))
+        back = bltl_from_value(bltl_to_value(phi))
+        assert back == phi
+        at = At(2.0, Prop(formula_from_value("x <= 3.0")))
+        assert bltl_from_value(bltl_to_value(at)) == at
+
+    def test_bltl_string_shorthand(self):
+        phi = bltl_from_value("x >= 1.0")
+        assert isinstance(phi, Prop)
+
+    def test_timeseries_round_trip(self):
+        data = timeseries_from_value(
+            {"samples": [[1.0, {"x": 2.0}], [3.0, {"x": 4.0}]], "tolerance": 0.5}
+        )
+        assert data.horizon == 3.0
+        back = timeseries_from_value(timeseries_to_value(data))
+        assert back.checkpoints == data.checkpoints
+
+    def test_bounds(self):
+        assert bounds_from_value({"x": [1, 2]}) == {"x": (1.0, 2.0)}
+
+    def test_bounds_scalar_is_point_interval(self):
+        assert bounds_from_value({"x": 0.99}) == {"x": (0.99, 0.99)}
+
+    def test_bounds_bad_value_names_the_field(self):
+        with pytest.raises(ValueError, match="'x'"):
+            bounds_from_value({"x": "wide"})

@@ -1,0 +1,161 @@
+"""Legacy entry points still work — as deprecation shims that delegate
+to the same implementations the unified API uses."""
+
+import math
+
+import pytest
+
+from repro.apps import (
+    AnalysisPipeline,
+    PipelineStage,
+    SMTCalibrator,
+    TimeSeriesData,
+    check_robustness,
+    falsify_with_data,
+)
+from repro.bmc import BMCChecker, BMCStatus, ReachSpec
+from repro.expr import var
+from repro.hybrid import HybridAutomaton, Mode
+from repro.intervals import Box
+from repro.logic import in_range
+from repro.models import logistic
+from repro.odes import rk45
+from repro.solver import DeltaSolver, Status, solve
+from repro.status import AnalysisStatus
+
+
+def _logistic_data(times, tolerance=0.2):
+    model = logistic()
+    traj = rk45(model, {"x": 0.5}, (0.0, max(times)), params={"r": 0.65, "K": 10.0})
+    return TimeSeriesData.from_samples(
+        [(t, {"x": traj.value("x", t)}) for t in times], tolerance=tolerance
+    )
+
+
+class TestDeprecatedEntryPoints:
+    def test_delta_solver_solve_warns_and_works(self):
+        phi = in_range(var("y") * var("y") - 2.0, -0.01, 0.01)
+        box = Box.from_bounds({"y": (0.0, 2.0)})
+        with pytest.warns(DeprecationWarning, match="DeltaSolver.solve"):
+            res = DeltaSolver(delta=1e-3).solve(phi, box)
+        assert res.status is Status.DELTA_SAT
+        assert res.witness["y"] == pytest.approx(math.sqrt(2.0), abs=0.05)
+
+    def test_module_level_solve_warns(self):
+        phi = in_range(var("y"), 0.4, 0.6)
+        with pytest.warns(DeprecationWarning, match="repro.solver.solve"):
+            res = solve(phi, Box.from_bounds({"y": (0.0, 1.0)}))
+        assert res.status is Status.DELTA_SAT
+
+    def test_smt_calibrator_calibrate_warns_and_works(self):
+        calib = SMTCalibrator(
+            logistic(), _logistic_data((2.0, 4.0)), {"r": (0.1, 2.0)}, {"x": 0.5},
+            delta=0.05,
+        )
+        with pytest.warns(DeprecationWarning, match="SMTCalibrator.calibrate"):
+            res = calib.calibrate()
+        assert res.status.value == "delta-sat"
+        assert abs(res.params["r"] - 0.65) < 0.15
+
+    def test_analysis_pipeline_run_warns_and_works(self):
+        pipeline = AnalysisPipeline(
+            logistic(),
+            _logistic_data((2.0, 4.0), tolerance=0.15),
+            _logistic_data((6.0,), tolerance=0.2),
+            {"r": (0.1, 2.0)},
+            {"x": 0.5},
+        )
+        with pytest.warns(DeprecationWarning, match="AnalysisPipeline.run"):
+            report = pipeline.run()
+        assert report.validated
+        assert report.stage is PipelineStage.VALIDATED
+
+    def test_bmc_check_warns_and_works(self):
+        x = var("x")
+        automaton = HybridAutomaton(
+            ["x"],
+            [Mode("m", {"x": -var("k") * x})],
+            [],
+            "m",
+            Box.from_bounds({"x": (1.0, 1.0)}),
+            params={"k": 1.0},
+        )
+        spec = ReachSpec(goal=(x <= 0.5), max_jumps=0, time_bound=3.0)
+        with pytest.warns(DeprecationWarning, match="BMCChecker.check"):
+            res = BMCChecker(automaton).check(spec)
+        assert res.status is BMCStatus.DELTA_SAT
+
+    def test_falsify_with_data_warns(self):
+        impossible = TimeSeriesData.from_samples(
+            [(1.0, {"x": 5.0}), (2.0, {"x": 0.2})], tolerance=0.1
+        )
+        with pytest.warns(DeprecationWarning, match="falsify_with_data"):
+            verdict = falsify_with_data(
+                logistic(), impossible, {"r": (0.1, 2.0)}, {"x": 0.5}
+            )
+        assert verdict.rejected
+
+    def test_check_robustness_warns(self):
+        x = var("x")
+        automaton = HybridAutomaton(
+            ["x"],
+            [Mode("m", {"x": -x})],
+            [],
+            "m",
+            Box.from_bounds({"x": (0.9, 1.1)}),
+        )
+        with pytest.warns(DeprecationWarning, match="check_robustness"):
+            res = check_robustness(
+                automaton, {"x": (0.9, 1.1)}, (x >= 2.0),
+                time_bound=3.0, max_jumps=0,
+            )
+        assert res.robust is True
+
+
+class TestPipelineStageEnum:
+    def test_stage_is_shared_with_analysis_status(self):
+        assert PipelineStage is AnalysisStatus
+
+    def test_string_comparisons_still_work(self):
+        from repro.apps.pipeline import PipelineReport
+
+        report = PipelineReport(PipelineStage.REFINE)
+        assert report.stage == "refine"
+        assert report.stage is PipelineStage.REFINE
+
+    def test_string_coercion_in_constructor(self):
+        from repro.apps.pipeline import PipelineReport
+
+        report = PipelineReport("validated")
+        assert report.stage is PipelineStage.VALIDATED
+        assert report.validated
+
+    def test_bad_stage_rejected(self):
+        from repro.apps.pipeline import PipelineReport
+
+        with pytest.raises(ValueError):
+            PipelineReport("not-a-stage")
+
+
+class TestNoWarningsThroughFacade:
+    def test_engine_path_is_warning_free(self, recwarn):
+        import warnings
+
+        from repro.api import run
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            report = run({
+                "task": "falsify",
+                "model": {"builtin": "logistic"},
+                "query": {
+                    "method": "data",
+                    "data": {
+                        "samples": [[1.0, {"x": 5.0}], [2.0, {"x": 0.2}]],
+                        "tolerance": 0.1,
+                    },
+                    "param_ranges": {"r": [0.1, 2.0]},
+                    "x0": {"x": 0.5},
+                },
+            })
+        assert report.status.value == "falsified"
