@@ -1,0 +1,96 @@
+"""Cached vs. uncached batch throughput of the job-oriented engine.
+
+Submits the same scenario batch twice through the process backend of
+one cache-enabled :class:`repro.api.Engine` and reports scenarios/sec
+for the cold (uncached) and warm (cache-served) passes, plus the cache
+counters proving the second pass never re-ran a task.
+
+CI runs this in ``--quick`` mode and uploads the JSON as the
+``BENCH_batch_throughput.json`` artifact::
+
+    python benchmarks/batch_throughput.py --quick --out BENCH_batch_throughput.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+
+def scenarios(n: int, epsilon: float) -> list[dict]:
+    """n distinct SIR outbreak-probability scenarios (seed-varied)."""
+    return [
+        {
+            "task": "smc",
+            "name": f"outbreak-{i}",
+            "model": {"builtin": "sir"},
+            "query": {
+                "phi": {"op": "F", "bound": 120.0, "arg": "i >= 0.3"},
+                "init": {"s": 0.99, "i": [0.005, 0.03], "r": 0.0,
+                         "beta": [0.25, 0.5]},
+                "horizon": 120.0,
+                "method": "probability",
+                "epsilon": epsilon,
+                "alpha": 0.05,
+            },
+            "seed": i,
+        }
+        for i in range(n)
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small batch / loose epsilon (CI smoke mode)")
+    parser.add_argument("--scenarios", type=int, default=None,
+                        help="batch size (default 8, quick: 4)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--out", default="BENCH_batch_throughput.json")
+    args = parser.parse_args(argv)
+
+    from repro.api import Engine
+
+    n = args.scenarios or (4 if args.quick else 8)
+    epsilon = 0.25 if args.quick else 0.1
+    specs = scenarios(n, epsilon)
+
+    with Engine(workers=args.workers, seed=0, cache=True) as engine:
+        t0 = time.perf_counter()
+        first = engine.run_batch(specs, backend="process")
+        uncached_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        second = engine.run_batch(specs, backend="process")
+        cached_s = time.perf_counter() - t0
+
+        stats = engine.cache.stats()
+
+    identical = [a.to_json() for a in first] == [b.to_json() for b in second]
+    result = {
+        "benchmark": "batch_throughput",
+        "mode": "quick" if args.quick else "full",
+        "scenarios": n,
+        "workers": args.workers,
+        "uncached_seconds": round(uncached_s, 4),
+        "cached_seconds": round(cached_s, 4),
+        "uncached_scenarios_per_s": round(n / uncached_s, 3),
+        "cached_scenarios_per_s": round(n / cached_s, 3),
+        "speedup": round(uncached_s / cached_s, 1) if cached_s > 0 else None,
+        "cache": stats,
+        "reports_byte_identical": identical,
+        "all_ok": all(r.ok for r in first + second),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+    print(json.dumps(result, indent=2))
+
+    if not identical or not result["all_ok"] or stats["hits"] < n:
+        print("FAIL: cached pass did not reproduce the uncached batch")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

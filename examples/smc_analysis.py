@@ -8,13 +8,15 @@ batch -- plus one lower-level SMC-driven parameter search:
 
 1. estimate the probability that an SIR outbreak exceeds 30% prevalence
    (Chernoff-bounded estimation, Bayesian posterior, Wald's SPRT) as a
-   3-scenario batch,
+   3-scenario batch submitted as *jobs* with live progress reporting,
 2. check a herd-safety property under fast recovery, and
 3. recover an unknown infection rate by SMC-driven parameter search
    (cross-entropy over BLTL robustness).
 
 Run:  python examples/smc_analysis.py
 """
+
+import sys
 
 from repro.api import Engine
 from repro.expr import var
@@ -26,10 +28,16 @@ OUTBREAK = {"op": "F", "bound": 120.0, "arg": "i >= 0.3"}
 SIR_INIT = {"s": 0.99, "i": [0.005, 0.03], "r": 0.0}
 
 
+def show_progress(job, event) -> None:
+    """Engine-level progress sink: one line per (rate-limited) event."""
+    print(f"  .. [{job.spec.name}] {event.describe()}", file=sys.stderr)
+
+
 def probabilistic_outbreak(engine: Engine) -> None:
     print("=" * 66)
     print("1. P(outbreak > 30%) with i(0) ~ U(0.005, 0.03), beta ~ U(0.25, 0.5)")
-    print("   (three statistical methods, run as a parallel batch)")
+    print("   (three statistical methods, submitted as concurrent jobs")
+    print("    with live progress events)")
     print("=" * 66)
     base = {
         "task": "smc",
@@ -47,14 +55,20 @@ def probabilistic_outbreak(engine: Engine) -> None:
         spec["query"] = {**base["query"], **extra}
         return spec
 
-    chernoff, bayes, sprt = engine.run_batch(
+    # submit as jobs on the thread backend: progress streams live, and
+    # each handle can be polled or cancelled while the batch runs
+    jobs = engine.submit_batch(
         [
             variant("chernoff", method="probability", epsilon=0.1, alpha=0.05),
             variant("bayes", method="bayesian", n=150),
             variant("sprt", method="hypothesis", theta=0.2, alpha=0.01, beta=0.01),
         ],
         workers=3,
+        backend="thread",
     )
+    chernoff, bayes, sprt = (job.result(timeout=300.0) for job in jobs)
+    total_events = sum(job.event_count for job in jobs)
+    print(f"  ({total_events} progress events across {len(jobs)} jobs)")
     m = chernoff.metrics
     print(f"  Chernoff estimate: P = {m['probability']:.3f}  "
           f"({int(m['samples'])} simulations, +/-0.1 @95%)")
@@ -114,10 +128,11 @@ def recover_beta() -> None:
 
 
 def main() -> None:
-    engine = Engine(seed=0)
+    engine = Engine(seed=0, progress=show_progress, progress_interval=0.5)
     probabilistic_outbreak(engine)
     herd_safety(engine)
     recover_beta()
+    engine.close()
 
 
 if __name__ == "__main__":

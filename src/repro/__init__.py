@@ -46,8 +46,12 @@ from repro.api import (
     AnalysisReport,
     AnalysisStatus,
     Engine,
+    JobHandle,
+    JobState,
     Model,
     PipelineStage,
+    ProgressEvent,
+    ResultCache,
     SimOptions,
     SolverOptions,
     TaskSpec,
@@ -65,6 +69,10 @@ __all__ = [
     "AnalysisStatus",
     "PipelineStage",
     "Engine",
+    "JobHandle",
+    "JobState",
+    "ProgressEvent",
+    "ResultCache",
     "Model",
     "TaskSpec",
     "SolverOptions",

@@ -24,8 +24,19 @@ robustness -- registers a task here and answers in the same shape.
 Scenario sweeps run in parallel (``Engine.run_batch(specs, workers=8)``)
 and everything round-trips through JSON, so scenarios can be files and
 ``python -m repro run scenario.json`` is a complete workflow.
+
+The engine is job-oriented underneath: ``engine.submit(spec)`` returns
+a :class:`JobHandle` immediately (poll ``status``, block on
+``result(timeout=...)``, ``cancel()`` cooperatively, read the ordered
+progress-event stream), work runs on a pluggable executor backend
+(``inline`` / ``thread`` / ``process``), and an optional
+content-addressed :class:`ResultCache` serves repeated scenarios
+without re-running them.  ``python -m repro serve`` exposes the same
+jobs over HTTP.  See :mod:`repro.service`.
 """
 
+from repro.progress import JobCancelled, ProgressEvent
+from repro.service import JobHandle, JobState, ResultCache, ServiceServer
 from repro.status import AnalysisStatus, PipelineStage
 
 from .engine import Engine, run, run_batch
@@ -50,4 +61,10 @@ __all__ = [
     "get_task",
     "task_names",
     "task_table",
+    "JobHandle",
+    "JobState",
+    "JobCancelled",
+    "ProgressEvent",
+    "ResultCache",
+    "ServiceServer",
 ]

@@ -4,9 +4,18 @@ Subcommands
 -----------
 ``run <scenario.json>``
     Execute one scenario file (a single spec dict) and print its report.
-``batch <scenarios.json ...> [--workers N] [--out reports.json]``
+``batch <scenarios.json ...> [--workers N] [--backend B] [--progress]
+[--cache-dir DIR] [--out reports.json]``
     Execute a sweep: each file holds either one spec dict, a list of
-    spec dicts, or ``{"scenarios": [...]}``.  Reports print in order.
+    spec dicts, or ``{"scenarios": [...]}``.  Reports print in order;
+    ``--progress`` streams live progress events (and a final jobs
+    table) to stderr, ``--cache-dir`` serves repeated scenarios from
+    the persistent result cache.
+``serve [--host H] [--port P] [--backend B] [--workers N] [--cache-dir DIR]``
+    Start the HTTP job service: ``POST /run``, ``GET /jobs``,
+    ``GET /jobs/<id>``, ``POST /jobs/<id>/cancel``.
+``jobs <url>``
+    Render the jobs table of a running ``repro serve`` instance.
 ``list-tasks``
     Show the registered task kinds.
 """
@@ -17,6 +26,8 @@ import argparse
 import json
 import sys
 from typing import Any, Sequence
+
+from repro.service import BACKEND_NAMES, ResultCache, ServiceServer
 
 from .engine import Engine
 from .report import AnalysisReport
@@ -54,6 +65,39 @@ def _emit(reports: Sequence[AnalysisReport], as_json: bool, out: str | None) -> 
         print(r.summary())
 
 
+def _print_progress(job, event) -> None:
+    print(f"[{job.id} {job.spec.name or job.spec.task}] {event.describe()}",
+          file=sys.stderr)
+
+
+def _jobs_table(rows: Sequence[dict], cache: dict | None = None) -> str:
+    """``repro jobs``-style status rendering of job summaries."""
+    headers = ("id", "name", "task", "state", "backend", "events", "time")
+    table = [headers]
+    for d in rows:
+        wall = d.get("wall_time")
+        table.append((
+            str(d.get("id", "")),
+            str(d.get("name", "")) or "-",
+            str(d.get("task", "")),
+            str(d.get("state", "")) + ("*" if d.get("from_cache") else ""),
+            str(d.get("backend", "") or "-"),
+            str(d.get("events", 0)),
+            f"{wall:.3f}s" if isinstance(wall, (int, float)) else "-",
+        ))
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = ["  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+             for row in table]
+    if any(d.get("from_cache") for d in rows):
+        lines.append("(* = served from the result cache)")
+    if cache:
+        lines.append(
+            "cache: {hits:g} hit(s), {misses:g} miss(es), "
+            "{entries:g} entr(ies)".format(**cache)
+        )
+    return "\n".join(lines)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -68,13 +112,78 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_batch = sub.add_parser("batch", help="execute a scenario sweep")
     p_batch.add_argument("scenarios", nargs="+", help="scenario JSON file(s)")
-    p_batch.add_argument("--workers", type=int, default=1, help="process-pool size")
+    p_batch.add_argument("--workers", type=int, default=1, help="worker-pool size")
+    p_batch.add_argument(
+        "--backend", choices=("auto",) + BACKEND_NAMES, default="auto",
+        help="executor backend (auto: process pool when --workers > 1)",
+    )
+    p_batch.add_argument(
+        "--progress", action="store_true",
+        help="stream progress events and a jobs table to stderr",
+    )
+    p_batch.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result cache; repeated scenarios are not re-run",
+    )
     p_batch.add_argument("--seed", type=int, default=0, help="default RNG seed")
     p_batch.add_argument("--json", action="store_true", help="print raw report JSON")
     p_batch.add_argument("--out", default=None, help="write reports to a JSON file")
 
+    p_serve = sub.add_parser("serve", help="start the HTTP job service")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="thread",
+        help="default executor backend for submitted jobs",
+    )
+    p_serve.add_argument("--workers", type=int, default=None, help="worker-pool size")
+    p_serve.add_argument("--cache-dir", default=None, help="persistent result cache")
+    p_serve.add_argument("--seed", type=int, default=0, help="default RNG seed")
+
+    p_jobs = sub.add_parser("jobs", help="list jobs of a running serve instance")
+    p_jobs.add_argument("url", help="service base URL, e.g. http://127.0.0.1:8080")
+
     sub.add_parser("list-tasks", help="show the registered task kinds")
     return parser
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    cache = ResultCache(cache_dir=args.cache_dir) if args.cache_dir else True
+    engine = Engine(
+        workers=args.workers, seed=args.seed, cache=cache,
+        progress_interval=0.5,  # bound per-sample event overhead under load
+    )
+    server = ServiceServer(
+        engine, host=args.host, port=args.port, backend=args.backend
+    )
+    print(f"serving analysis jobs on {server.url} "
+          f"(backend={args.backend}, POST /run, GET /jobs)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        server.httpd.server_close()
+        engine.close()
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    url = args.url.rstrip("/") + "/jobs"
+    try:
+        with urlopen(url, timeout=10.0) as resp:
+            payload = json.load(resp)
+    except (URLError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {url}: {exc}", file=sys.stderr)
+        return 2
+    jobs = payload.get("jobs", [])
+    if not jobs:
+        print("no jobs")
+        return 0
+    print(_jobs_table(jobs, payload.get("cache")))
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -86,6 +195,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         for name, summary in rows:
             print(f"{name:<{width}}  {summary}")
         return 0
+
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "jobs":
+        return _cmd_jobs(args)
 
     try:
         if args.command == "run":
@@ -105,8 +219,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         _emit(reports, args.json, None)
         return 0 if all(r.ok for r in reports) else 1
 
-    reports = Engine(workers=args.workers, seed=args.seed).run_batch(specs)
+    engine = Engine(
+        workers=args.workers,
+        seed=args.seed,
+        cache=args.cache_dir,
+        progress=_print_progress if args.progress else None,
+        progress_interval=0.5 if args.progress else 0.0,
+    )
+    backend = None if args.backend == "auto" else args.backend
+    effective = backend or ("process" if args.workers > 1 and len(specs) > 1 else "inline")
+    if args.progress and effective == "process":
+        print(
+            "note: the process backend cannot stream solver-level progress "
+            "events (workers run out-of-process); use --backend thread for "
+            "live per-iteration progress",
+            file=sys.stderr,
+        )
+    handles = engine.submit_batch(specs, backend=backend)
+    reports = [h.result() for h in handles]
+    if args.progress:
+        print(_jobs_table(
+            [h.summary() for h in handles],
+            engine.cache.stats() if engine.cache else None,
+        ), file=sys.stderr)
     _emit(reports, args.json, args.out)
+    engine.close()
     return 0 if all(r.ok for r in reports) else 1
 
 

@@ -1,22 +1,41 @@
 """The execution engine: one entry point for every analysis.
 
-``Engine.run`` dispatches a :class:`TaskSpec` through the task registry
-and wraps the outcome (or failure) in an :class:`AnalysisReport`.
-``Engine.run_batch`` fans a scenario sweep out over a
-:class:`concurrent.futures.ProcessPoolExecutor`: specs travel to the
-workers as JSON (so nothing non-picklable crosses the process
-boundary) and reports come back the same way, in submission order.
-Results are identical to serial execution because every task is
-deterministic given its seed.
+Since the service redesign the engine is *job-oriented*:
+``Engine.submit(spec)`` returns a :class:`~repro.service.jobs.JobHandle`
+immediately -- poll its ``status``, block on ``result(timeout=...)``,
+``cancel()`` it cooperatively, and read its ordered
+:class:`~repro.progress.ProgressEvent` stream.  ``run`` and
+``run_batch`` are thin synchronous wrappers over ``submit`` /
+``submit_batch``, so every pre-existing caller keeps working unchanged.
+
+Where the work runs is a pluggable
+:class:`~repro.service.backends.ExecutorBackend` (``inline``,
+``thread``, ``process``), selected per engine or per call.  The process
+backend is the old ``run_batch`` parallelism: specs travel to workers
+as JSON (nothing non-picklable crosses the boundary) and reports come
+back the same way, in submission order; results are identical to serial
+execution because every task is deterministic given its seed.
+
+An optional content-addressed :class:`~repro.service.cache.ResultCache`
+is consulted before any backend sees a spec: identical scenarios
+(canonical spec hash, seed included) are served from cache,
+byte-identical to the first run's report.
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, Sequence
+import warnings
+from collections import OrderedDict
+from typing import Callable, Iterable
 
+from repro.progress import JobCancelled, ProgressEvent, progress_scope
+from repro.service.backends import ExecutorBackend, make_backend
+from repro.service.cache import ResultCache, spec_key
+from repro.service.jobs import JobHandle, JobState
 from repro.status import AnalysisStatus
 
 from .report import AnalysisReport
@@ -25,17 +44,24 @@ from .tasks import get_task
 
 __all__ = ["Engine", "run", "run_batch"]
 
+#: Retained (mostly finished) jobs per engine before the oldest are evicted.
+_MAX_JOBS = 4096
+
 
 def _execute(spec: TaskSpec, seed_default: int | None) -> AnalysisReport:
-    """Run one spec, timing it and converting failures to ERROR reports."""
+    """Run one spec, timing it and converting failures to ERROR reports.
+
+    :class:`JobCancelled` deliberately passes through the exception
+    fence -- the service layer turns it into a cancelled job, not an
+    error report.
+    """
     if spec.seed is None and seed_default is not None:
-        spec = TaskSpec(
-            task=spec.task, model=spec.model, query=spec.query,
-            solver=spec.solver, sim=spec.sim, seed=seed_default, name=spec.name,
-        )
+        spec = spec.replace(seed=seed_default)
     t0 = time.perf_counter()
     try:
         report = get_task(spec.task).run(spec)
+    except JobCancelled:
+        raise
     except Exception as exc:  # a bad scenario must not kill the batch
         report = AnalysisReport(
             spec.task,
@@ -56,64 +82,355 @@ def _run_spec_json(payload: tuple[str, int | None]) -> str:
     return _execute(TaskSpec.from_json(text), seed_default).to_json()
 
 
+def _cancelled_report(spec: TaskSpec) -> AnalysisReport:
+    return AnalysisReport(
+        spec.task,
+        AnalysisStatus.CANCELLED,
+        detail="job cancelled",
+        name=spec.name,
+        seed=spec.seed,
+    )
+
+
 class Engine:
     """Uniform dispatcher for declarative analysis specs.
 
     Parameters
     ----------
     workers:
-        Default parallelism of :meth:`run_batch` (``None``/``0``/``1``
-        means serial execution in-process).
+        Default parallelism of pooled backends and of
+        :meth:`run_batch` (``None``/``0``/``1`` means serial inline
+        execution, as before).
     seed:
         Engine-level default seed, applied to specs whose own ``seed``
         is ``None`` -- one knob makes a whole sweep reproducible.
+    backend:
+        Default executor backend name (``"inline"``, ``"thread"``,
+        ``"process"``).  ``None`` keeps the historical automatics:
+        ``run``/single-spec batches inline, multi-spec batches with
+        ``workers > 1`` on the process pool, ``submit`` on the thread
+        pool (so a lone submit is still asynchronous).
+    cache:
+        Result cache: ``None`` disables, ``True`` enables an in-memory
+        LRU, a path string enables the persistent on-disk store, or
+        pass a :class:`ResultCache` (shareable between engines).
+    progress:
+        Optional engine-level sink ``(job, event) -> None`` receiving
+        every job's progress events (the per-job stream on the
+        :class:`JobHandle` is always recorded).
+    progress_interval:
+        Rate limit (seconds) per (source, stage) for delivered events;
+        ``0`` delivers every event.  Cancellation is checked on every
+        emit regardless.
     """
 
-    def __init__(self, workers: int | None = None, seed: int | None = 0):
+    def __init__(
+        self,
+        workers: int | None = None,
+        seed: int | None = 0,
+        *,
+        backend: str | None = None,
+        cache: ResultCache | str | bool | None = None,
+        progress: Callable[[JobHandle, ProgressEvent], None] | None = None,
+        progress_interval: float = 0.0,
+    ):
         self.workers = workers
         self.seed = seed
+        self.backend = backend
+        self.progress = progress
+        self.progress_interval = progress_interval
+        if cache is None or cache is False:
+            self.cache: ResultCache | None = None
+        elif cache is True:
+            self.cache = ResultCache()
+        elif isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(cache_dir=cache)
+        self._backends: dict[tuple[str, int | None], ExecutorBackend] = {}
+        self._jobs: OrderedDict[str, JobHandle] = OrderedDict()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
 
+    # ------------------------------------------------------------------
+    # The job-oriented surface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: TaskSpec | dict | str,
+        backend: str | None = None,
+        workers: int | None = None,
+    ) -> JobHandle:
+        """Submit one spec; returns a :class:`JobHandle` immediately.
+
+        The default backend for a lone submit is the thread pool, so
+        the call is asynchronous out of the box; pass
+        ``backend="inline"`` to run synchronously in this thread.
+        """
+        name = backend or self.backend or "thread"
+        return self._submit_one(self._resolve_spec(spec), name, workers)
+
+    def submit_batch(
+        self,
+        specs: Iterable[TaskSpec | dict | str],
+        workers: int | None = None,
+        backend: str | None = None,
+    ) -> list[JobHandle]:
+        """Submit a scenario sweep; returns handles in submission order."""
+        resolved = [self._resolve_spec(s) for s in specs]
+        n = workers if workers is not None else self.workers
+        name = backend or self.backend
+        if name is None:  # historical automatics
+            name = "process" if (n and n > 1 and len(resolved) > 1) else "inline"
+        return [self._submit_one(s, name, n) for s in resolved]
+
+    def job(self, job_id: str) -> JobHandle | None:
+        """Look up a submitted job by id (jobs table / HTTP surface)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[JobHandle]:
+        """All retained jobs, oldest first."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    # ------------------------------------------------------------------
+    # Thin synchronous wrappers (the historical API, unchanged)
     # ------------------------------------------------------------------
     def run(self, spec: TaskSpec | dict | str) -> AnalysisReport:
         """Run one spec (a :class:`TaskSpec`, a spec dict, or a path to
         a scenario JSON file) and return its report."""
-        return _execute(self._coerce(spec), self.seed)
+        job = self.submit(spec, backend="inline")
+        report = job.result()
+        self._forget(job)
+        return report
 
     def run_batch(
         self,
         specs: Iterable[TaskSpec | dict | str],
         workers: int | None = None,
+        backend: str | None = None,
     ) -> list[AnalysisReport]:
         """Run a scenario sweep, optionally across worker processes.
 
         Reports come back in the order specs were given, and are
         identical to what serial execution produces.
         """
-        resolved: Sequence[TaskSpec] = [self._coerce(s) for s in specs]
-        n = workers if workers is not None else self.workers
-        if not n or n <= 1 or len(resolved) <= 1:
-            return [_execute(s, self.seed) for s in resolved]
-        # Specs whose query holds live domain objects (a BLTL, a
-        # TimeSeriesData, ...) cannot travel to a worker; run those
-        # in-process instead of killing the batch.
-        payloads: list[tuple[int, str]] = []
-        local: list[int] = []
-        for i, s in enumerate(resolved):
-            try:
-                payloads.append((i, s.to_json()))
-            except TypeError:
-                local.append(i)
-        reports: list[AnalysisReport | None] = [None] * len(resolved)
-        if payloads:
-            with ProcessPoolExecutor(max_workers=n) as pool:
-                texts = pool.map(
-                    _run_spec_json, [(p, self.seed) for _, p in payloads]
-                )
-                for (i, _), text in zip(payloads, texts):
-                    reports[i] = AnalysisReport.from_json(text)
-        for i in local:
-            reports[i] = _execute(resolved[i], self.seed)
+        handles = self.submit_batch(specs, workers, backend)
+        reports = [h.result() for h in handles]
+        for h in handles:
+            self._forget(h)
         return reports
+
+    def _forget(self, job: JobHandle) -> None:
+        # synchronous wrappers hand the report straight back; retaining
+        # the finished JobHandle (report + events) would be a memory
+        # regression for pre-redesign callers that loop over run()
+        with self._lock:
+            self._jobs.pop(job.id, None)
+
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Shut down the engine's worker pools (idempotent)."""
+        with self._lock:
+            backends, self._backends = list(self._backends.values()), {}
+        for b in backends:
+            b.shutdown(wait=wait)
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        # pools must not outlive a dropped engine (pre-redesign run_batch
+        # tore its pool down per call; callers never needed close())
+        try:
+            self.close(wait=False)
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve_spec(self, spec: TaskSpec | dict | str) -> TaskSpec:
+        ts = self._coerce(spec)
+        if ts.seed is None and self.seed is not None:
+            ts = ts.replace(seed=self.seed)
+        return ts
+
+    def _submit_one(
+        self, ts: TaskSpec, backend_name: str, workers: int | None
+    ) -> JobHandle:
+        with self._lock:
+            job = JobHandle(f"j{next(self._ids):06d}", ts)
+            self._jobs[job.id] = job
+            if len(self._jobs) > _MAX_JOBS:
+                # evict finished jobs oldest-first; skip (never drop) live
+                # ones so a stuck head entry cannot pin the whole table
+                for jid, old in list(self._jobs.items()):
+                    if len(self._jobs) <= _MAX_JOBS:
+                        break
+                    if old.done():
+                        del self._jobs[jid]
+
+        key = spec_key(ts) if self.cache is not None else None
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                job.from_cache = True
+                job.backend_name = "cache"
+                self._emit_engine_event(job, "cache-hit")
+                job._finish(cached, JobState.DONE)
+                return job
+
+        backend = self._backend(backend_name, workers)
+        payload: str | None = None
+        if backend.distributed:
+            try:
+                payload = ts.to_json()
+            except (TypeError, ValueError):
+                # Specs whose query holds live domain objects (a BLTL, a
+                # TimeSeriesData, ...) cannot travel to a worker; make the
+                # degraded parallelism visible instead of silent.
+                warnings.warn(
+                    f"spec {ts.name or ts.task!r} holds non-serializable query "
+                    f"objects and cannot run on the {backend.name!r} backend; "
+                    "running it serially in-process instead",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                backend = self._backend("inline", None)
+        job.backend_name = backend.name
+
+        if backend.distributed:
+            self._emit_engine_event(job, "dispatch")
+            job._mark_running()  # in-flight to a worker process
+            future = backend.submit(_run_spec_json, (payload, None))
+            job._future = future
+            future.add_done_callback(lambda f: self._finish_remote(job, key, f))
+        else:
+            future = backend.submit(self._run_job, job, ts, key)
+            job._future = future
+            # a queued thread-pool future can be cancelled before _run_job
+            # ever starts; make sure the job still reaches a terminal state
+            future.add_done_callback(
+                lambda f: f.cancelled()
+                and job._finish(_cancelled_report(ts), JobState.CANCELLED)
+            )
+        return job
+
+    def _run_job(self, job: JobHandle, ts: TaskSpec, key: str | None) -> None:
+        """Inline/thread worker: progress scope, cache store, job finish."""
+        if job.cancel_requested:
+            job._finish(_cancelled_report(ts), JobState.CANCELLED)
+            return
+        job._mark_running()
+        sink = self._make_sink(job)
+        try:
+            with progress_scope(
+                sink=sink, cancel=job._cancel, interval=self.progress_interval
+            ):
+                report = _execute(ts, None)
+        except JobCancelled:
+            job._finish(_cancelled_report(ts), JobState.CANCELLED)
+            return
+        except Exception as exc:  # infrastructure failure, not a task error
+            job._finish(
+                AnalysisReport(
+                    ts.task,
+                    AnalysisStatus.ERROR,
+                    detail=f"{type(exc).__name__}: {exc}",
+                    name=ts.name,
+                ),
+                JobState.FAILED,
+            )
+            return
+        self._store(key, report)
+        job._finish(report, JobState.DONE)
+
+    def _finish_remote(self, job: JobHandle, key: str | None, future) -> None:
+        """Done-callback for process-backend futures.
+
+        Must never raise: concurrent.futures swallows callback
+        exceptions, which would leave the job non-terminal and hang
+        every ``result()`` waiter.
+        """
+        try:
+            if future.cancelled():
+                job._finish(_cancelled_report(job.spec), JobState.CANCELLED)
+                return
+            exc = future.exception()
+            if exc is not None:
+                job._finish(
+                    AnalysisReport(
+                        job.spec.task,
+                        AnalysisStatus.ERROR,
+                        detail=f"{type(exc).__name__}: {exc}",
+                        name=job.spec.name,
+                    ),
+                    JobState.FAILED,
+                )
+                return
+            report = AnalysisReport.from_json(future.result())
+            if job.cancel_requested:
+                # the worker could not be interrupted; honor the request anyway
+                job._finish(_cancelled_report(job.spec), JobState.CANCELLED)
+                return
+            self._store(key, report)
+            job._finish(report, JobState.DONE)
+        except Exception as exc:
+            job._finish(
+                AnalysisReport(
+                    job.spec.task,
+                    AnalysisStatus.ERROR,
+                    detail=f"{type(exc).__name__}: {exc}",
+                    name=job.spec.name,
+                ),
+                JobState.FAILED,
+            )
+
+    def _store(self, key: str | None, report: AnalysisReport) -> None:
+        if (
+            key is not None
+            and self.cache is not None
+            and report.status
+            not in (AnalysisStatus.ERROR, AnalysisStatus.CANCELLED)
+        ):
+            try:
+                self.cache.put(key, report)
+            except OSError as exc:
+                # a broken cache store must not lose a finished report
+                warnings.warn(
+                    f"result cache write failed ({exc}); continuing uncached",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+    def _make_sink(self, job: JobHandle) -> Callable[[ProgressEvent], None]:
+        def sink(event: ProgressEvent) -> None:
+            job._record(event)
+            if self.progress is not None:
+                self.progress(job, event)
+
+        return sink
+
+    def _emit_engine_event(self, job: JobHandle, stage: str) -> None:
+        event = ProgressEvent("engine", stage, time=time.time())
+        job._record(event)
+        if self.progress is not None:
+            self.progress(job, event)
+
+    def _backend(self, name: str, workers: int | None) -> ExecutorBackend:
+        n = workers if workers is not None else self.workers
+        key = (name, n if name != "inline" else None)
+        with self._lock:
+            backend = self._backends.get(key)
+            if backend is None:
+                backend = make_backend(name, n)
+                self._backends[key] = backend
+            return backend
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -70,7 +70,7 @@ class AnalysisReport:
     @property
     def ok(self) -> bool:
         """The task completed (its verdict may still be negative)."""
-        return self.status is not AnalysisStatus.ERROR
+        return self.status not in (AnalysisStatus.ERROR, AnalysisStatus.CANCELLED)
 
     def __bool__(self) -> bool:
         """Truthy iff the task's own question was answered *yes*.

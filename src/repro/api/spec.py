@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field, fields
+from dataclasses import replace as _dataclass_replace
 from typing import Any, Mapping
 
 from .model import Model
@@ -101,6 +102,15 @@ class TaskSpec:
             self.solver = SolverOptions.from_dict(self.solver)
         if isinstance(self.sim, Mapping):
             self.sim = SimOptions.from_dict(self.sim)
+
+    # ------------------------------------------------------------------
+    def replace(self, **kwargs: Any) -> "TaskSpec":
+        """A copy with the given fields swapped out.
+
+        Future fields survive automatically (``dataclasses.replace``
+        under the hood), unlike a hand-rolled field-by-field copy.
+        """
+        return _dataclass_replace(self, **kwargs)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:

@@ -27,6 +27,7 @@ from typing import Mapping, Sequence
 
 from repro.intervals import Box, Interval
 from repro.odes import EnclosureError, ODESystem, flow_enclosure, rk45
+from repro.progress import emit as _progress
 
 __all__ = [
     "Checkpoint",
@@ -282,6 +283,10 @@ class SMTCalibrator:
                 saw_unknown = True
                 break
             processed += 1
+            _progress(
+                "calibrate", "branch-and-prune",
+                boxes=processed, queue=len(work),
+            )
             pbox = work.pop()
             fate = self._propagate(pbox, state_box)
             if fate is _Fate.PRUNED:
@@ -341,6 +346,11 @@ class SMTCalibrator:
                 undecided.extend(work)
                 break
             pbox = work.pop()
+            _progress(
+                "calibrate", "paving",
+                boxes=processed, queue=len(work),
+                sat=len(sat), unsat=len(unsat),
+            )
             fate = self._propagate(pbox, state_box)
             if fate is _Fate.PRUNED:
                 unsat.append(pbox)

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.odes import ODESystem, rk45
+from repro.progress import emit as _progress
 from repro.smc import InitialDistribution, StatisticalModelChecker, prop
 from repro.status import PipelineStage
 
@@ -119,6 +120,7 @@ class AnalysisPipeline:
         return self._run_impl(smc_samples_epsilon)
 
     def _run_impl(self, smc_samples_epsilon: float = 0.1) -> PipelineReport:
+        _progress("pipeline", "calibrate", step=1)
         calib = SMTCalibrator(
             self.system, self.train_data, self.param_ranges, self.x0,
             delta=self.delta, max_boxes=self.max_boxes,
@@ -138,6 +140,9 @@ class AnalysisPipeline:
             )
 
         params = res.params
+        _progress(
+            "pipeline", "validate", step=2, calibration_boxes=res.boxes_processed
+        )
         errors = self._validate(params)
         if not errors:
             return PipelineReport(
@@ -147,6 +152,9 @@ class AnalysisPipeline:
             )
 
         # validation failed: quantify with SMC under parameter jitter
+        _progress(
+            "pipeline", "smc-refine", step=3, misses=len(errors)
+        )
         prob = self._smc_probability(params, smc_samples_epsilon)
         return PipelineReport(
             PipelineStage.REFINE,

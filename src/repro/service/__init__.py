@@ -1,0 +1,53 @@
+"""The job-oriented service layer underneath :class:`repro.api.Engine`.
+
+The analyses of this framework are long-running (ICP branch-and-prune,
+SMC sampling sweeps, the full Fig. 2 pipeline), and the ROADMAP's north
+star is serving them at scale.  This package turns every analysis into
+a *job*:
+
+- :mod:`repro.service.jobs` -- :class:`JobHandle`: submit / poll /
+  cancel, an ordered per-job :class:`~repro.progress.ProgressEvent`
+  stream, and blocking ``result(timeout=...)``.
+- :mod:`repro.service.cache` -- :class:`ResultCache`: content-addressed
+  (canonical-spec-hash) report cache, in-memory LRU plus an optional
+  on-disk JSON store, consulted by every backend.
+- :mod:`repro.service.backends` -- the :class:`ExecutorBackend`
+  protocol with ``inline``, ``thread`` and ``process`` implementations.
+- :mod:`repro.service.server` -- a minimal stdlib ``http.server``-based
+  network surface: ``POST /run``, ``GET /jobs``, ``GET /jobs/<id>``,
+  ``POST /jobs/<id>/cancel``.
+
+The user-facing entry point stays :class:`repro.api.Engine`
+(``engine.submit(spec) -> JobHandle``); this package holds the moving
+parts.
+"""
+
+from repro.progress import JobCancelled, ProgressEvent
+
+from .backends import (
+    BACKEND_NAMES,
+    ExecutorBackend,
+    InlineBackend,
+    ProcessBackend,
+    ThreadBackend,
+    make_backend,
+)
+from .cache import ResultCache, spec_key
+from .jobs import JobHandle, JobState
+from .server import ServiceServer
+
+__all__ = [
+    "ProgressEvent",
+    "JobCancelled",
+    "JobHandle",
+    "JobState",
+    "ResultCache",
+    "spec_key",
+    "ExecutorBackend",
+    "InlineBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+    "BACKEND_NAMES",
+    "ServiceServer",
+]

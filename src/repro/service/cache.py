@@ -1,0 +1,140 @@
+"""Content-addressed result cache: canonical spec hash -> report.
+
+Every task of this framework is deterministic given its resolved spec
+(model recipe, query, options, seed), so identical scenarios submitted
+under load can be served from cache instead of re-running minutes of
+branch-and-prune.  The key is the SHA-256 of the spec's canonical JSON
+(sorted keys, no whitespace) *after* engine-level seed resolution; specs
+whose query holds live domain objects simply are not cacheable
+(:func:`spec_key` returns ``None``) and run every time.
+
+Reports are stored as their serialized JSON text, so a cache hit
+deserializes a fresh object -- byte-identical ``to_json()`` output,
+no aliasing between callers.  An optional on-disk store (one
+``<hash>.json`` per report under ``cache_dir``) persists results across
+processes and services; the in-memory LRU fronts it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.api.report import AnalysisReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.spec import TaskSpec
+
+__all__ = ["spec_key", "ResultCache"]
+
+
+def spec_key(spec: "TaskSpec") -> str | None:
+    """The content hash of a spec, or ``None`` if it is not JSON-able."""
+    try:
+        text = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError):
+        return None
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Thread-safe LRU of report JSON, optionally backed by a directory.
+
+    Parameters
+    ----------
+    max_entries:
+        In-memory LRU capacity (eviction does not touch the disk store).
+    cache_dir:
+        Optional directory for the persistent JSON store; created on
+        first write.
+    """
+
+    def __init__(self, max_entries: int = 256, cache_dir: str | os.PathLike | None = None):
+        self.max_entries = int(max_entries)
+        self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
+        self._mem: OrderedDict[str, str] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> AnalysisReport | None:
+        """Look up a report; counts a hit or a miss.
+
+        A corrupt or schema-incompatible stored entry (truncated disk
+        file, report shape from an older version) counts as a miss --
+        the analysis re-runs and overwrites it -- instead of poisoning
+        every future submission of that spec.
+        """
+        with self._lock:
+            text = self._mem.get(key)
+        if text is None and self.cache_dir is not None:
+            try:
+                with open(self._path(key), "r", encoding="utf-8") as fh:
+                    text = fh.read()
+            except OSError:
+                text = None
+        report = None
+        if text is not None:
+            try:
+                report = AnalysisReport.from_json(text)
+            except (ValueError, KeyError, TypeError):
+                report = None  # ValueError covers json.JSONDecodeError
+        with self._lock:
+            if report is None:
+                self._mem.pop(key, None)
+                self.misses += 1
+            else:
+                self._remember(key, text)  # (re-)insert and bump to MRU
+                self.hits += 1
+        return report
+
+    def put(self, key: str, report: AnalysisReport) -> None:
+        """Store a report under its spec hash (memory + disk)."""
+        text = report.to_json()
+        with self._lock:
+            self._remember(key, text)
+            self.stores += 1
+        if self.cache_dir is not None:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            path = self._path(key)
+            tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            os.replace(tmp, path)  # atomic under concurrent writers
+
+    def stats(self) -> dict[str, float]:
+        """Hit/miss/store counters plus current occupancy."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "entries": len(self._mem),
+            }
+
+    def clear(self) -> None:
+        """Drop the in-memory LRU (the disk store is left alone)."""
+        with self._lock:
+            self._mem.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._mem)
+
+    # ------------------------------------------------------------------
+    def _remember(self, key: str, text: str) -> None:
+        # caller holds the lock
+        self._mem[key] = text
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.max_entries:
+            self._mem.popitem(last=False)
+
+    def _path(self, key: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, f"{key}.json")

@@ -1,0 +1,213 @@
+"""The first network-facing surface: a stdlib-only job service.
+
+``python -m repro serve`` starts a :class:`ServiceServer`, a thin
+``http.server`` wrapper around one :class:`~repro.api.Engine`:
+
+=======  ====================  =========================================
+method   path                  meaning
+=======  ====================  =========================================
+POST     ``/run``              submit a spec; returns ``{"job": id}``
+GET      ``/jobs``             jobs table + cache counters
+GET      ``/jobs/<id>``        one job: state, events, report when done
+POST     ``/jobs/<id>/cancel`` request cooperative cancellation
+GET      ``/health``           liveness + registered task kinds
+=======  ====================  =========================================
+
+The POST body of ``/run`` is either a bare spec dict (the same JSON a
+scenario file holds) or ``{"spec": {...}, "backend": "thread"}``.
+Submission is asynchronous -- the response carries the job id, and
+clients poll ``GET /jobs/<id>`` (or a ``wait`` query parameter blocks
+server-side for a bounded time).  Everything is JSON over
+``ThreadingHTTPServer``; no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+__all__ = ["ServiceServer"]
+
+
+class ServiceServer:
+    """A job service bound to one engine.
+
+    Parameters
+    ----------
+    engine:
+        The engine jobs are submitted to; by default a fresh
+        ``Engine(cache=True)`` so repeated scenarios are served from
+        the result cache.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (exposed as
+        :attr:`port` after construction).
+    backend:
+        Default executor backend for submitted jobs (overridable per
+        request).
+    """
+
+    def __init__(
+        self,
+        engine=None,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        backend: str = "thread",
+    ):
+        if engine is None:
+            from repro.api.engine import Engine  # deferred: api imports service
+
+            # rate-limit recorded events: a serve engine handles many
+            # concurrent jobs, and per-sample recording is hot-loop cost
+            engine = Engine(cache=True, progress_interval=0.5)
+        self.engine = engine
+        self.backend = backend
+        service = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, fmt: str, *args: Any) -> None:
+                pass  # keep the server quiet; clients see JSON errors
+
+            def _reply(self, code: int, payload: dict) -> None:
+                body = json.dumps(payload).encode("utf-8")
+                self.send_response(code)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _error(self, code: int, message: str) -> None:
+                self._reply(code, {"error": message})
+
+            # ---------------------------------------------------------
+            def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+                try:
+                    service._get(self)
+                except Exception as exc:  # one request must not kill the server
+                    self._error(500, f"{type(exc).__name__}: {exc}")
+
+            def do_POST(self) -> None:  # noqa: N802
+                try:
+                    service._post(self)
+                except Exception as exc:
+                    self._error(500, f"{type(exc).__name__}: {exc}")
+
+        self.httpd = ThreadingHTTPServer((host, port), Handler)
+        self.httpd.daemon_threads = True
+        self.host, self.port = self.httpd.server_address[:2]
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def start(self) -> "ServiceServer":
+        """Serve on a background thread (for tests and embedding)."""
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # -- request handling ----------------------------------------------
+    def _get(self, req: Any) -> None:
+        path, _, query = req.path.partition("?")
+        parts = [p for p in path.split("/") if p]
+        if parts == ["health"]:
+            from repro.api.tasks import task_names  # deferred: api imports service
+
+            req._reply(200, {"ok": True, "tasks": task_names()})
+            return
+        if parts == ["jobs"]:
+            req._reply(
+                200,
+                {
+                    "jobs": [j.summary() for j in self.engine.jobs()],
+                    "cache": self.engine.cache.stats() if self.engine.cache else None,
+                },
+            )
+            return
+        if len(parts) == 2 and parts[0] == "jobs":
+            job = self.engine.job(parts[1])
+            if job is None:
+                req._error(404, f"no such job: {parts[1]}")
+                return
+            wait = _query_float(query, "wait")
+            if wait is not None:
+                try:
+                    job.result(timeout=min(wait, 60.0))
+                except TimeoutError:
+                    pass
+            req._reply(200, job.summary(with_report=True, recent_events=10))
+            return
+        req._error(404, f"no such resource: {path}")
+
+    def _post(self, req: Any) -> None:
+        # always drain the body first: unread bytes would be parsed as
+        # the next request line on an HTTP/1.1 keep-alive connection
+        length = int(req.headers.get("Content-Length") or 0)
+        body = req.rfile.read(length) if length else b""
+        parts = [p for p in req.path.split("/") if p]
+        if parts == ["run"]:
+            try:
+                payload = json.loads(body or b"{}")
+            except json.JSONDecodeError as exc:
+                req._error(400, f"invalid JSON body: {exc}")
+                return
+            if not isinstance(payload, dict):
+                req._error(400, "body must be a spec object")
+                return
+            spec = payload.get("spec", payload)
+            if not isinstance(spec, dict):
+                # a string spec would hit TaskSpec.from_file -- network
+                # clients must not be able to read server-local paths
+                req._error(400, "spec must be a JSON object, not a path")
+                return
+            backend = str(payload.get("backend") or self.backend)
+            try:
+                job = self.engine.submit(spec, backend=backend)
+            except (ValueError, KeyError, TypeError) as exc:
+                req._error(400, f"bad spec: {exc}")
+                return
+            req._reply(202, {"job": job.id, "state": job.status.value})
+            return
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+            job = self.engine.job(parts[1])
+            if job is None:
+                req._error(404, f"no such job: {parts[1]}")
+                return
+            job.cancel()
+            req._reply(200, job.summary())
+            return
+        req._error(404, f"no such resource: {req.path}")
+
+
+def _query_float(query: str, name: str) -> float | None:
+    for part in query.split("&"):
+        key, _, value = part.partition("=")
+        if key == name and value:
+            try:
+                return float(value)
+            except ValueError:
+                return None
+    return None

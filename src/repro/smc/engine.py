@@ -8,12 +8,14 @@ probabilities are tested (SPRT) or estimated (Chernoff / Bayesian).
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.hybrid import HybridAutomaton, simulate_hybrid
 from repro.odes import ODESystem, rk45
+from repro.progress import emit as _progress
 
 from .bltl import BLTL, monitor
 from .stats import (
@@ -119,7 +121,10 @@ class StatisticalModelChecker:
         )
 
     def _bernoulli(self, phi: BLTL) -> Callable[[], bool]:
+        counter = itertools.count(1)
+
         def draw() -> bool:
+            _progress("smc", "sampling", samples=next(counter))
             traj = self.sample_trajectory()
             return monitor(phi, traj)
 

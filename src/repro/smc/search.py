@@ -24,6 +24,7 @@ from typing import Callable, Mapping
 from repro.intervals import Box
 from repro.odes import ODESystem, rk45
 from repro.hybrid import HybridAutomaton, simulate_hybrid
+from repro.progress import emit as _progress
 
 from .bltl import BLTL, robustness
 from .engine import InitialDistribution
@@ -115,9 +116,13 @@ def cross_entropy_search(
     history: list[float] = []
     evals = 0
 
-    for _ in range(iterations):
+    for it in range(iterations):
         samples: list[tuple[float, dict[str, float]]] = []
         for _ in range(population):
+            _progress(
+                "search", "cross-entropy",
+                iteration=it + 1, evaluations=evals, best=best_fit,
+            )
             cand = {
                 k: min(max(rng.gauss(mu[k], sigma[k]), box[k].lo), box[k].hi)
                 for k in names
@@ -168,7 +173,11 @@ def genetic_search(
     best_idx = max(range(population), key=lambda i: fits[i])
     best, best_fit = dict(pop[best_idx]), fits[best_idx]
 
-    for _ in range(generations):
+    for gen in range(generations):
+        _progress(
+            "search", "genetic",
+            generation=gen + 1, evaluations=evals, best=best_fit,
+        )
         new_pop: list[dict[str, float]] = [dict(best)]  # elitism
         while len(new_pop) < population:
             # tournament selection of two parents

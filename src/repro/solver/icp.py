@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from repro.expr import var as _var
 from repro.intervals import Box
 from repro.logic import And, Exists, Formula, Or
+from repro.progress import emit as _progress
 
 from .contractor import fixpoint_contract
 from .eval3 import Certainty, certainly_delta_sat, eval_formula
@@ -184,6 +185,11 @@ class DeltaSolver:
             __, __, depth, current = heapq.heappop(heap)
             stats.boxes_processed += 1
             stats.max_depth = max(stats.max_depth, depth)
+            _progress(
+                "icp", "branch-and-prune",
+                boxes=stats.boxes_processed, queue=len(heap),
+                depth=depth, splits=stats.splits,
+            )
 
             contracted = fixpoint_contract(phi, current, tol=self.contract_tol)
             if contracted.is_empty:
@@ -240,6 +246,11 @@ class DeltaSolver:
                 undecided.extend(work)
                 break
             current = work.pop()
+            _progress(
+                "icp", "paving",
+                boxes=processed, queue=len(work),
+                sat=len(sat_boxes), unsat=len(unsat_boxes),
+            )
             contracted = fixpoint_contract(phi, current, tol=self.contract_tol)
             if contracted.is_empty:
                 unsat_boxes.append(current)

@@ -42,6 +42,7 @@ class AnalysisStatus(str, enum.Enum):
     # quantitative outcomes and infrastructure
     ESTIMATED = "estimated"
     ERROR = "error"
+    CANCELLED = "cancelled"  # job interrupted at a progress checkpoint
 
     def __str__(self) -> str:  # repr-friendly: print the value, not the member
         return self.value
@@ -49,7 +50,11 @@ class AnalysisStatus(str, enum.Enum):
     @property
     def conclusive(self) -> bool:
         """Whether the analysis reached a definite verdict."""
-        return self not in (AnalysisStatus.UNKNOWN, AnalysisStatus.ERROR)
+        return self not in (
+            AnalysisStatus.UNKNOWN,
+            AnalysisStatus.ERROR,
+            AnalysisStatus.CANCELLED,
+        )
 
 
 #: The Fig. 2 workflow states, shared with :class:`AnalysisStatus` so a

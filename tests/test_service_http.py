@@ -1,0 +1,141 @@
+"""HTTP round-trips against the ``repro serve`` job service, bound to
+an ephemeral port."""
+
+import json
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+import pytest
+
+from repro.api import Engine, ServiceServer
+
+
+def smc_spec(name="http-smc"):
+    return {
+        "task": "smc",
+        "name": name,
+        "model": {"builtin": "logistic"},
+        "query": {
+            "phi": {"op": "F", "bound": 6.0, "arg": "x >= 5.0"},
+            "init": {"x": [0.3, 0.7]},
+            "horizon": 6.0,
+            "method": "probability",
+            "epsilon": 0.25,
+            "alpha": 0.2,
+        },
+    }
+
+
+def _get(url, timeout=30.0):
+    with urlopen(url, timeout=timeout) as resp:
+        return resp.status, json.load(resp)
+
+
+def _post(url, payload, timeout=30.0):
+    req = Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urlopen(req, timeout=timeout) as resp:
+        return resp.status, json.load(resp)
+
+
+@pytest.fixture(scope="module")
+def server():
+    engine = Engine(seed=0, cache=True)
+    with ServiceServer(engine, port=0) as srv:  # port 0 -> ephemeral
+        yield srv
+    engine.close()
+
+
+class TestServe:
+    def test_health(self, server):
+        status, payload = _get(f"{server.url}/health")
+        assert status == 200
+        assert payload["ok"] is True
+        assert "calibrate" in payload["tasks"]
+
+    def test_submit_poll_report_roundtrip(self, server):
+        status, sub = _post(f"{server.url}/run", smc_spec("roundtrip"))
+        assert status == 202
+        job_id = sub["job"]
+
+        # ?wait= blocks server-side until the job is done
+        status, job = _get(f"{server.url}/jobs/{job_id}?wait=60")
+        assert status == 200
+        assert job["state"] == "done"
+        assert job["status"] == "estimated"
+        assert job["report"]["metrics"]["probability"] == pytest.approx(1.0, abs=0.05)
+        assert job["events"] > 0
+
+        # identical resubmission is served from the result cache
+        _, sub2 = _post(f"{server.url}/run", smc_spec("roundtrip"))
+        _, job2 = _get(f"{server.url}/jobs/{sub2['job']}?wait=60")
+        assert job2["from_cache"] is True
+        assert job2["report"] == job["report"]
+
+    def test_jobs_table_lists_submissions(self, server):
+        _post(f"{server.url}/run", smc_spec("listed"))
+        status, payload = _get(f"{server.url}/jobs")
+        assert status == 200
+        names = [j["name"] for j in payload["jobs"]]
+        assert "listed" in names
+        assert payload["cache"] is not None
+
+    def test_cancel_endpoint(self, server):
+        slow = {
+            "task": "calibrate",
+            "name": "http-slow",
+            "model": {"builtin": "logistic"},
+            "query": {
+                "data": {"samples": [[2.0, {"x": 1.45}]], "tolerance": 1e-6},
+                "param_ranges": {"r": [0.1, 2.0]},
+                "x0": {"x": 0.5},
+            },
+            "solver": {
+                "delta": 1e-9,
+                "max_boxes": 200_000,
+                "use_simulation_guidance": False,
+            },
+        }
+        _, sub = _post(f"{server.url}/run", slow)
+        status, cancelled = _post(f"{server.url}/jobs/{sub['job']}/cancel", {})
+        assert status == 200
+        _, job = _get(f"{server.url}/jobs/{sub['job']}?wait=30")
+        assert job["state"] == "cancelled"
+        assert job["status"] == "cancelled"
+
+    def test_unknown_job_404(self, server):
+        with pytest.raises(HTTPError) as err:
+            _get(f"{server.url}/jobs/j999999")
+        assert err.value.code == 404
+
+    def test_bad_spec_400(self, server):
+        with pytest.raises(HTTPError) as err:
+            _post(f"{server.url}/run", {"model": {"builtin": "logistic"}})
+        assert err.value.code == 400
+
+    def test_string_spec_rejected_not_read_as_path(self, server):
+        # a path-string spec must never reach TaskSpec.from_file: that
+        # would let network clients read/execute server-local files
+        with pytest.raises(HTTPError) as err:
+            _post(f"{server.url}/run", {"spec": "/etc/hostname"})
+        assert err.value.code == 400
+        assert "path" in json.loads(err.value.read())["error"]
+
+    def test_backend_override_per_request(self, server):
+        _, sub = _post(
+            f"{server.url}/run",
+            {"spec": smc_spec("inline-job"), "backend": "inline"},
+        )
+        _, job = _get(f"{server.url}/jobs/{sub['job']}")
+        assert job["state"] in ("done",)  # inline finishes before the response
+
+    def test_cli_jobs_command(self, server, capsys):
+        from repro.api.cli import main
+
+        assert main(["jobs", server.url]) == 0
+        out = capsys.readouterr().out
+        assert "id" in out and "state" in out
