@@ -39,6 +39,9 @@ class SolverOptions:
     enclosure_order: int = 2
     contract_tol: float = 1e-2
     use_simulation_guidance: bool = True
+    # Width K of the breadth-wise ICP frontier: how many boxes each
+    # vectorized tape pass contracts/judges at once (1 = scalar loop).
+    frontier_size: int = 64
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any] | None) -> "SolverOptions":

@@ -264,6 +264,7 @@ class FalsifyTask(Task):
                 ),
                 delta=o.delta,
                 max_boxes=o.max_boxes,
+                frontier_size=o.frontier_size,
             )
         else:
             raise ValueError(f"unknown falsify method {method!r}")
@@ -456,6 +457,7 @@ class LyapunovTask(Task):
             eps_v=float(q.get("eps_v", 1e-3)),
             eps_dv=float(q.get("eps_dv", 1e-4)),
             delta=spec.solver.delta,
+            frontier_size=spec.solver.frontier_size,
         )
         mode = str(q.get("mode", "synthesize"))
         if mode == "synthesize":

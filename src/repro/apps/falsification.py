@@ -224,6 +224,7 @@ def _falsify_ascent_impl(
     param_ranges: Mapping[str, tuple[float, float]] | None = None,
     delta: float = 1e-4,
     max_boxes: int = 200_000,
+    frontier_size: int = 64,
 ) -> FalsificationVerdict:
     if variable not in system.state_names:
         raise ValueError(f"unknown state variable {variable!r}")
@@ -250,7 +251,9 @@ def _falsify_ascent_impl(
     dims.update(searched)
     box = Box.from_bounds(dims)
 
-    result = DeltaSolver(delta=delta, max_boxes=max_boxes)._solve_impl(query, box)
+    result = DeltaSolver(
+        delta=delta, max_boxes=max_boxes, frontier_size=frontier_size
+    )._solve_impl(query, box)
     direction = "ascent" if to_level >= from_level else "descent"
     if result.status is Status.UNSAT:
         return FalsificationVerdict(

@@ -38,7 +38,8 @@ from repro.hybrid import HybridAutomaton, formula_margin
 from repro.intervals import Box, Interval
 from repro.logic import Formula, TrueFormula
 from repro.odes import EnclosureError, ReachTube, flow_enclosure, rk45
-from repro.solver import Certainty, eval_formula, fixpoint_contract
+from repro.solver import Certainty, fixpoint_contract
+from repro.solver.eval3 import _eval_formula_impl as eval_formula
 
 from .paths import Path, enumerate_paths
 

@@ -14,7 +14,7 @@ import numpy as np
 
 from .ast import Binary, Const, Expr, Unary, Var
 
-__all__ = ["compile_numpy", "compile_vector_field"]
+__all__ = ["compile_numpy", "compile_vector_field", "compile_vector_field_batch"]
 
 _UNARY_NP = {
     "neg": "-({0})",
@@ -95,6 +95,32 @@ def compile_vector_field(
         "def _field(_t, _y, _p):\n"
         f"    return np.array([{joined}], dtype=float)\n"
     )
+    scope: dict = {"np": np, "_sigmoid": _sigmoid}
+    exec(src, scope)  # noqa: S102
+    return scope["_field"]
+
+
+def compile_vector_field_batch(
+    exprs: Sequence[Expr], state_names: Sequence[str], param_names: Sequence[str] = ()
+) -> Callable[..., np.ndarray]:
+    """Compile a vector field over a whole *batch* of states at once.
+
+    The returned ``f(t, Y, params) -> ndarray`` takes ``Y`` of shape
+    ``(dim, n)`` -- one column per trajectory/particle -- and returns the
+    derivatives in the same shape.  Parameters may be scalars or
+    ``(n,)`` arrays (per-particle parameters); both broadcast.  Each
+    component is assigned into a preallocated output row, so constant
+    derivatives broadcast instead of producing ragged arrays.
+    """
+    names = {n: f"_Y[{i}]" for i, n in enumerate(state_names)}
+    names["t"] = "_t"
+    for p in param_names:
+        names.setdefault(p, f"_p[{p!r}]")
+    lines = ["def _field(_t, _Y, _p):", "    _out = np.empty_like(_Y)"]
+    for i, e in enumerate(exprs):
+        lines.append(f"    _out[{i}] = {_emit(e, names)}")
+    lines.append("    return _out")
+    src = "\n".join(lines) + "\n"
     scope: dict = {"np": np, "_sigmoid": _sigmoid}
     exec(src, scope)  # noqa: S102
     return scope["_field"]

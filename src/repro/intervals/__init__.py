@@ -7,5 +7,6 @@ procedure of paper Section III.
 
 from .interval import EMPTY, Interval
 from .box import Box
+from .array import BoxArray, IntervalArray
 
-__all__ = ["Interval", "Box", "EMPTY"]
+__all__ = ["Interval", "Box", "EMPTY", "IntervalArray", "BoxArray"]

@@ -1,0 +1,527 @@
+"""Vectorized interval arithmetic: batches of intervals and boxes.
+
+This is the data-parallel twin of :mod:`repro.intervals.interval`: an
+:class:`IntervalArray` holds ``n`` independent intervals as ``lo``/``hi``
+float64 arrays and applies every operation to the whole batch at once
+with NumPy, and a :class:`BoxArray` holds ``n`` boxes over a fixed,
+ordered variable tuple as ``(n, dim)`` bound arrays.
+
+The semantics mirror the scalar kernel operation by operation:
+
+* outward rounding is the same one-ulp ``nextafter`` bump, skipped when
+  the double result is provably exact (TwoSum residual for addition,
+  Dekker two-product residual for multiplication) -- so batched results
+  are bit-identical to the scalar kernel wherever both are defined;
+* the empty interval is ``lo > hi`` (canonically ``[+inf, -inf]``) and
+  propagates through every operation;
+* the inclusion property holds row-wise: for any ``x in X[i]``,
+  ``y in Y[i]``, ``op(X, Y)[i]`` contains ``op(x, y)``.
+
+The ICP frontier loop and the formula tape evaluator
+(:mod:`repro.solver.tape`) run entirely on these arrays, which is what
+turns the per-box scalar search into a batch-of-boxes search.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .box import Box
+from .interval import Interval
+
+__all__ = ["IntervalArray", "BoxArray"]
+
+_INF = math.inf
+_FLOAT_MAX = math.nextafter(_INF, 0.0)
+_SPLITTER = 134217729.0  # 2**27 + 1, Dekker splitting constant
+
+def _quiet():
+    """Fresh errstate: outward rounding deliberately produces infinities,
+    0*inf, and empty-lane NaNs that are masked out afterwards."""
+    return np.errstate(all="ignore")
+
+
+def _down(x: np.ndarray) -> np.ndarray:
+    """One ulp toward -inf; ``+inf`` clamps to the largest finite double
+    (matching the scalar kernel's overflow-sound lower bounds)."""
+    return np.nextafter(x, -_INF)
+
+
+def _up(x: np.ndarray) -> np.ndarray:
+    return np.nextafter(x, _INF)
+
+
+def _add_bound(a: np.ndarray, b: np.ndarray, up: bool) -> np.ndarray:
+    """Directed a+b: exact when the TwoSum residual vanishes."""
+    s = a + b
+    bb = s - a
+    err = (a - (s - bb)) + (b - bb)
+    exact = np.isfinite(s) & (err == 0.0)
+    return np.where(exact, s, _up(s) if up else _down(s))
+
+
+def _mul_exact(a: np.ndarray, b: np.ndarray, p: np.ndarray) -> np.ndarray:
+    """Mask of lanes where ``p == a*b`` exactly (Dekker residual)."""
+    big = ~np.isfinite(p) | (np.abs(a) > 1e150) | (np.abs(b) > 1e150)
+    ca = _SPLITTER * a
+    ah = ca - (ca - a)
+    al = a - ah
+    cb = _SPLITTER * b
+    bh = cb - (cb - b)
+    bl = b - bh
+    err = ((ah * bh - p) + ah * bl + al * bh) + al * bl
+    fallback = (p == 0.0) & ((a == 0.0) | (b == 0.0))
+    return np.where(big, fallback, err == 0.0)
+
+
+class IntervalArray:
+    """A batch of closed intervals ``[lo[i], hi[i]]`` under outward-rounded
+    vectorized arithmetic.  Rows with ``lo > hi`` are empty."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray):
+        self.lo = np.asarray(lo, dtype=float)
+        self.hi = np.asarray(hi, dtype=float)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def make(lo, hi) -> "IntervalArray":
+        """Sanitizing constructor: NaN bounds become empty rows."""
+        lo = np.asarray(lo, dtype=float).copy()
+        hi = np.asarray(hi, dtype=float).copy()
+        bad = np.isnan(lo) | np.isnan(hi)
+        lo[bad] = _INF
+        hi[bad] = -_INF
+        return IntervalArray(lo, hi)
+
+    @staticmethod
+    def point(x) -> "IntervalArray":
+        x = np.asarray(x, dtype=float)
+        return IntervalArray(x.copy(), x.copy())
+
+    @staticmethod
+    def constant(value: float, n: int) -> "IntervalArray":
+        return IntervalArray(np.full(n, float(value)), np.full(n, float(value)))
+
+    @staticmethod
+    def empty(n: int) -> "IntervalArray":
+        return IntervalArray(np.full(n, _INF), np.full(n, -_INF))
+
+    @staticmethod
+    def entire(n: int) -> "IntervalArray":
+        return IntervalArray(np.full(n, -_INF), np.full(n, _INF))
+
+    @staticmethod
+    def from_intervals(ivs: Iterable[Interval]) -> "IntervalArray":
+        ivs = list(ivs)
+        return IntervalArray(
+            np.array([iv.lo for iv in ivs], dtype=float),
+            np.array([iv.hi for iv in ivs], dtype=float),
+        )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.lo.shape[0])
+
+    def __getitem__(self, i) -> Interval:
+        return Interval(float(self.lo[i]), float(self.hi[i]))
+
+    def copy(self) -> "IntervalArray":
+        return IntervalArray(self.lo.copy(), self.hi.copy())
+
+    def take(self, idx) -> "IntervalArray":
+        return IntervalArray(self.lo[idx], self.hi[idx])
+
+    def to_intervals(self) -> list[Interval]:
+        return [Interval(float(a), float(b)) for a, b in zip(self.lo, self.hi)]
+
+    # ------------------------------------------------------------------
+    # Predicates and measures (per row)
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> np.ndarray:
+        return self.lo > self.hi
+
+    def width(self) -> np.ndarray:
+        with _quiet():
+            return np.where(self.is_empty, 0.0, self.hi - self.lo)
+
+    def contains(self, x) -> np.ndarray:
+        return ~self.is_empty & (self.lo <= x) & (x <= self.hi)
+
+    def contains_zero(self) -> np.ndarray:
+        return self.contains(0.0)
+
+    # ------------------------------------------------------------------
+    # Set operations (per row)
+    # ------------------------------------------------------------------
+    def intersect(self, other: "IntervalArray") -> "IntervalArray":
+        return IntervalArray(
+            np.maximum(self.lo, other.lo), np.minimum(self.hi, other.hi)
+        )
+
+    def hull(self, other: "IntervalArray") -> "IntervalArray":
+        """Row-wise hull; empty rows contribute nothing."""
+        lo = np.where(self.is_empty, other.lo, np.where(other.is_empty, self.lo,
+                      np.minimum(self.lo, other.lo)))
+        hi = np.where(self.is_empty, other.hi, np.where(other.is_empty, self.hi,
+                      np.maximum(self.hi, other.hi)))
+        return IntervalArray(lo, hi)
+
+    def _propagate_empty(self, *sources: "IntervalArray") -> "IntervalArray":
+        dead = self.is_empty
+        for s in sources:
+            dead = dead | s.is_empty
+        if dead.any():
+            lo = np.where(dead, _INF, self.lo)
+            hi = np.where(dead, -_INF, self.hi)
+            return IntervalArray(lo, hi)
+        return self
+
+    # ------------------------------------------------------------------
+    # Arithmetic (outward rounded, mirrors the scalar kernel)
+    # ------------------------------------------------------------------
+    def __add__(self, other: "IntervalArray") -> "IntervalArray":
+        with _quiet():
+            out = IntervalArray(
+                _add_bound(self.lo, other.lo, up=False),
+                _add_bound(self.hi, other.hi, up=True),
+            )
+        return out._propagate_empty(self, other)
+
+    def __neg__(self) -> "IntervalArray":
+        return IntervalArray(-self.hi, -self.lo)
+
+    def __sub__(self, other: "IntervalArray") -> "IntervalArray":
+        return self + (-other)
+
+    def __mul__(self, other: "IntervalArray") -> "IntervalArray":
+        # The four corner products, examined in the scalar kernel's
+        # candidate order so tie-breaking picks the same corner.
+        with _quiet():
+            al, ah, bl, bh = self.lo, self.hi, other.lo, other.hi
+            p0 = al * bl
+            p1 = al * bh
+            p2 = ah * bl
+            p3 = ah * bh
+            for p in (p0, p1, p2, p3):
+                p[np.isnan(p)] = 0.0  # 0 * inf
+            plo = np.minimum(np.minimum(p0, p1), np.minimum(p2, p3))
+            phi_ = np.maximum(np.maximum(p0, p1), np.maximum(p2, p3))
+            # first corner (in candidate order) achieving each extremum
+            m1, m2 = p1 == plo, p2 == plo
+            f0 = p0 == plo
+            alo = np.where(f0, al, np.where(m1, al, np.where(m2, ah, ah)))
+            blo = np.where(f0, bl, np.where(m1, bh, np.where(m2, bl, bh)))
+            x1, x2 = p1 == phi_, p2 == phi_
+            g0 = p0 == phi_
+            ahi = np.where(g0, al, np.where(x1, al, np.where(x2, ah, ah)))
+            bhi = np.where(g0, bl, np.where(x1, bh, np.where(x2, bl, bh)))
+            lo = np.where(_mul_exact(alo, blo, plo), plo, _down(plo))
+            hi = np.where(_mul_exact(ahi, bhi, phi_), phi_, _up(phi_))
+        return IntervalArray(lo, hi)._propagate_empty(self, other)
+
+    def inverse(self) -> "IntervalArray":
+        """Row-wise 1/self with the scalar kernel's zero-case analysis."""
+        with _quiet():
+            inv_hi = 1.0 / self.hi  # used for lower bounds
+            inv_lo = 1.0 / self.lo  # used for upper bounds
+            zero_point = (self.lo == 0.0) & (self.hi == 0.0)
+            zero_at_lo = (self.lo == 0.0) & ~zero_point
+            zero_at_hi = (self.hi == 0.0) & ~zero_point
+            interior = self.contains(0.0) & ~zero_point & ~zero_at_lo & ~zero_at_hi
+            lo = _down(inv_hi)
+            hi = _up(inv_lo)
+            lo = np.where(zero_at_lo, _down(inv_hi), lo)
+            hi = np.where(zero_at_lo, _INF, hi)
+            lo = np.where(zero_at_hi, -_INF, lo)
+            hi = np.where(zero_at_hi, _up(inv_lo), hi)
+            lo = np.where(interior, -_INF, lo)
+            hi = np.where(interior, _INF, hi)
+            lo = np.where(zero_point, _INF, lo)
+            hi = np.where(zero_point, -_INF, hi)
+        return IntervalArray(lo, hi)._propagate_empty(self)
+
+    def __truediv__(self, other: "IntervalArray") -> "IntervalArray":
+        return (self * other.inverse())._propagate_empty(self, other)
+
+    def __abs__(self) -> "IntervalArray":
+        lo = np.where(self.lo >= 0.0, self.lo,
+                      np.where(self.hi <= 0.0, -self.hi, 0.0))
+        hi = np.where(self.lo >= 0.0, self.hi,
+                      np.where(self.hi <= 0.0, -self.lo,
+                               np.maximum(-self.lo, self.hi)))
+        return IntervalArray(lo, hi)._propagate_empty(self)
+
+    def sqr(self) -> "IntervalArray":
+        a = abs(self)
+        with _quiet():
+            out = IntervalArray(_down(a.lo * a.lo), _up(a.hi * a.hi))
+        return out._propagate_empty(self)
+
+    def pow_int(self, n: int) -> "IntervalArray":
+        """Integer power with the scalar kernel's monotonicity analysis."""
+        n = int(n)
+        if n == 0:
+            out = IntervalArray.constant(1.0, len(self))
+            return out._propagate_empty(self)
+        if n < 0:
+            return self.pow_int(-n).inverse()._propagate_empty(self)
+        with _quiet():
+            if n % 2 == 0:
+                a = abs(self)
+                out = IntervalArray(_down(a.lo ** n), _up(a.hi ** n))
+            else:
+                out = IntervalArray(_down(self.lo ** n), _up(self.hi ** n))
+        return out._propagate_empty(self)
+
+    def pow_scalar(self, n: float) -> "IntervalArray":
+        """``self ** n`` for a fixed real exponent (the scalar ``pow``)."""
+        if float(n).is_integer():
+            return self.pow_int(int(n))
+        base = self.intersect(IntervalArray.constant(0.0, len(self)).replace_hi(_INF))
+        with _quiet():
+            # rows with base.lo > 0: exp(n * log(base))
+            pos = (base.log() * IntervalArray.constant(float(n), len(self))).exp()
+            # rows touching zero: hull with [0, 0] after flooring the base
+            floored = IntervalArray(np.maximum(base.lo, 1e-300), base.hi)
+            touch = (floored.log() * IntervalArray.constant(float(n), len(self))).exp()
+            touch = IntervalArray(np.minimum(touch.lo, 0.0), np.maximum(touch.hi, 0.0))
+        zero_lo = base.lo <= 0.0
+        lo = np.where(zero_lo, touch.lo, pos.lo)
+        hi = np.where(zero_lo, touch.hi, pos.hi)
+        return IntervalArray(lo, hi)._propagate_empty(base)
+
+    def replace_hi(self, hi: float) -> "IntervalArray":
+        return IntervalArray(self.lo, np.full_like(self.hi, hi))
+
+    def sqrt(self) -> "IntervalArray":
+        s = self.intersect(IntervalArray(np.zeros_like(self.lo),
+                                         np.full_like(self.hi, _INF)))
+        with _quiet():
+            out = IntervalArray(_down(np.sqrt(s.lo)), _up(np.sqrt(s.hi)))
+        return out._propagate_empty(s)
+
+    def exp(self) -> "IntervalArray":
+        with _quiet():
+            out = IntervalArray(
+                np.maximum(0.0, _down(np.exp(self.lo))), _up(np.exp(self.hi))
+            )
+        return out._propagate_empty(self)
+
+    def log(self) -> "IntervalArray":
+        s = self.intersect(IntervalArray(np.zeros_like(self.lo),
+                                         np.full_like(self.hi, _INF)))
+        with _quiet():
+            lo = np.where(s.lo == 0.0, -_INF, _down(np.log(s.lo)))
+            hi = np.where(s.hi == 0.0, -_INF, _up(np.log(s.hi)))
+        return IntervalArray.make(lo, hi)._propagate_empty(s)
+
+    def _trig(self, fn, offset: float) -> "IntervalArray":
+        """Shared sin/cos enclosure (vectorized ``_periodic_trig``)."""
+        two_pi = 2.0 * math.pi
+        with _quiet():
+            wide = (self.width() >= two_pi) | ~np.isfinite(self.lo) | ~np.isfinite(self.hi)
+            lo_v, hi_v = fn(self.lo), fn(self.hi)
+            lo = np.minimum(lo_v, hi_v)
+            hi = np.maximum(lo_v, hi_v)
+            k_max = np.ceil((self.lo + offset - math.pi / 2.0) / two_pi)
+            hit_max = (math.pi / 2.0 - offset) + k_max * two_pi <= self.hi
+            k_min = np.ceil((self.lo + offset + math.pi / 2.0) / two_pi)
+            hit_min = (-math.pi / 2.0 - offset) + k_min * two_pi <= self.hi
+            hi = np.where(hit_max, 1.0, hi)
+            lo = np.where(hit_min, -1.0, lo)
+            lo = np.where(wide, -1.0, np.maximum(-1.0, _down(lo)))
+            hi = np.where(wide, 1.0, np.minimum(1.0, _up(hi)))
+        return IntervalArray(lo, hi)._propagate_empty(self)
+
+    def sin(self) -> "IntervalArray":
+        return self._trig(np.sin, offset=0.0)
+
+    def cos(self) -> "IntervalArray":
+        return self._trig(np.cos, offset=math.pi / 2.0)
+
+    def tan(self) -> "IntervalArray":
+        with _quiet():
+            k_lo = np.floor((self.lo - math.pi / 2.0) / math.pi)
+            k_hi = np.floor((self.hi - math.pi / 2.0) / math.pi)
+            pole = (self.width() >= math.pi) | (k_lo != k_hi)
+            lo = np.where(pole, -_INF, _down(np.tan(self.lo)))
+            hi = np.where(pole, _INF, _up(np.tan(self.hi)))
+        return IntervalArray(lo, hi)._propagate_empty(self)
+
+    def tanh(self) -> "IntervalArray":
+        with _quiet():
+            out = IntervalArray(
+                np.maximum(-1.0, _down(np.tanh(self.lo))),
+                np.minimum(1.0, _up(np.tanh(self.hi))),
+            )
+        return out._propagate_empty(self)
+
+    def sigmoid(self) -> "IntervalArray":
+        def sig(x: np.ndarray) -> np.ndarray:
+            # branch exactly like the scalar kernel so results agree
+            e = np.exp(np.where(x >= 0, -x, x))
+            return np.where(x >= 0, 1.0 / (1.0 + e), e / (1.0 + e))
+
+        with _quiet():
+            out = IntervalArray(
+                np.maximum(0.0, _down(sig(self.lo))),
+                np.minimum(1.0, _up(sig(self.hi))),
+            )
+        return out._propagate_empty(self)
+
+    def min_with(self, other: "IntervalArray") -> "IntervalArray":
+        out = IntervalArray(
+            np.minimum(self.lo, other.lo), np.minimum(self.hi, other.hi)
+        )
+        return out._propagate_empty(self, other)
+
+    def max_with(self, other: "IntervalArray") -> "IntervalArray":
+        out = IntervalArray(
+            np.maximum(self.lo, other.lo), np.maximum(self.hi, other.hi)
+        )
+        return out._propagate_empty(self, other)
+
+    def __repr__(self) -> str:
+        return f"IntervalArray(n={len(self)})"
+
+
+class BoxArray:
+    """``n`` boxes over one ordered variable tuple, stored as ``(n, dim)``
+    ``lo``/``hi`` arrays.  The frontier state of the batched ICP loop."""
+
+    __slots__ = ("names", "lo", "hi", "_index")
+
+    def __init__(self, names: Sequence[str], lo: np.ndarray, hi: np.ndarray):
+        self.names = tuple(names)
+        self.lo = np.asarray(lo, dtype=float)
+        self.hi = np.asarray(hi, dtype=float)
+        if self.lo.ndim == 1:
+            self.lo = self.lo.reshape(1, -1)
+            self.hi = self.hi.reshape(1, -1)
+        if self.lo.shape != self.hi.shape or self.lo.shape[1] != len(self.names):
+            raise ValueError("bound arrays must be (n, dim) matching names")
+        self._index = {n: i for i, n in enumerate(self.names)}
+
+    # ------------------------------------------------------------------
+    # Constructors / conversion
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_boxes(boxes: Sequence[Box], names: Sequence[str] | None = None) -> "BoxArray":
+        if not boxes:
+            raise ValueError("empty box list")
+        names = tuple(names if names is not None else boxes[0].names)
+        lo = np.array([[b[k].lo for k in names] for b in boxes], dtype=float)
+        hi = np.array([[b[k].hi for k in names] for b in boxes], dtype=float)
+        return BoxArray(names, lo, hi)
+
+    @staticmethod
+    def from_box(box: Box, names: Sequence[str] | None = None) -> "BoxArray":
+        return BoxArray.from_boxes([box], names)
+
+    def row(self, i: int) -> Box:
+        return Box({k: Interval(float(self.lo[i, j]), float(self.hi[i, j]))
+                    for j, k in enumerate(self.names)})
+
+    def to_boxes(self) -> list[Box]:
+        return [self.row(i) for i in range(len(self))]
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.lo.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.lo.shape[1])
+
+    def copy(self) -> "BoxArray":
+        return BoxArray(self.names, self.lo.copy(), self.hi.copy())
+
+    def take(self, idx) -> "BoxArray":
+        return BoxArray(self.names, self.lo[idx], self.hi[idx])
+
+    def column(self, name: str) -> IntervalArray:
+        j = self._index[name]
+        return IntervalArray(self.lo[:, j], self.hi[:, j])
+
+    def with_column(self, name: str, iv: IntervalArray) -> "BoxArray":
+        """New BoxArray with ``name`` set to ``iv`` (replacing the column
+        when the name exists, appending it otherwise) -- the batched
+        analogue of ``Box.merged({name: domain})`` for quantifiers."""
+        if name in self._index:
+            j = self._index[name]
+            lo, hi = self.lo.copy(), self.hi.copy()
+            lo[:, j] = iv.lo
+            hi[:, j] = iv.hi
+            return BoxArray(self.names, lo, hi)
+        return BoxArray(
+            self.names + (name,),
+            np.column_stack([self.lo, iv.lo]),
+            np.column_stack([self.hi, iv.hi]),
+        )
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> np.ndarray:
+        return (self.lo > self.hi).any(axis=1)
+
+    def widths(self) -> np.ndarray:
+        with _quiet():
+            w = self.hi - self.lo
+            w[np.isnan(w)] = 0.0
+        return np.where(self.is_empty[:, None], 0.0, w)
+
+    def max_width(self) -> np.ndarray:
+        if self.dim == 0:
+            return np.zeros(len(self))
+        return self.widths().max(axis=1)
+
+    def total_width(self) -> np.ndarray:
+        """Sum of per-dimension widths, clipped like the scalar fixpoint
+        loop's progress measure."""
+        if self.dim == 0:
+            return np.zeros(len(self))
+        return np.minimum(self.widths(), 1e9).sum(axis=1)
+
+    # ------------------------------------------------------------------
+    # Branching
+    # ------------------------------------------------------------------
+    def split_widest(self) -> "BoxArray":
+        """Bisect every row along its widest dimension.
+
+        Returns a ``(2n, dim)`` BoxArray: rows ``2i`` and ``2i+1`` are the
+        two halves of input row ``i`` (cut at the scalar midpoint rule).
+        """
+        n, d = self.lo.shape
+        j = np.argmax(self.widths(), axis=1)
+        rows = np.arange(n)
+        lo_j, hi_j = self.lo[rows, j], self.hi[rows, j]
+        with _quiet():
+            mid = 0.5 * (lo_j + hi_j)
+            # scalar Interval.midpoint fallbacks for unbounded/overflowing rows
+            mid = np.where(np.isfinite(mid), mid, lo_j + 0.5 * (hi_j - lo_j))
+            mid = np.where(np.isfinite(mid), mid,
+                           np.where(np.isfinite(lo_j), lo_j + 1.0,
+                                    np.where(np.isfinite(hi_j), hi_j - 1.0, 0.0)))
+        mid = np.minimum(np.maximum(mid, lo_j), hi_j)
+        lo2 = np.repeat(self.lo, 2, axis=0)
+        hi2 = np.repeat(self.hi, 2, axis=0)
+        lo2[1::2, :][rows, j] = mid  # right halves start at the cut
+        hi2[0::2, :][rows, j] = mid  # left halves end at the cut
+        return BoxArray(self.names, lo2, hi2)
+
+    def __repr__(self) -> str:
+        return f"BoxArray(n={len(self)}, dim={self.dim})"

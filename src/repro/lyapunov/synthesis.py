@@ -89,6 +89,7 @@ class LyapunovAnalyzer:
         eps_dv: float = 1e-4,
         delta: float = 1e-3,
         equilibrium_tol: float = 1e-6,
+        frontier_size: int = 64,
     ):
         # inline default parameter values: the exists-forall conditions
         # must mention only states and template coefficients
@@ -99,6 +100,7 @@ class LyapunovAnalyzer:
         self.eps_v = float(eps_v)
         self.eps_dv = float(eps_dv)
         self.delta = float(delta)
+        self.frontier_size = int(frontier_size)
 
         residual = system.eval_field(self.equilibrium)
         worst = max(abs(v) for v in residual.values())
@@ -144,7 +146,8 @@ class LyapunovAnalyzer:
         lo = 1e-2
         param_box = Box.from_bounds({c: (lo, coeff_bound) for c in template.coefficients})
         ef = ExistsForallSolver(
-            delta=self.delta, max_iterations=max_iterations, seed=seed
+            delta=self.delta, max_iterations=max_iterations, seed=seed,
+            frontier_size=self.frontier_size,
         )
         res = ef.solve(phi, param_box, self.region)
         if res.status is Status.DELTA_SAT:
@@ -164,7 +167,10 @@ class LyapunovAnalyzer:
         UNSAT of the violation formula proves the robust Lyapunov
         conditions hold everywhere on the annulus (exact, one-sided).
         """
-        solver = DeltaSolver(delta=self.delta, max_boxes=max_boxes)
+        solver = DeltaSolver(
+            delta=self.delta, max_boxes=max_boxes,
+            frontier_size=self.frontier_size,
+        )
         res = solver._solve_impl(self.violation(V), self.region)
         if res.status is Status.UNSAT:
             return LyapunovResult(Status.DELTA_SAT, V=V)
@@ -193,7 +199,10 @@ class LyapunovAnalyzer:
         names = self.system.state_names
         # V range over region for the bisection bracket
         v_hi = V.eval_interval(dict(self.region)).hi
-        solver = DeltaSolver(delta=self.delta, max_boxes=max_boxes)
+        solver = DeltaSolver(
+            delta=self.delta, max_boxes=max_boxes,
+            frontier_size=self.frontier_size,
+        )
 
         def boundary_touch(c: float) -> Formula:
             # exists x: V(x) <= c and x on the region boundary

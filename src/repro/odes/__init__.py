@@ -7,7 +7,15 @@ Definition 7).
 """
 
 from .system import ODESystem
-from .integrators import IntegrationError, Trajectory, find_event, rk4, rk45, simulate
+from .integrators import (
+    IntegrationError,
+    Trajectory,
+    find_event,
+    rk4,
+    rk4_batch,
+    rk45,
+    simulate,
+)
 from .enclosure import EnclosureError, ReachTube, TubeStep, flow_enclosure
 
 __all__ = [
@@ -15,6 +23,7 @@ __all__ = [
     "Trajectory",
     "IntegrationError",
     "rk4",
+    "rk4_batch",
     "rk45",
     "simulate",
     "find_event",

@@ -39,6 +39,8 @@ import math
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from repro.expr import Expr
 from repro.intervals import Box, Interval
 
@@ -289,8 +291,6 @@ def _perron_weights(
     the infinity-log-norm achieves the spectral abscissa, with the
     positive eigenvector as weights.  Heuristic floats only -- soundness
     is independent of the choice (see :func:`_log_norm_inf`)."""
-    import numpy as np
-
     n = len(names)
     M = np.zeros((n, n))
     for a, i in enumerate(names):

@@ -19,7 +19,7 @@ import numpy as np
 
 from .system import ODESystem
 
-__all__ = ["Trajectory", "IntegrationError", "rk4", "rk45", "simulate"]
+__all__ = ["Trajectory", "IntegrationError", "rk4", "rk4_batch", "rk45", "simulate"]
 
 
 class IntegrationError(RuntimeError):
@@ -185,6 +185,96 @@ def rk4(
         rows.append(y.copy())
         derivs.append(f(t, y, p))
     return Trajectory(np.array(times), np.array(rows), names, np.array(derivs))
+
+
+# ----------------------------------------------------------------------
+# Batched fixed-step RK4: all particles advance in lockstep
+# ----------------------------------------------------------------------
+
+
+def rk4_batch(
+    system: ODESystem,
+    x0s: "list[Mapping[str, float]]",
+    t_span: tuple[float, float],
+    dt: float,
+    params: "list[Mapping[str, float]] | Mapping[str, float] | None" = None,
+) -> "list[Trajectory | None]":
+    """Classic RK4 over a whole batch of initial conditions at once.
+
+    The state carries a batched axis: integration runs on a ``(dim, n)``
+    array, so one vectorized vector-field evaluation advances every
+    particle simultaneously -- this is what lets the SMC layer propagate
+    whole particle populations instead of simulating trajectories one by
+    one.
+
+    ``params`` may be one mapping shared by all particles or a list of
+    per-particle mappings (values become ``(n,)`` arrays).
+
+    Returns one :class:`Trajectory` per initial condition, in order.
+    Particles whose state leaves the finite range are frozen and
+    reported as ``None`` (the batch keeps going for the others), so the
+    caller decides whether a blow-up is an error or a failed sample.
+    """
+    f = system.rhs_batch()
+    names = system.state_names
+    t0, t1 = map(float, t_span)
+    if t1 <= t0:
+        raise ValueError("t_span must be increasing")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    n = len(x0s)
+    if n == 0:
+        return []
+    Y = np.array([[float(x0[name]) for x0 in x0s] for name in names])
+    if params is None or isinstance(params, Mapping):
+        overrides = [dict(params or {})] * n
+    else:
+        overrides = [dict(p) for p in params]
+    p: dict[str, np.ndarray | float] = {}
+    for pname, default in system.params.items():
+        vals = [float(o.get(pname, default)) for o in overrides]
+        p[pname] = vals[0] if all(v == vals[0] for v in vals) else np.array(vals)
+
+    alive = np.ones(n, dtype=bool)
+    times = [t0]
+    with np.errstate(all="ignore"):
+        rows = [Y.copy()]
+        derivs = [f(t0, Y, p)]
+        bad0 = ~np.isfinite(Y).all(axis=0)
+        alive &= ~bad0
+        t = t0
+        while t < t1 - 1e-12:
+            h = min(dt, t1 - t)
+            k1 = derivs[-1]  # f at (t, Y), stored by the previous step
+            k2 = f(t + 0.5 * h, Y + 0.5 * h * k1, p)
+            k3 = f(t + 0.5 * h, Y + 0.5 * h * k2, p)
+            k4 = f(t + h, Y + h * k3, p)
+            Y_new = Y + (h / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+            bad = ~np.isfinite(Y_new).all(axis=0)
+            newly_dead = bad & alive
+            if newly_dead.any():
+                # freeze blown-up particles at their last finite state
+                Y_new[:, newly_dead] = Y[:, newly_dead]
+                alive &= ~newly_dead
+            t += h
+            Y = Y_new
+            times.append(t)
+            rows.append(Y.copy())
+            derivs.append(f(t, Y, p))
+
+    times_arr = np.array(times)
+    states = np.array(rows)   # (steps, dim, n)
+    dstack = np.array(derivs)
+    out: list[Trajectory | None] = []
+    for i in range(n):
+        if not alive[i]:
+            out.append(None)
+            continue
+        di = dstack[:, :, i]
+        if not np.isfinite(di).all():
+            di = None  # frozen-neighbour NaNs never leak; drop Hermite data
+        out.append(Trajectory(times_arr, states[:, :, i], list(names), di))
+    return out
 
 
 # ----------------------------------------------------------------------

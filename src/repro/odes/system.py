@@ -17,6 +17,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from repro.expr import Expr, ExprLike, as_expr, compile_vector_field
+from repro.expr.compile import compile_vector_field_batch
 from repro.intervals import Box, Interval
 
 __all__ = ["ODESystem"]
@@ -55,6 +56,7 @@ class ODESystem:
                 "add them to params or states"
             )
         self._compiled: Callable | None = None
+        self._compiled_batch: Callable | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -86,6 +88,20 @@ class ODESystem:
                 self.param_names,
             )
         return self._compiled
+
+    def rhs_batch(self) -> Callable[[float, np.ndarray, Mapping], np.ndarray]:
+        """Compiled batched vector field ``f(t, Y, params) -> ndarray``.
+
+        ``Y`` has shape ``(dim, n)`` -- one column per particle; params
+        may be scalars or per-particle ``(n,)`` arrays.
+        """
+        if self._compiled_batch is None:
+            self._compiled_batch = compile_vector_field_batch(
+                list(self.derivatives.values()),
+                self.state_names,
+                self.param_names,
+            )
+        return self._compiled_batch
 
     def eval_field(
         self, state: Mapping[str, float], params: Mapping[str, float] | None = None,

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.hybrid import HybridAutomaton, simulate_hybrid
-from repro.odes import ODESystem, rk45
+from repro.odes import ODESystem, rk4_batch, rk45
 from repro.progress import emit as _progress
 
 from .bltl import BLTL, monitor
@@ -74,6 +74,20 @@ class StatisticalModelChecker:
         Simulation time per sample; must cover the property's horizon.
     seed:
         RNG seed for reproducibility.
+    batch_size:
+        How many particles are drawn and propagated per vectorized
+        integration pass (plain ODE models only; hybrid models simulate
+        per sample because mode switching desynchronizes the batch).
+
+    Notes
+    -----
+    The batched ODE path integrates with *fixed-step* RK4 at
+    ``dt = max_step`` (default ``horizon/200``) -- the same step the
+    adaptive integrator was previously capped at; ``rtol`` governs the
+    adaptive rk45 retry of blown-up particles, hybrid-model sampling,
+    and :meth:`sample_trajectory`.  Set ``max_step`` smaller (or
+    ``batch_size=1``-equivalent accuracy via a tiny ``max_step``) for
+    stiff models where step-size control matters.
     """
 
     def __init__(
@@ -84,6 +98,7 @@ class StatisticalModelChecker:
         seed: int = 0,
         rtol: float = 1e-6,
         max_step: float | None = None,
+        batch_size: int = 64,
     ):
         self.model = model
         self.init = (
@@ -93,6 +108,7 @@ class StatisticalModelChecker:
         self.rng = random.Random(seed)
         self.rtol = rtol
         self.max_step = max_step
+        self.batch_size = max(1, int(batch_size))
         if isinstance(model, HybridAutomaton):
             self._states = list(model.variables)
             self._params = set(model.params)
@@ -104,11 +120,7 @@ class StatisticalModelChecker:
     def sample_trajectory(self):
         """One random trajectory (flattened for hybrid models)."""
         draw = self.init.sample(self.rng)
-        x0 = {k: v for k, v in draw.items() if k in self._states}
-        p = {k: v for k, v in draw.items() if k in self._params}
-        missing = set(self._states) - set(x0)
-        if missing:
-            raise ValueError(f"initial distribution misses states {sorted(missing)}")
+        x0, p = self._split_draw(draw)
         if isinstance(self.model, HybridAutomaton):
             htraj = simulate_hybrid(
                 self.model, x0, t_final=self.horizon, params=p, rtol=self.rtol,
@@ -120,15 +132,62 @@ class StatisticalModelChecker:
             max_step=self.max_step if self.max_step else self.horizon / 200.0,
         )
 
+    def _split_draw(self, draw: Mapping[str, float]) -> tuple[dict, dict]:
+        x0 = {k: v for k, v in draw.items() if k in self._states}
+        p = {k: v for k, v in draw.items() if k in self._params}
+        missing = set(self._states) - set(x0)
+        if missing:
+            raise ValueError(f"initial distribution misses states {sorted(missing)}")
+        return x0, p
+
+    def _propagate_population(self, n: int) -> list:
+        """Draw ``n`` initial conditions and integrate them in one
+        batched RK4 pass (the SMC batch axis).
+
+        Particles the fixed-step pass loses to blow-up are retried with
+        the adaptive per-sample integrator; if that fails too, the
+        failure propagates like a scalar simulation failure would.
+        """
+        draws = [self.init.sample(self.rng) for _ in range(n)]
+        splits = [self._split_draw(d) for d in draws]
+        dt = self.max_step if self.max_step else self.horizon / 200.0
+        trajs = rk4_batch(
+            self.model,
+            [x0 for x0, _ in splits],
+            (0.0, self.horizon),
+            dt=dt,
+            params=[p for _, p in splits],
+        )
+        for i, traj in enumerate(trajs):
+            if traj is None:
+                x0, p = splits[i]
+                trajs[i] = rk45(
+                    self.model, x0, (0.0, self.horizon), params=p, rtol=self.rtol,
+                    max_step=self.max_step if self.max_step else self.horizon / 200.0,
+                )
+        return trajs
+
     def _bernoulli(self, phi: BLTL) -> Callable[[], bool]:
         counter = itertools.count(1)
 
-        def draw() -> bool:
-            _progress("smc", "sampling", samples=next(counter))
-            traj = self.sample_trajectory()
-            return monitor(phi, traj)
+        if isinstance(self.model, HybridAutomaton):
+            def draw() -> bool:
+                _progress("smc", "sampling", samples=next(counter))
+                traj = self.sample_trajectory()
+                return monitor(phi, traj)
 
-        return draw
+            return draw
+
+        buffer: list[bool] = []
+
+        def draw_batched() -> bool:
+            _progress("smc", "sampling", samples=next(counter))
+            if not buffer:
+                trajs = self._propagate_population(self.batch_size)
+                buffer.extend(monitor(phi, t) for t in trajs)
+            return buffer.pop(0)
+
+        return draw_batched
 
     # ------------------------------------------------------------------
     # The three SMC queries

@@ -1,15 +1,18 @@
 """Delta-decision procedures (S4 in DESIGN.md).
 
 A pure-Python delta-complete decision procedure for bounded L_RF
-sentences (paper Section III, Theorem 1): ICP branch-and-prune with
-HC4 contractors, plus a CEGIS exists-forall solver used for Lyapunov
-synthesis (Section IV-C).
+sentences (paper Section III, Theorem 1): breadth-wise ICP
+branch-and-prune over batches of boxes (formulas compile once into flat
+evaluation tapes judged/contracted with the vectorized interval
+kernel), plus a CEGIS exists-forall solver used for Lyapunov synthesis
+(Section IV-C).
 """
 
 from .contractor import contract_formula, fixpoint_contract, hc4_revise
 from .eval3 import Certainty, certainly_delta_sat, eval_formula
 from .icp import DeltaSolver, Result, SolverStats, Status, solve
 from .exists_forall import EFResult, ExistsForallSolver
+from .tape import CompiledFormula, ExprTape, compile_formula, judge_batch
 
 __all__ = [
     "hc4_revise",
@@ -18,6 +21,10 @@ __all__ = [
     "Certainty",
     "eval_formula",
     "certainly_delta_sat",
+    "CompiledFormula",
+    "ExprTape",
+    "compile_formula",
+    "judge_batch",
     "DeltaSolver",
     "Result",
     "SolverStats",

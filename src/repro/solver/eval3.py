@@ -15,6 +15,7 @@ delta-satisfiability (paper Theorem 1's delta-sat case).
 from __future__ import annotations
 
 import enum
+import warnings
 
 from repro.intervals import Box, Interval
 from repro.logic import (
@@ -37,6 +38,39 @@ class Certainty(enum.Enum):
     CERTAIN_TRUE = 1
 
 
+def eval_formula(phi: Formula, box: Box, delta: float = 0.0) -> Certainty:
+    """Three-valued judgment of ``phi^delta`` over ``box``.
+
+    .. deprecated:: 0.3
+        The scalar AST walk is deprecated; this shim compiles the
+        formula to a flat tape (:mod:`repro.solver.tape`) and judges a
+        batch of one box.  Batch callers should compile once with
+        :func:`repro.solver.tape.compile_formula` and judge whole
+        :class:`~repro.intervals.BoxArray` frontiers.
+    """
+    warnings.warn(
+        "eval_formula is deprecated; submit boxes in batches through "
+        "repro.solver.tape.compile_formula(...).judge(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.intervals import BoxArray
+
+    from .tape import compile_formula
+
+    verdict = compile_formula(phi).judge(BoxArray.from_box(box), delta)
+    return Certainty(int(verdict[0]))
+
+
+def certainly_delta_sat(phi: Formula, box: Box, delta: float) -> bool:
+    """True when every point of ``box`` satisfies ``phi^delta``.
+
+    This is the verification step of the delta-sat answer: the returned
+    witness box then consists entirely of delta-solutions.
+    """
+    return _certainly_delta_sat_impl(phi, box, delta)
+
+
 def _eval_atom(atom: Atom, box: Box, delta: float) -> Certainty:
     """Judge ``t > -delta`` / ``t >= -delta`` over the box."""
     iv = atom.term.eval_interval(box)
@@ -56,8 +90,12 @@ def _eval_atom(atom: Atom, box: Box, delta: float) -> Certainty:
     return Certainty.UNKNOWN
 
 
-def eval_formula(phi: Formula, box: Box, delta: float = 0.0) -> Certainty:
-    """Three-valued judgment of ``phi^delta`` over ``box``.
+def _eval_formula_impl(phi: Formula, box: Box, delta: float = 0.0) -> Certainty:
+    """Scalar three-valued judgment of ``phi^delta`` over ``box``.
+
+    Kept as the single-box reference implementation (the BMC layer's
+    per-box guard checks and the ``frontier_size=1`` solver path use it;
+    the public :func:`eval_formula` shim routes through the tape).
 
     ``delta=0`` judges the formula itself.  Quantified subformulas are
     judged by extending the box with the quantifier's full domain
@@ -75,7 +113,7 @@ def eval_formula(phi: Formula, box: Box, delta: float = 0.0) -> Certainty:
     if isinstance(phi, And):
         result = Certainty.CERTAIN_TRUE
         for part in phi.parts:
-            c = eval_formula(part, box, delta)
+            c = _eval_formula_impl(part, box, delta)
             if c is Certainty.CERTAIN_FALSE:
                 return Certainty.CERTAIN_FALSE
             if c is Certainty.UNKNOWN:
@@ -84,7 +122,7 @@ def eval_formula(phi: Formula, box: Box, delta: float = 0.0) -> Certainty:
     if isinstance(phi, Or):
         result = Certainty.CERTAIN_FALSE
         for part in phi.parts:
-            c = eval_formula(part, box, delta)
+            c = _eval_formula_impl(part, box, delta)
             if c is Certainty.CERTAIN_TRUE:
                 return Certainty.CERTAIN_TRUE
             if c is Certainty.UNKNOWN:
@@ -104,7 +142,7 @@ def eval_formula(phi: Formula, box: Box, delta: float = 0.0) -> Certainty:
                 else Certainty.CERTAIN_FALSE
             )
         inner = box.merged({phi.name: domain})
-        c = eval_formula(phi.body, inner, delta)
+        c = _eval_formula_impl(phi.body, inner, delta)
         if c is Certainty.UNKNOWN:
             return Certainty.UNKNOWN
         if isinstance(phi, Forall):
@@ -118,10 +156,5 @@ def eval_formula(phi: Formula, box: Box, delta: float = 0.0) -> Certainty:
     raise TypeError(f"cannot evaluate {type(phi).__name__}")
 
 
-def certainly_delta_sat(phi: Formula, box: Box, delta: float) -> bool:
-    """True when every point of ``box`` satisfies ``phi^delta``.
-
-    This is the verification step of the delta-sat answer: the returned
-    witness box then consists entirely of delta-solutions.
-    """
-    return eval_formula(phi, box, delta) is Certainty.CERTAIN_TRUE
+def _certainly_delta_sat_impl(phi: Formula, box: Box, delta: float) -> bool:
+    return _eval_formula_impl(phi, box, delta) is Certainty.CERTAIN_TRUE

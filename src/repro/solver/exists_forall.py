@@ -64,6 +64,7 @@ class ExistsForallSolver:
     seed: int = 0
     propose_budget: int = 20_000
     verify_budget: int = 50_000
+    frontier_size: int = 64
 
     def solve(self, phi: Formula, param_box: Box, state_box: Box) -> EFResult:
         """Solve ``exists param_box . forall state_box . phi``.
@@ -83,8 +84,14 @@ class ExistsForallSolver:
             state_box.sample_random(rng) for _ in range(self.n_seed_samples)
         ]
         not_phi = phi.negate()
-        proposer = DeltaSolver(delta=self.delta, max_boxes=self.propose_budget)
-        verifier = DeltaSolver(delta=self.delta, max_boxes=self.verify_budget)
+        proposer = DeltaSolver(
+            delta=self.delta, max_boxes=self.propose_budget,
+            frontier_size=self.frontier_size,
+        )
+        verifier = DeltaSolver(
+            delta=self.delta, max_boxes=self.verify_budget,
+            frontier_size=self.frontier_size,
+        )
 
         for it in range(1, self.max_iterations + 1):
             # -- propose: parameters satisfying phi at every counterexample

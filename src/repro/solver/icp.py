@@ -13,6 +13,15 @@ The loop alternates HC4 fixed-point contraction (pruning) with bisection
 delta-complete procedure [52].  Soundness of UNSAT follows from
 contractor soundness; soundness of DELTA_SAT from the certain-truth
 verification of the weakened formula over the candidate box.
+
+Since the batch-of-boxes rework the search is *breadth-wise*: the
+formula is compiled once into a flat evaluation tape
+(:mod:`repro.solver.tape`) and each iteration pops a frontier of up to
+``frontier_size`` of the widest pending boxes, contracting, judging,
+certifying and splitting all of them in vectorized array passes.  With
+``frontier_size=1`` the legacy scalar loop is used instead (same
+verdicts, one box at a time) -- that path is kept as the reference
+baseline for ``benchmarks/icp_throughput.py``.
 """
 
 from __future__ import annotations
@@ -24,13 +33,16 @@ import time
 import warnings
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.expr import var as _var
-from repro.intervals import Box
+from repro.intervals import Box, BoxArray
 from repro.logic import And, Exists, Formula, Or
 from repro.progress import emit as _progress
 
 from .contractor import fixpoint_contract
-from .eval3 import Certainty, certainly_delta_sat, eval_formula
+from .eval3 import Certainty, _certainly_delta_sat_impl, _eval_formula_impl
+from .tape import CERTAIN_FALSE, CERTAIN_TRUE, compile_formula
 
 __all__ = ["Status", "Result", "SolverStats", "DeltaSolver", "solve"]
 
@@ -82,7 +94,7 @@ def _hoist_existentials(phi: Formula, box: Box) -> tuple[Formula, Box]:
     Existential variables are just extra search dimensions for ICP.  We
     hoist ``Exists`` nodes occurring positively outside any ``Forall``;
     names are freshened on clashes.  Remaining quantifiers are handled
-    by interval judgment inside :func:`eval_formula`.
+    by interval judgment inside the tape evaluator.
     """
     counter = itertools.count()
     new_dims: dict[str, tuple[float, float]] = {}
@@ -136,12 +148,17 @@ class DeltaSolver:
         Boxes narrower than this in every dimension are submitted to
         delta-verification even if interval judgment is still UNKNOWN
         (they then count as unresolved if verification fails).
+    frontier_size:
+        Width ``K`` of the breadth-wise search frontier: how many boxes
+        are popped, contracted and judged per vectorized tape pass.
+        ``1`` selects the legacy scalar loop.
     """
 
     delta: float = 1e-3
     max_boxes: int = 100_000
     contract_tol: float = 1e-2
     min_width: float = 1e-12
+    frontier_size: int = 64
 
     def solve(self, phi: Formula, box: Box) -> Result:
         """Decide ``exists box. phi`` in the delta-relaxed sense.
@@ -159,14 +176,157 @@ class DeltaSolver:
         )
         return self._solve_impl(phi, box)
 
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
     def _solve_impl(self, phi: Formula, box: Box) -> Result:
-        t0 = time.perf_counter()
-        stats = SolverStats()
         phi, box = _hoist_existentials(phi, box)
-
         missing = phi.variables() - set(box.names)
         if missing:
             raise ValueError(f"free variables without bounds: {sorted(missing)}")
+        if self.frontier_size <= 1:
+            return self._solve_scalar(phi, box)
+        return self._solve_batched(phi, box)
+
+    def pave(
+        self, phi: Formula, box: Box, min_width: float = 1e-2
+    ) -> tuple[list[Box], list[Box], list[Box]]:
+        """Partition ``box`` into (delta-sat, unsat, undecided) sub-boxes.
+
+        This is the guaranteed parameter-set synthesis of BioPSy [53]:
+        green boxes consist entirely of delta-solutions, red boxes contain
+        no solutions, yellow boxes are smaller than ``min_width`` and
+        remain undecided.
+        """
+        if self.frontier_size <= 1:
+            return self._pave_scalar(phi, box, min_width)
+        return self._pave_batched(phi, box, min_width)
+
+    # ------------------------------------------------------------------
+    # Batched frontier search
+    # ------------------------------------------------------------------
+    def _solve_batched(self, phi: Formula, box: Box) -> Result:
+        t0 = time.perf_counter()
+        stats = SolverStats()
+        names = tuple(box.names)
+        compiled = compile_formula(phi)
+        root = BoxArray.from_box(box, names)
+
+        # Priority queue: explore widest boxes first (fair coverage).
+        tie = itertools.count()
+        heap: list[tuple[float, int, int, np.ndarray, np.ndarray]] = []
+
+        def push_rows(boxes: BoxArray, depths: np.ndarray) -> None:
+            for w, d, lo, hi in zip(boxes.max_width(), depths, boxes.lo, boxes.hi):
+                heapq.heappush(heap, (-float(w), next(tie), int(d), lo, hi))
+
+        push_rows(root, np.zeros(1, dtype=int))
+        unresolved: Box | None = None
+
+        while heap:
+            budget = self.max_boxes - stats.boxes_processed
+            if budget <= 0:
+                stats.wall_time = time.perf_counter() - t0
+                fallback = unresolved if unresolved is not None else _rebox(names, heap[0])
+                return Result(Status.UNKNOWN, fallback, self.delta, stats)
+            k = min(self.frontier_size, budget, len(heap))
+            popped = [heapq.heappop(heap) for _ in range(k)]
+            depths = np.array([p[2] for p in popped])
+            frontier = BoxArray(
+                names,
+                np.array([p[3] for p in popped]),
+                np.array([p[4] for p in popped]),
+            )
+            stats.boxes_processed += k
+            stats.max_depth = max(stats.max_depth, int(depths.max()))
+            _progress(
+                "icp", "branch-and-prune",
+                boxes=stats.boxes_processed, queue=len(heap),
+                depth=int(depths.max()), splits=stats.splits,
+                frontier=k,
+            )
+
+            contracted = compiled.fixpoint_contract(frontier, tol=self.contract_tol)
+            judgment = compiled.judge(contracted, 0.0)
+            dead = contracted.is_empty | (judgment == CERTAIN_FALSE)
+            stats.boxes_pruned += int(dead.sum())
+            if dead.all():
+                continue
+            live_idx = np.flatnonzero(~dead)
+            live = contracted.take(live_idx)
+
+            # Try to certify delta-sat on the surviving boxes directly.
+            certified = compiled.judge(live, self.delta) == CERTAIN_TRUE
+            if certified.any():
+                stats.wall_time = time.perf_counter() - t0
+                winner = live.row(int(np.flatnonzero(certified)[0]))
+                return Result(Status.DELTA_SAT, winner, self.delta, stats)
+
+            narrow = live.max_width() <= self.min_width
+            if narrow.any() and unresolved is None:
+                # Cannot split further; remember as unresolved.
+                unresolved = live.row(int(np.flatnonzero(narrow)[0]))
+            splittable = np.flatnonzero(~narrow)
+            if splittable.size:
+                parents = live.take(splittable)
+                children = parents.split_widest()
+                stats.splits += int(splittable.size)
+                push_rows(children, np.repeat(depths[live_idx[splittable]] + 1, 2))
+
+        stats.wall_time = time.perf_counter() - t0
+        if unresolved is not None:
+            return Result(Status.UNKNOWN, unresolved, self.delta, stats)
+        return Result(Status.UNSAT, None, self.delta, stats)
+
+    def _pave_batched(
+        self, phi: Formula, box: Box, min_width: float
+    ) -> tuple[list[Box], list[Box], list[Box]]:
+        names = tuple(box.names)
+        compiled = compile_formula(phi)
+        sat_boxes: list[Box] = []
+        unsat_boxes: list[Box] = []
+        undecided: list[Box] = []
+        work: list[Box] = [box]
+        processed = 0
+        while work:
+            remaining = self.max_boxes - processed
+            if remaining <= 0:
+                undecided.extend(work)
+                break
+            k = min(self.frontier_size, remaining, len(work))
+            frontier_boxes = [work.pop() for _ in range(k)]
+            processed += k
+            _progress(
+                "icp", "paving",
+                boxes=processed, queue=len(work),
+                sat=len(sat_boxes), unsat=len(unsat_boxes),
+            )
+            frontier = BoxArray.from_boxes(frontier_boxes, names)
+            contracted = compiled.fixpoint_contract(frontier, tol=self.contract_tol)
+            judgment = compiled.judge(contracted, 0.0)
+            certified = compiled.judge(contracted, self.delta) == CERTAIN_TRUE
+            widths = contracted.max_width()
+            empty = contracted.is_empty
+            for i, original in enumerate(frontier_boxes):
+                if empty[i] or judgment[i] == CERTAIN_FALSE:
+                    unsat_boxes.append(original)
+                elif certified[i]:
+                    # the pruned-away shell contains no solutions
+                    sat_boxes.append(contracted.row(i))
+                elif widths[i] <= min_width:
+                    undecided.append(contracted.row(i))
+                else:
+                    left, right = contracted.row(i).split()
+                    work.append(left)
+                    work.append(right)
+        return sat_boxes, unsat_boxes, undecided
+
+    # ------------------------------------------------------------------
+    # Legacy scalar loop (frontier_size=1; benchmark baseline)
+    # ------------------------------------------------------------------
+    def _solve_scalar(self, phi: Formula, box: Box) -> Result:
+        t0 = time.perf_counter()
+        stats = SolverStats()
 
         # Priority queue: explore widest boxes first (fair coverage).
         tie = itertools.count()
@@ -196,13 +356,13 @@ class DeltaSolver:
                 stats.boxes_pruned += 1
                 continue
 
-            judgment = eval_formula(phi, contracted, delta=0.0)
+            judgment = _eval_formula_impl(phi, contracted, delta=0.0)
             if judgment is Certainty.CERTAIN_FALSE:
                 stats.boxes_pruned += 1
                 continue
 
             # Try to certify delta-sat on this box directly.
-            if certainly_delta_sat(phi, contracted, self.delta):
+            if _certainly_delta_sat_impl(phi, contracted, self.delta):
                 stats.wall_time = time.perf_counter() - t0
                 return Result(Status.DELTA_SAT, contracted, self.delta, stats)
 
@@ -222,19 +382,9 @@ class DeltaSolver:
             return Result(Status.UNKNOWN, unresolved, self.delta, stats)
         return Result(Status.UNSAT, None, self.delta, stats)
 
-    # ------------------------------------------------------------------
-    # Paving: partition a box into certainly-sat / unsat / undecided
-    # ------------------------------------------------------------------
-    def pave(
-        self, phi: Formula, box: Box, min_width: float = 1e-2
+    def _pave_scalar(
+        self, phi: Formula, box: Box, min_width: float
     ) -> tuple[list[Box], list[Box], list[Box]]:
-        """Partition ``box`` into (delta-sat, unsat, undecided) sub-boxes.
-
-        This is the guaranteed parameter-set synthesis of BioPSy [53]:
-        green boxes consist entirely of delta-solutions, red boxes contain
-        no solutions, yellow boxes are smaller than ``min_width`` and
-        remain undecided.
-        """
         sat_boxes: list[Box] = []
         unsat_boxes: list[Box] = []
         undecided: list[Box] = []
@@ -255,11 +405,11 @@ class DeltaSolver:
             if contracted.is_empty:
                 unsat_boxes.append(current)
                 continue
-            judgment = eval_formula(phi, contracted, delta=0.0)
+            judgment = _eval_formula_impl(phi, contracted, delta=0.0)
             if judgment is Certainty.CERTAIN_FALSE:
                 unsat_boxes.append(current)
                 continue
-            if certainly_delta_sat(phi, contracted, self.delta):
+            if _certainly_delta_sat_impl(phi, contracted, self.delta):
                 sat_boxes.append(contracted)
                 # the pruned-away shell contains no solutions
                 continue
@@ -270,6 +420,13 @@ class DeltaSolver:
             work.append(left)
             work.append(right)
         return sat_boxes, unsat_boxes, undecided
+
+
+def _rebox(names: tuple[str, ...], entry: tuple) -> Box:
+    from repro.intervals import Interval
+
+    return Box({k: Interval(float(lo), float(hi))
+                for k, lo, hi in zip(names, entry[3], entry[4])})
 
 
 def solve(phi: Formula, box: Box, delta: float = 1e-3, **kwargs) -> Result:

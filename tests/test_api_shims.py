@@ -47,6 +47,21 @@ class TestDeprecatedEntryPoints:
             res = solve(phi, Box.from_bounds({"y": (0.0, 1.0)}))
         assert res.status is Status.DELTA_SAT
 
+    def test_eval_formula_warns_and_matches_tape(self):
+        # the scalar eval path is a deprecation shim over the tape
+        # evaluator: same judgments, with a warning
+        from repro.solver import Certainty, eval_formula
+
+        y = var("y")
+        cases = [
+            (y >= 0, Box.from_bounds({"y": (1.0, 2.0)}), Certainty.CERTAIN_TRUE),
+            (y > 0, Box.from_bounds({"y": (-2.0, -1.0)}), Certainty.CERTAIN_FALSE),
+            (y > 0, Box.from_bounds({"y": (-1.0, 1.0)}), Certainty.UNKNOWN),
+        ]
+        for phi, b, expected in cases:
+            with pytest.warns(DeprecationWarning, match="eval_formula is deprecated"):
+                assert eval_formula(phi, b) is expected
+
     def test_smt_calibrator_calibrate_warns_and_works(self):
         calib = SMTCalibrator(
             logistic(), _logistic_data((2.0, 4.0)), {"r": (0.1, 2.0)}, {"x": 0.5},

@@ -1,0 +1,222 @@
+"""Interval edge cases, exercised through BOTH kernels.
+
+Every case is checked against the scalar :class:`Interval` and the
+vectorized :class:`IntervalArray`: EMPTY propagation, unbounded (+/-inf)
+operands, division through zero, and outward-rounding monotonicity.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.intervals import EMPTY, Interval, IntervalArray
+
+INF = math.inf
+
+
+def batch1(iv: Interval) -> IntervalArray:
+    return IntervalArray.from_intervals([iv])
+
+
+def as_interval(ia: IntervalArray, i: int = 0) -> Interval:
+    return Interval(float(ia.lo[i]), float(ia.hi[i]))
+
+
+def both(op_scalar, op_vector, *operands: Interval) -> tuple[Interval, Interval]:
+    """Apply an operation through each kernel, returning both results."""
+    s = op_scalar(*operands)
+    v = as_interval(op_vector(*[batch1(o) for o in operands]))
+    return s, v
+
+
+BINOPS = [
+    ("add", lambda a, b: a + b),
+    ("sub", lambda a, b: a - b),
+    ("mul", lambda a, b: a * b),
+    ("div", lambda a, b: a / b),
+    ("min", lambda a, b: a.min_with(b)),
+    ("max", lambda a, b: a.max_with(b)),
+]
+
+UNOPS = [
+    ("neg", lambda a: -a),
+    ("abs", abs),
+    ("sqr", lambda a: a.sqr()),
+    ("sqrt", lambda a: a.sqrt()),
+    ("exp", lambda a: a.exp()),
+    ("log", lambda a: a.log()),
+    ("sin", lambda a: a.sin()),
+    ("cos", lambda a: a.cos()),
+    ("tan", lambda a: a.tan()),
+    ("tanh", lambda a: a.tanh()),
+    ("sigmoid", lambda a: a.sigmoid()),
+    ("inverse", lambda a: a.inverse()),
+]
+
+
+class TestEmptyPropagation:
+    @pytest.mark.parametrize("name,op", BINOPS, ids=[n for n, _ in BINOPS])
+    def test_binary_empty_operand(self, name, op):
+        other = Interval(1.0, 2.0)
+        for args in [(EMPTY, other), (other, EMPTY), (EMPTY, EMPTY)]:
+            s, v = both(op, op, *args)
+            assert s.is_empty, name
+            assert v.is_empty, name
+
+    @pytest.mark.parametrize("name,op", UNOPS, ids=[n for n, _ in UNOPS])
+    def test_unary_empty_operand(self, name, op):
+        s, v = both(op, op, EMPTY)
+        assert s.is_empty, name
+        assert v.is_empty, name
+
+    def test_pow_empty(self):
+        for n in (0, 1, 2, 3, -2):
+            assert EMPTY.pow(n).is_empty
+            assert bool(batch1(EMPTY).pow_int(n).is_empty[0])
+
+    def test_empty_measures(self):
+        assert EMPTY.width() == 0.0
+        ia = batch1(EMPTY)
+        assert ia.width()[0] == 0.0
+        assert not ia.contains(0.0)[0]
+
+
+class TestUnboundedOperands:
+    CASES = [
+        (Interval(0.0, INF), Interval(1.0, 2.0)),
+        (Interval(-INF, 0.0), Interval(-2.0, 5.0)),
+        (Interval(-INF, INF), Interval(0.5, 1.5)),
+        (Interval(-INF, INF), Interval(-INF, INF)),
+        (Interval(3.0, INF), Interval(-INF, -1.0)),
+    ]
+
+    @pytest.mark.parametrize("name,op", BINOPS, ids=[n for n, _ in BINOPS])
+    def test_binary_agree(self, name, op):
+        for a, b in self.CASES:
+            s, v = both(op, op, a, b)
+            assert (s.is_empty and v.is_empty) or (s.lo, s.hi) == (v.lo, v.hi), (
+                f"{name}({a}, {b}): scalar {s}, vector {v}"
+            )
+
+    @pytest.mark.parametrize("name,op", UNOPS, ids=[n for n, _ in UNOPS])
+    def test_unary_agree(self, name, op):
+        for a, _ in self.CASES:
+            s, v = both(op, op, a)
+            assert (s.is_empty and v.is_empty) or (s.lo, s.hi) == (v.lo, v.hi), (
+                f"{name}({a}): scalar {s}, vector {v}"
+            )
+
+    def test_lower_bound_of_overflowed_sum_stays_finite(self):
+        # [big, inf] + [big, inf]: the lo bound overflows to inf and must
+        # clamp back to the largest finite double in both kernels.
+        big = 1.5e308
+        a = Interval(big, INF)
+        s = a + a
+        v = as_interval(batch1(a) + batch1(a))
+        assert s.lo == v.lo == math.nextafter(INF, 0.0)
+        assert s.hi == v.hi == INF
+
+    def test_entire_line_trig(self):
+        e = Interval.entire()
+        assert (e.sin().lo, e.sin().hi) == (-1.0, 1.0)
+        ve = batch1(e).sin()
+        assert (ve.lo[0], ve.hi[0]) == (-1.0, 1.0)
+
+
+class TestDivisionThroughZero:
+    def test_zero_interior_gives_entire(self):
+        num, den = Interval(1.0, 2.0), Interval(-1.0, 1.0)
+        s = num / den
+        v = as_interval(batch1(num) / batch1(den))
+        assert (s.lo, s.hi) == (-INF, INF)
+        assert (v.lo, v.hi) == (-INF, INF)
+
+    def test_zero_at_lo_gives_half_line(self):
+        num, den = Interval(1.0, 2.0), Interval(0.0, 1.0)
+        s = num / den
+        v = as_interval(batch1(num) / batch1(den))
+        assert (s.lo, s.hi) == (v.lo, v.hi)
+        assert s.lo == pytest.approx(1.0, abs=1e-12) and s.hi == INF
+
+    def test_zero_at_hi_gives_half_line(self):
+        num, den = Interval(1.0, 2.0), Interval(-1.0, 0.0)
+        s = num / den
+        v = as_interval(batch1(num) / batch1(den))
+        assert (s.lo, s.hi) == (v.lo, v.hi)
+        assert s.lo == -INF and s.hi == pytest.approx(-1.0, abs=1e-12)
+
+    def test_division_by_zero_point_is_empty(self):
+        num, den = Interval(1.0, 2.0), Interval(0.0, 0.0)
+        assert (num / den).is_empty
+        assert bool((batch1(num) / batch1(den)).is_empty[0])
+
+    def test_zero_over_zero_spanning(self):
+        num, den = Interval(0.0, 0.0), Interval(-1.0, 1.0)
+        s = num / den
+        v = as_interval(batch1(num) / batch1(den))
+        assert (s.lo, s.hi) == (v.lo, v.hi) == (0.0, 0.0)
+
+
+class TestOutwardRoundingMonotonicity:
+    """Outward rounding may only widen: results contain the exact value
+    and bumped bounds move monotonically outward."""
+
+    def test_bounds_bracket_exact_value(self):
+        # 0.1 + 0.2 is inexact in binary; both kernels must bracket it
+        a, b = Interval.point(0.1), Interval.point(0.2)
+        s = a + b
+        v = as_interval(batch1(a) + batch1(b))
+        exact = 0.30000000000000001665334536937735  # 0.1+0.2 over the reals
+        assert s.lo < exact < s.hi
+        assert v.lo < exact < v.hi
+        assert (s.lo, s.hi) == (v.lo, v.hi)
+
+    def test_exact_sums_not_widened(self):
+        # representable sums stay points in both kernels (TwoSum residual)
+        a, b = Interval.point(0.25), Interval.point(0.5)
+        s = a + b
+        v = as_interval(batch1(a) + batch1(b))
+        assert s.lo == s.hi == 0.75
+        assert v.lo == v.hi == 0.75
+
+    def test_exact_products_not_widened(self):
+        a, b = Interval.point(3.0), Interval.point(0.125)
+        s = a * b
+        v = as_interval(batch1(a) * batch1(b))
+        assert s.lo == s.hi == 0.375
+        assert v.lo == v.hi == 0.375
+
+    def test_inexact_products_widened_one_ulp(self):
+        a, b = Interval.point(0.1), Interval.point(0.3)
+        s = a * b
+        v = as_interval(batch1(a) * batch1(b))
+        assert (s.lo, s.hi) == (v.lo, v.hi)
+        p = 0.1 * 0.3  # inexact: both bounds bump one ulp outward
+        assert s.lo == math.nextafter(p, -INF)
+        assert s.hi == math.nextafter(p, INF)
+
+    def test_repeated_ops_monotone(self):
+        # iterating x -> x + 0.1 can only keep or grow the enclosure width
+        s = Interval.point(0.0)
+        v = IntervalArray.point(np.zeros(1))
+        tenth_s = Interval.point(0.1)
+        tenth_v = IntervalArray.point(np.full(1, 0.1))
+        w_prev_s = w_prev_v = -1.0
+        for _ in range(50):
+            s = s + tenth_s
+            v = v + tenth_v
+            assert s.width() >= w_prev_s >= -1.0
+            assert float(v.width()[0]) >= w_prev_v
+            w_prev_s, w_prev_v = s.width(), float(v.width()[0])
+        assert (s.lo, s.hi) == (float(v.lo[0]), float(v.hi[0]))
+
+    def test_width_never_shrinks_under_rounding(self):
+        # lo is rounded down, hi up: op([a,a],[b,b]) width is >= 0 and
+        # bounds sandwich the double result
+        for (x, y) in [(1e-300, 1e300), (3.3, 7.7), (-2.5, 1e-8)]:
+            s = Interval.point(x) * Interval.point(y)
+            v = as_interval(batch1(Interval.point(x)) * batch1(Interval.point(y)))
+            assert s.lo <= x * y <= s.hi
+            assert v.lo <= x * y <= v.hi
+            assert s.width() >= 0.0 and v.width() >= 0.0

@@ -119,9 +119,11 @@ class TestProgressPrimitives:
         with progress_scope(sink=sink, cancel=cancel):
             with pytest.raises(JobCancelled):
                 solver._solve_impl(phi, box)
-        # stopped right after the cancel flag was observed
+        # stopped right after the cancel flag was observed (one progress
+        # event per popped frontier; the frontier doubles while the heap
+        # is smaller than K, so the first events count 1, 3, 7, 15 boxes)
         assert 3 <= len(boxes_seen) <= 4
-        assert max(boxes_seen) <= 4
+        assert max(boxes_seen) <= 15
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,154 @@
+"""Fuzz the vectorized interval kernel against the scalar one.
+
+Two properties, checked over ~10k seeded random interval pairs:
+
+* **agreement** -- every batched op must reproduce the scalar kernel's
+  bounds (bit-identical for the rational operations, which share the
+  exactness-aware rounding algorithms; within a couple of ulps for the
+  libm-backed transcendentals), and
+* **inclusion** -- every op result must contain the pointwise result
+  for member points of the operands (the soundness contract the whole
+  delta-decision stack rests on).
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.intervals import Interval, IntervalArray
+
+N = 10_000
+SEED = 20260728
+
+
+def _random_pairs(rng: random.Random, n: int):
+    """n (interval, member, interval, member) tuples over mixed scales."""
+    xs, xpts, ys, ypts = [], [], [], []
+    for _ in range(n):
+        scale = 10.0 ** rng.uniform(-3, 3)
+        a, b = sorted(rng.uniform(-scale, scale) for _ in range(2))
+        c, d = sorted(rng.uniform(-scale, scale) for _ in range(2))
+        xs.append(Interval(a, b))
+        ys.append(Interval(c, d))
+        xpts.append(min(max(rng.uniform(a, b), a), b))
+        ypts.append(min(max(rng.uniform(c, d), c), d))
+    return xs, xpts, ys, ypts
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    rng = random.Random(SEED)
+    xs, xpts, ys, ypts = _random_pairs(rng, N)
+    return {
+        "X": xs, "xs": np.array(xpts),
+        "Y": ys, "ys": np.array(ypts),
+        "Xa": IntervalArray.from_intervals(xs),
+        "Ya": IntervalArray.from_intervals(ys),
+    }
+
+
+def _assert_agrees(vec: IntervalArray, scal: list[Interval], ulps: int, op: str):
+    lo_s = np.array([iv.lo for iv in scal])
+    hi_s = np.array([iv.hi for iv in scal])
+    lo_v, hi_v = vec.lo, vec.hi
+    if ulps == 0:
+        bad = ~((lo_v == lo_s) & (hi_v == hi_s))
+    else:
+        tol_lo = np.abs(np.spacing(lo_s)) * ulps
+        tol_hi = np.abs(np.spacing(hi_s)) * ulps
+        bad = (np.abs(lo_v - lo_s) > tol_lo) | (np.abs(hi_v - hi_s) > tol_hi)
+        # empty-vs-empty rows agree regardless of canonical bounds
+        bad &= ~((lo_v > hi_v) & (lo_s > hi_s))
+    assert not bad.any(), (
+        f"{op}: {int(bad.sum())} disagreements, first at row "
+        f"{int(np.flatnonzero(bad)[0])}"
+    )
+
+
+def _assert_includes(vec: IntervalArray, pts: np.ndarray, op: str):
+    ok = np.isnan(pts) | ((vec.lo <= pts) & (pts <= vec.hi))
+    assert ok.all(), (
+        f"{op}: inclusion violated on {int((~ok).sum())} rows, first at "
+        f"{int(np.flatnonzero(~ok)[0])}"
+    )
+
+
+BINARY_CASES = [
+    ("add", lambda X, Y: X + Y, lambda x, y: x + y, 0),
+    ("sub", lambda X, Y: X - Y, lambda x, y: x - y, 0),
+    ("mul", lambda X, Y: X * Y, lambda x, y: x * y, 0),
+    ("div", lambda X, Y: X / Y, lambda x, y: x / y if y != 0 else math.nan, 0),
+    ("min", lambda X, Y: X.min_with(Y), min, 0),
+    ("max", lambda X, Y: X.max_with(Y), max, 0),
+]
+
+UNARY_CASES = [
+    ("neg", lambda X: -X, lambda x: -x, 0),
+    ("abs", abs, abs, 0),
+    ("sqr", lambda X: X.sqr(), lambda x: x * x, 0),
+    # numpy's pow fast-paths small integer exponents (x*x) while CPython
+    # always calls libm pow -- both correctly rounded to within an ulp
+    ("pow2", lambda X: X.pow(2) if isinstance(X, Interval) else X.pow_int(2),
+     lambda x: x * x, 1),
+    ("pow3", lambda X: X.pow(3) if isinstance(X, Interval) else X.pow_int(3),
+     lambda x: x ** 3, 1),
+    ("pow-1", lambda X: X.pow(-1) if isinstance(X, Interval) else X.pow_int(-1),
+     lambda x: 1.0 / x if x != 0 else math.nan, 0),
+    ("inverse", lambda X: X.inverse(), lambda x: 1.0 / x if x != 0 else math.nan, 0),
+    ("sqrt", lambda X: X.sqrt(), lambda x: math.sqrt(x) if x >= 0 else math.nan, 2),
+    ("exp", lambda X: X.exp(), math.exp, 2),
+    ("log", lambda X: X.log(), lambda x: math.log(x) if x > 0 else math.nan, 2),
+    ("sin", lambda X: X.sin(), math.sin, 2),
+    ("cos", lambda X: X.cos(), math.cos, 2),
+    ("tan", lambda X: X.tan(), math.tan, 2),
+    ("tanh", lambda X: X.tanh(), math.tanh, 2),
+    ("sigmoid", lambda X: X.sigmoid(),
+     lambda x: 1.0 / (1.0 + math.exp(-x)) if x >= 0
+     else math.exp(x) / (1.0 + math.exp(x)), 2),
+]
+
+
+@pytest.mark.parametrize("name,vop,pop,ulps", BINARY_CASES, ids=[c[0] for c in BINARY_CASES])
+def test_binary_agreement_and_inclusion(pairs, name, vop, pop, ulps):
+    vec = vop(pairs["Xa"], pairs["Ya"])
+    scal = [vop(X, Y) for X, Y in zip(pairs["X"], pairs["Y"])]
+    _assert_agrees(vec, scal, ulps, name)
+    pts = np.array([pop(x, y) for x, y in zip(pairs["xs"], pairs["ys"])])
+    _assert_includes(vec, pts, name)
+
+
+def _safe(pop, *args) -> float:
+    try:
+        return pop(*args)
+    except OverflowError:
+        return math.inf  # true value is huge; only an inf bound contains it
+
+
+@pytest.mark.parametrize("name,vop,pop,ulps", UNARY_CASES, ids=[c[0] for c in UNARY_CASES])
+def test_unary_agreement_and_inclusion(pairs, name, vop, pop, ulps):
+    vec = vop(pairs["Xa"])
+    scal = [vop(X) for X in pairs["X"]]
+    _assert_agrees(vec, scal, ulps, name)
+    pts = np.array([_safe(pop, float(x)) for x in pairs["xs"]])
+    _assert_includes(vec, pts, name)
+
+
+def test_set_ops_agree(pairs):
+    for name, vop in [
+        ("intersect", lambda A, B: A.intersect(B)),
+        ("hull", lambda A, B: A.hull(B)),
+    ]:
+        vec = vop(pairs["Xa"], pairs["Ya"])
+        scal = [vop(X, Y) for X, Y in zip(pairs["X"], pairs["Y"])]
+        for i, iv in enumerate(scal):
+            if iv.is_empty:
+                assert vec.lo[i] > vec.hi[i], name
+            else:
+                assert (vec.lo[i], vec.hi[i]) == (iv.lo, iv.hi), name
+
+
+def test_roundtrip_conversion(pairs):
+    back = pairs["Xa"].to_intervals()
+    assert back == pairs["X"]
