@@ -1,9 +1,11 @@
 """Cached vs. uncached batch throughput of the job-oriented engine.
 
-Submits the same scenario batch twice through the process backend of
-one cache-enabled :class:`repro.api.Engine` and reports scenarios/sec
-for the cold (uncached) and warm (cache-served) passes, plus the cache
-counters proving the second pass never re-ran a task.
+Expands the catalog entry ``sir-outbreak`` into a seed-replicated
+:class:`repro.scenarios.ScenarioSweep`, submits it twice through the
+process backend of one cache-enabled :class:`repro.api.Engine`, and
+reports scenarios/sec for the cold (uncached) and warm (cache-served)
+passes, plus the cache counters proving the second pass never re-ran a
+task.
 
 CI runs this in ``--quick`` mode and uploads the JSON as the
 ``BENCH_batch_throughput.json`` artifact::
@@ -18,26 +20,14 @@ import json
 import time
 
 
-def scenarios(n: int, epsilon: float) -> list[dict]:
-    """n distinct SIR outbreak-probability scenarios (seed-varied)."""
-    return [
-        {
-            "task": "smc",
-            "name": f"outbreak-{i}",
-            "model": {"builtin": "sir"},
-            "query": {
-                "phi": {"op": "F", "bound": 120.0, "arg": "i >= 0.3"},
-                "init": {"s": 0.99, "i": [0.005, 0.03], "r": 0.0,
-                         "beta": [0.25, 0.5]},
-                "horizon": 120.0,
-                "method": "probability",
-                "epsilon": epsilon,
-                "alpha": 0.05,
-            },
-            "seed": i,
-        }
-        for i in range(n)
-    ]
+def scenarios(n: int, epsilon: float) -> list:
+    """n replicas of the catalog's SIR outbreak entry (seed-varied)."""
+    from repro.scenarios import ScenarioSweep
+
+    sweep = ScenarioSweep(
+        "sir-outbreak", grid={"epsilon": [epsilon]}, seeds=list(range(n))
+    )
+    return sweep.expand()
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -5,23 +5,24 @@ Three results on the minimal cardiac AP models:
 1. **Morphology comparison** -- simulate Fenton-Karma and
    Bueno-Cherry-Fenton (epicardial) action potentials and extract
    features: BCF shows the epicardial spike-and-dome, FK cannot.
-2. **Falsification** -- delta-decision calibration proves that *no*
-   FK parameters reproduce a dome-shaped AP (bands that require the
-   voltage to rise again after the notch): UNSAT.
-3. **Disorder-inducing parameter synthesis** -- find tau_so1 values
-   driving the BCF action potential duration into tachycardia-like
-   (short APD) and repolarization-failure regimes.
+2. **Falsification** -- the catalog entries ``cardiac-fk-dome``
+   (delta-decisions prove *no* FK parameters reproduce a dome: UNSAT)
+   and ``cardiac-bcf-dome`` (the BCF control is delta-sat).
+3. **Disorder-inducing parameter sweep** -- tau_so1 values driving the
+   BCF action potential into tachycardia-like and repolarization-
+   failure regimes.
 
 Run:  python examples/cardiac_parameter_synthesis.py
 """
 
-from repro.apps import TimeSeriesData, falsify_with_data
+from repro.api import Engine
 from repro.models import (
     action_potential,
     ap_features,
     bueno_cherry_fenton,
     fenton_karma,
 )
+from repro.scenarios import get_scenario
 
 
 def morphology_table() -> None:
@@ -40,42 +41,30 @@ def morphology_table() -> None:
     print()
 
 
-def falsify_fk_dome() -> None:
+def falsify_fk_dome(engine: Engine) -> None:
     print("=" * 66)
     print("2. Falsification: can Fenton-Karma produce a spike-and-dome?")
     print("=" * 66)
-    from repro.apps import falsify_ascent
-    from repro.models import bcf_hybrid, fenton_karma_hybrid
-
-    # A dome requires the voltage to RISE back from the notch (u <= 0.75)
-    # through the dome window (u >= 0.85).  By the mean value theorem,
-    # that ascent needs a state in u in [0.75, 0.85] with du/dt >= 0.
-    # In the excited regime the FK fast gate only decays
-    # (dv/dt = -v / tau_v_plus), so v <= 0.01 by the notch time; the
-    # barrier query below is therefore UNSAT for all parameters in the
-    # physiological ranges -- the structural deficiency shown in [37].
-    fk_excited = fenton_karma_hybrid().mode_system("excited")
-    verdict = falsify_ascent(
-        fk_excited, "u", from_level=0.75, to_level=0.85,
-        state_bounds={"u": (0.0, 1.2), "v": (0.0, 0.01), "w": (0.0, 1.0)},
-        param_ranges={"tau_r": (10.0, 38.0), "tau_si": (28.0, 130.0)},
+    # A dome requires the voltage to RISE back from the notch through the
+    # dome window; in the excited regime the FK fast gate only decays, so
+    # the catalog's barrier query is UNSAT for all physiological
+    # parameters -- the structural deficiency shown in [37].
+    fk = get_scenario("cardiac-fk-dome")
+    verdict = engine.run(fk.spec())
+    assert verdict.status.value == fk.expected, (
+        f"{fk.name}: got {verdict.status.value!r}, expected {fk.expected!r}"
     )
-    print(f"FK spike-and-dome: rejected={verdict.rejected} "
-          f"conclusive={verdict.conclusive}")
-    print(f"  -> {verdict.detail}")
+    print(f"  [{fk.name}] {verdict.status.value}: {verdict.detail}")
 
-    # Control: the BCF (epicardial) dynamics CAN ascend through its
-    # dome window -- the barrier query is delta-sat with a witness
-    # (and a concrete simulated AP exhibits the dome, section 1 above).
-    bcf_m4 = bcf_hybrid().mode_system("m4")
-    verdict_bcf = falsify_ascent(
-        bcf_m4, "u", from_level=1.0, to_level=1.2,
-        state_bounds={"u": (0.0, 1.6), "v": (0.0, 1.0), "w": (0.0, 1.0),
-                      "s": (0.0, 1.0)},
-        param_ranges={"tau_so1": (25.0, 35.0)},
+    # Control: the BCF (epicardial) dynamics CAN ascend through its dome
+    # window -- same query shape, delta-sat with a witness.
+    bcf = get_scenario("cardiac-bcf-dome")
+    verdict_bcf = engine.run(bcf.spec())
+    assert verdict_bcf.status.value == bcf.expected, (
+        f"{bcf.name}: got {verdict_bcf.status.value!r}, expected {bcf.expected!r}"
     )
-    print(f"BCF spike-and-dome: rejected={verdict_bcf.rejected} "
-          f"witness={verdict_bcf.witness_params}")
+    print(f"  [{bcf.name}] {verdict_bcf.status.value}: "
+          f"witness = {verdict_bcf.witness}")
     print()
 
 
@@ -106,7 +95,7 @@ def apd_sweep() -> None:
 
 def main() -> None:
     morphology_table()
-    falsify_fk_dome()
+    falsify_fk_dome(Engine(seed=0))
     apd_sweep()
 
 

@@ -1,55 +1,63 @@
 """Lyapunov stability analysis via delta-decisions (paper Section IV-C).
 
 Synthesizes and certifies Lyapunov functions with the exists-forall
-CEGIS solver for
+CEGIS solver:
 
-1. the T-cell kinetic-proofreading network (the canonical example of
-   Lyapunov-enabled mass-action analysis [60]),
-2. the simplified ERK cascade, and
-3. a damped oscillator where the natural energy candidate *fails* the
-   robust conditions and a cross-term certificate succeeds -- showing
-   the counterexample machinery at work.
+1. the catalog entries ``kp-lyapunov`` and ``erk-lyapunov`` -- the
+   T-cell kinetic-proofreading network and the ERK cascade (the
+   canonical examples of Lyapunov-enabled mass-action analysis [60]);
+2. the catalog entry ``oscillator-lyapunov`` -- a damped oscillator
+   where the natural energy candidate *fails* the robust conditions and
+   a cross-term certificate succeeds; and
+3. the counterexample machinery at work on the failing energy
+   candidate, using the analyzer directly.
 
 Run:  python examples/lyapunov_stability.py
 """
 
+from repro.api import Engine
 from repro.expr import var
 from repro.intervals import Box
-from repro.lyapunov import LyapunovAnalyzer, quadratic_template
-from repro.models import erk_cascade, kinetic_proofreading
+from repro.lyapunov import LyapunovAnalyzer
 from repro.odes import ODESystem
-from repro.solver import Status
+from repro.scenarios import get_scenario
 
 
-def analyze_mass_action(name: str, system, equilibrium, radius: float) -> None:
-    print("=" * 70)
-    print(f"{name}: equilibrium "
-          + ", ".join(f"{k}={v:.4f}" for k, v in equilibrium.items()))
-    print("=" * 70)
-    region = Box.from_bounds(
-        {k: (max(1e-6, v - radius), v + radius) for k, v in equilibrium.items()}
+def run_entry(engine: Engine, name: str):
+    """Run one catalog entry and assert its recorded expected verdict."""
+    scenario = get_scenario(name)
+    report = engine.run(scenario.spec())
+    assert report.status.value == scenario.expected, (
+        f"{name}: got {report.status.value!r}, expected {scenario.expected!r}"
     )
-    analyzer = LyapunovAnalyzer(
-        system, region, equilibrium,
-        exclusion_radius=0.02, eps_v=1e-3, eps_dv=1e-5,
-    )
-    res = analyzer.synthesize(seed=1)
-    if res.status is Status.DELTA_SAT:
-        print(f"  Lyapunov function found in {res.iterations} CEGIS rounds:")
-        print(f"    V = {res.V}")
-        check = analyzer.certify(res.V)
-        print(f"  independent certification: {check.status.value}")
-        roa = analyzer.region_of_attraction(res.V, levels=8)
-        print(f"  verified sublevel (region of attraction estimate): "
-              f"V <= {roa:.4f}")
-    else:
-        print(f"  synthesis failed: {res.status.value}")
+    return scenario, report
+
+
+def mass_action_demo(engine: Engine) -> None:
+    print("=" * 70)
+    print("1. Mass-action networks: CEGIS synthesis (kinetic proofreading, ERK)")
+    print("=" * 70)
+    for name in ("kp-lyapunov", "erk-lyapunov"):
+        scenario, report = run_entry(engine, name)
+        print(f"  [{scenario.name}] {report.status.value} after "
+              f"{int(report.stats['iterations'])} CEGIS rounds")
+        print(f"    V = {report.payload['V']}")
     print()
 
 
-def damped_oscillator_demo() -> None:
+def oscillator_demo(engine: Engine) -> None:
     print("=" * 70)
-    print("Damped oscillator x' = v, v' = -x - v")
+    print("2. Damped oscillator x' = v, v' = -x - v: certification")
+    print("=" * 70)
+    scenario, report = run_entry(engine, "oscillator-lyapunov")
+    print(f"  [{scenario.name}] cross-term V = 1.5x^2 + xv + v^2: "
+          f"{report.status.value}")
+    print()
+
+
+def failing_energy_demo() -> None:
+    print("=" * 70)
+    print("3. Why the cross term? The energy candidate fails robustly")
     print("=" * 70)
     x, v = var("x"), var("v")
     system = ODESystem({"x": v, "v": -x - v})
@@ -57,31 +65,20 @@ def damped_oscillator_demo() -> None:
     analyzer = LyapunovAnalyzer(system, region, eps_dv=1e-2)
 
     energy = x * x + v * v
-    res1 = analyzer.certify(energy)
-    print(f"  energy V = x^2 + v^2: {res1.status.value} "
+    res = analyzer.certify(energy)
+    print(f"  energy V = x^2 + v^2: {res.status.value} "
           f"(dV/dt = -2v^2 vanishes on the v=0 axis)")
-    if res1.counterexample:
-        ce = res1.counterexample
+    if res.counterexample:
+        ce = res.counterexample
         print(f"    counterexample: x={ce['x']:.3f} v={ce['v']:.3f}")
-
-    cross = 1.5 * x * x + x * v + v * v
-    res2 = analyzer.certify(cross)
-    print(f"  cross-term V = 1.5x^2 + xv + v^2: {res2.status.value}")
-
-    synth = analyzer.synthesize(template=quadratic_template(["x", "v"]), seed=3)
-    if synth.status is Status.DELTA_SAT:
-        print(f"  CEGIS-synthesized: V = {synth.V}")
     print()
 
 
 def main() -> None:
-    kp_sys, kp_eq = kinetic_proofreading(n_steps=2)
-    analyze_mass_action("T-cell kinetic proofreading (2 steps)", kp_sys, kp_eq, 0.15)
-
-    erk_sys, erk_eq = erk_cascade()
-    analyze_mass_action("ERK cascade (2-tier)", erk_sys, erk_eq, 0.2)
-
-    damped_oscillator_demo()
+    engine = Engine(seed=0)
+    mass_action_demo(engine)
+    oscillator_demo(engine)
+    failing_energy_demo()
 
 
 if __name__ == "__main__":

@@ -4,78 +4,66 @@ The intermittent androgen suppression (IAS) model is a two-mode hybrid
 automaton whose treatment thresholds (pause at PSA <= r0, resume at
 PSA >= r1) are the *personalizable* parameters.  This example
 
-1. simulates the three synthetic patient profiles under the default
-   schedule, showing the responder / relapse regimes;
-2. synthesizes patient-specific thresholds for the responder using the
-   SMC-based policy search (objective: keep total tumor burden bounded
-   for 600 days); and
+1. sweeps the catalog entry ``ias-cohort-burden`` over the whole
+   synthetic patient cohort (one :class:`ScenarioSweep`, one engine
+   batch) -- the responder keeps the burden bounded with probability
+   ~1, the relapsing profiles with probability ~0;
+2. synthesizes patient-specific thresholds for the responder with the
+   catalog entry ``ias-policy``; and
 3. shows that for the non-responder no schedule in the same family
-   prevents CRPC growth (the verdicts differ per patient -- the
-   personalization message of [38]).
+   works (the verdicts differ per patient -- the personalization
+   message of [38]).
 
 Run:  python examples/prostate_therapy.py
 """
 
-from repro.apps import synthesize_threshold_policy
-from repro.expr import var
-from repro.hybrid import simulate_hybrid
-from repro.models import PATIENT_PROFILES, ias_model, psa
-from repro.smc import G
+from repro.api import Engine
+from repro.scenarios import ScenarioSweep, get_scenario
 
 
-def simulate_patients() -> None:
+def cohort_sweep(engine: Engine) -> None:
     print("=" * 70)
-    print("1. IAS under the default schedule (r0=4, r1=10), 1500 days")
+    print("1. Cohort sweep: P(burden x+y <= 40 for 600 days) per patient")
     print("=" * 70)
-    print(f"{'patient':>10s} {'d':>5s} {'cycles':>7s} {'final PSA':>12s} "
-          f"{'CRPC y':>10s} {'outcome':<12s}")
-    for name, prof in PATIENT_PROFILES.items():
-        h = ias_model(name)
-        traj = simulate_hybrid(h, t_final=1500.0, max_jumps=60)
-        final = traj.final()
-        cycles = max(0, len(traj.segments) - 1) // 2
-        relapsed = final["y"] > 5.0
-        print(f"{name:>10s} {prof['d']:5.2f} {cycles:7d} {psa(final):12.2f} "
-              f"{final['y']:10.3f} {'RELAPSE' if relapsed else 'controlled':<12s}")
+    scenario = get_scenario("ias-cohort-burden")
+    sweep = ScenarioSweep(scenario.name, cohort="patients")
+    reports = sweep.run(engine)
+    assert all(r.status.value == scenario.expected for r in reports)
+    print(f"{'scenario':>42s} {'P(controlled)':>14s}")
+    for report in reports:
+        print(f"{report.name:>42s} {report.metrics['probability']:14.2f}")
+    probs = [r.metrics["probability"] for r in reports]
+    assert probs[0] > 0.9      # patient_A: responder, controlled
+    assert max(probs[1:]) < 0.5  # patient_B / patient_C: relapse
     print()
 
 
-def personalize(patient: str) -> None:
+def personalize(engine: Engine, patient: str, expect_found: bool) -> None:
     print("=" * 70)
     print(f"2. Threshold synthesis for {patient} "
           "(objective: burden x+y <= 40 for 600 days)")
     print("=" * 70)
-    h = ias_model(patient)
-    phi = G(600.0, (var("x") + var("y")) <= 40.0)
-    res = synthesize_threshold_policy(
-        h,
-        phi,
-        {"r0": (0.5, 8.0), "r1": (8.5, 25.0)},
-        init={"x": 15.0, "y": 0.01, "z": 12.0},
-        horizon=610.0,
-        population=10,
-        iterations=5,
-        seed=2,
-        confirm_samples=10,
-    )
-    if res.found:
-        print(f"  thresholds: r0={res.thresholds['r0']:.2f} "
-              f"r1={res.thresholds['r1']:.2f}")
-        print(f"  robustness margin: {res.robustness:.3f}, "
-              f"Monte-Carlo success: {res.success_probability:.0%}")
-        # show the schedule it induces
-        traj = simulate_hybrid(h, t_final=600.0, params=res.thresholds, max_jumps=40)
-        print(f"  induced mode path: {' -> '.join(traj.mode_path()[:8])}"
-              f"{' ...' if len(traj.segments) > 8 else ''}")
+    scenario = get_scenario("ias-policy")
+    report = engine.run(scenario.spec(patient=patient))
+    if patient == scenario.params["patient"]:
+        assert report.status.value == scenario.expected
+    assert bool(report) == expect_found
+    if report:
+        print(f"  thresholds: r0={report.witness['r0']:.2f} "
+              f"r1={report.witness['r1']:.2f}")
+        print(f"  robustness margin: {report.metrics['robustness']:.3f}, "
+              f"Monte-Carlo success: {report.metrics['success_probability']:.0%}")
     else:
-        print(f"  no feasible schedule found (best margin {res.robustness:.3f})")
+        print(f"  no feasible schedule found "
+              f"(best margin {report.metrics['robustness']:.3f})")
     print()
 
 
 def main() -> None:
-    simulate_patients()
-    personalize("patient_A")
-    personalize("patient_C")  # non-responder: expected to fail
+    engine = Engine(seed=0)
+    cohort_sweep(engine)
+    personalize(engine, "patient_A", expect_found=True)
+    personalize(engine, "patient_C", expect_found=False)  # non-responder
 
 
 if __name__ == "__main__":

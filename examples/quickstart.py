@@ -1,92 +1,65 @@
-"""Quickstart: the unified analysis API on a small ODE model.
+"""Quickstart: the scenario catalog on a small ODE model.
 
-Walks the core loop of the paper (Fig. 2) end to end on logistic
-growth -- build a model, calibrate it against data bands, reject an
-inconsistent hypothesis, check a reachability-style property -- all
-through one surface: a declarative :class:`TaskSpec` per question, one
-:class:`Engine`, one :class:`AnalysisReport` shape back.
+The core loop of the paper (Fig. 2) on logistic growth -- calibrate
+against data bands, reject an inconsistent hypothesis, estimate a
+reachability probability -- where every analysis is a *named catalog
+entry* (see ``repro scenarios list``) instead of hand-written specs:
+one :func:`get_scenario` call binds parameters into a TaskSpec, one
+:class:`Engine` runs it, one :class:`AnalysisReport` shape comes back.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.api import Engine, Model, TaskSpec
-from repro.models import logistic
-from repro.odes import rk45
+from repro.api import Engine
+from repro.scenarios import get_scenario
+
+
+def run_entry(engine, name, **overrides):
+    """Run one catalog entry and assert its recorded expected verdict."""
+    scenario = get_scenario(name)
+    report = engine.run(scenario.spec(**overrides))
+    if not overrides:
+        assert report.status.value == scenario.expected, (
+            f"{name}: got {report.status.value!r}, expected {scenario.expected!r}"
+        )
+    return scenario, report
 
 
 def main() -> None:
     engine = Engine(seed=0)
 
     # ------------------------------------------------------------------
-    # 1. A model hypothesis: logistic growth with unknown rate r
+    # 1. Calibration: delta-decision parameter synthesis (Sec. IV-A)
     # ------------------------------------------------------------------
-    model = Model.builtin("logistic")
-    print(f"model: {model}")
+    scenario, calibration = run_entry(engine, "logistic-calibrate")
+    print(f"[{scenario.name}] {scenario.summary}")
+    print(f"  {calibration.status.value}: r = {calibration.witness['r']:.4f} "
+          "(ground truth 0.65)")
 
     # ------------------------------------------------------------------
-    # 2. "Experimental" data: bands around samples of a ground truth run
+    # 2. Falsification: an impossible hypothesis gets rejected (unsat)
     # ------------------------------------------------------------------
-    truth = {"r": 0.65, "K": 10.0}
-    traj = rk45(logistic(), {"x": 0.5}, (0.0, 8.0), params=truth)
-    samples = [[t, {"x": traj.value("x", t)}] for t in (2.0, 4.0, 8.0)]
-    print(f"data samples: {[(t, round(v['x'], 3)) for t, v in samples]}")
+    scenario, falsification = run_entry(engine, "logistic-falsify")
+    print(f"[{scenario.name}] {scenario.summary}")
+    print(f"  {falsification.status.value}: {falsification.detail}")
 
     # ------------------------------------------------------------------
-    # 3. Calibration: delta-decision parameter synthesis (Sec. IV-A)
+    # 3. SMC: probability estimation under initial-state uncertainty
     # ------------------------------------------------------------------
-    calibration = engine.run(TaskSpec(
-        task="calibrate",
-        model=model,
-        query={
-            "data": {"samples": samples, "tolerance": 0.15},
-            "param_ranges": {"r": [0.1, 2.0]},
-            "x0": {"x": 0.5},
-        },
-    ))
-    print(f"calibration: {calibration.status.value}, "
-          f"r = {calibration.witness['r']:.4f} (true {truth['r']})")
-
-    # ------------------------------------------------------------------
-    # 4. Falsification: an impossible hypothesis gets rejected (unsat)
-    # ------------------------------------------------------------------
-    falsification = engine.run(TaskSpec(
-        task="falsify",
-        model=model,
-        query={
-            "method": "data",
-            # up then down: not logistic
-            "data": {"samples": [[1.0, {"x": 5.0}], [2.0, {"x": 0.2}]],
-                     "tolerance": 0.1},
-            "param_ranges": {"r": [0.1, 2.0]},
-            "x0": {"x": 0.5},
-        },
-    ))
-    print(f"falsification of inconsistent data: "
-          f"{falsification.status.value} ({falsification.detail})")
-
-    # ------------------------------------------------------------------
-    # 5. The same questions as a declarative batch (JSON-able specs)
-    # ------------------------------------------------------------------
-    probability = engine.run({
-        "task": "smc",
-        "model": {"builtin": "logistic", "args": {"r": 0.65}},
-        "query": {
-            "phi": {"op": "F", "bound": 8.0, "arg": "x >= 5.0"},
-            "init": {"x": [0.3, 0.7]},
-            "horizon": 8.0,
-            "epsilon": 0.2,
-            "alpha": 0.1,
-        },
-    })
-    print(f"smc: P(x reaches 5 within 8) ~ "
-          f"{probability.metrics['probability']:.2f} "
+    scenario, probability = run_entry(engine, "logistic-growth-smc")
+    print(f"[{scenario.name}] {scenario.summary}")
+    print(f"  P ~ {probability.metrics['probability']:.2f} "
           f"({int(probability.metrics['samples'])} samples)")
-
-    # sanity for CI-style usage
-    assert calibration.status.value == "delta-sat"
-    assert abs(calibration.witness["r"] - truth["r"]) < 0.1
-    assert falsification.status.value == "falsified"
     assert probability.metrics["probability"] > 0.9
+
+    # ------------------------------------------------------------------
+    # 4. Parameterized re-runs: the same entry at another precision
+    # ------------------------------------------------------------------
+    _, precise = run_entry(engine, "logistic-growth-smc", epsilon=0.1)
+    print(f"[logistic-growth-smc[epsilon=0.1]] "
+          f"{int(precise.metrics['samples'])} samples at the tighter bound")
+    assert precise.metrics["samples"] > probability.metrics["samples"]
+
     print("quickstart OK")
 
 

@@ -1,17 +1,14 @@
 """Statistical model checking workflow (paper Fig. 2 left loop).
 
-When a model has probabilistic initial states (cell-to-cell
-variability), BLTL properties are checked statistically.  The whole
-study is expressed as declarative ``smc`` specs dispatched through the
-unified :class:`repro.api.Engine` -- including a parallel scenario
-batch -- plus one lower-level SMC-driven parameter search:
+The SIR outbreak study, driven entirely from the scenario catalog:
 
-1. estimate the probability that an SIR outbreak exceeds 30% prevalence
-   (Chernoff-bounded estimation, Bayesian posterior, Wald's SPRT) as a
-   3-scenario batch submitted as *jobs* with live progress reporting,
-2. check a herd-safety property under fast recovery, and
-3. recover an unknown infection rate by SMC-driven parameter search
-   (cross-entropy over BLTL robustness).
+1. the three statistical methods (Chernoff estimation, Bayesian
+   posterior, Wald's SPRT) are the catalog entries ``sir-outbreak``,
+   ``sir-outbreak-bayes`` and ``sir-outbreak-sprt``, submitted as
+   concurrent *jobs* with live progress events;
+2. the herd-safety property is ``sir-herd-safety``; and
+3. one lower-level SMC-driven parameter search (cross-entropy over
+   BLTL robustness) shows what the catalog entries wrap.
 
 Run:  python examples/smc_analysis.py
 """
@@ -22,10 +19,8 @@ from repro.api import Engine
 from repro.expr import var
 from repro.models import sir
 from repro.odes import rk45
+from repro.scenarios import get_scenario
 from repro.smc import F, G, cross_entropy_search, robustness
-
-OUTBREAK = {"op": "F", "bound": 120.0, "arg": "i >= 0.3"}
-SIR_INIT = {"s": 0.99, "i": [0.005, 0.03], "r": 0.0}
 
 
 def show_progress(job, event) -> None:
@@ -36,37 +31,22 @@ def show_progress(job, event) -> None:
 def probabilistic_outbreak(engine: Engine) -> None:
     print("=" * 66)
     print("1. P(outbreak > 30%) with i(0) ~ U(0.005, 0.03), beta ~ U(0.25, 0.5)")
-    print("   (three statistical methods, submitted as concurrent jobs")
-    print("    with live progress events)")
+    print("   (three catalog entries, submitted as concurrent jobs)")
     print("=" * 66)
-    base = {
-        "task": "smc",
-        "model": {"builtin": "sir"},
-        "query": {
-            "phi": OUTBREAK,
-            "init": {**SIR_INIT, "beta": [0.25, 0.5]},
-            "horizon": 120.0,
-        },
-        "seed": 4,
-    }
-
-    def variant(name, **extra):
-        spec = {**base, "name": name}
-        spec["query"] = {**base["query"], **extra}
-        return spec
-
-    # submit as jobs on the thread backend: progress streams live, and
-    # each handle can be polled or cancelled while the batch runs
+    entries = [
+        get_scenario("sir-outbreak"),
+        get_scenario("sir-outbreak-bayes"),
+        get_scenario("sir-outbreak-sprt"),
+    ]
     jobs = engine.submit_batch(
-        [
-            variant("chernoff", method="probability", epsilon=0.1, alpha=0.05),
-            variant("bayes", method="bayesian", n=150),
-            variant("sprt", method="hypothesis", theta=0.2, alpha=0.01, beta=0.01),
-        ],
-        workers=3,
-        backend="thread",
+        [s.spec() for s in entries], workers=3, backend="thread"
     )
     chernoff, bayes, sprt = (job.result(timeout=300.0) for job in jobs)
+    for scenario, report in zip(entries, (chernoff, bayes, sprt)):
+        assert report.status.value == scenario.expected, (
+            f"{scenario.name}: got {report.status.value!r}, "
+            f"expected {scenario.expected!r}"
+        )
     total_events = sum(job.event_count for job in jobs)
     print(f"  ({total_events} progress events across {len(jobs)} jobs)")
     m = chernoff.metrics
@@ -84,18 +64,9 @@ def herd_safety(engine: Engine) -> None:
     print("=" * 66)
     print("2. Safety: with gamma = 0.4 (fast recovery), outbreaks stay small")
     print("=" * 66)
-    report = engine.run({
-        "task": "smc",
-        "model": {"builtin": "sir", "args": {"beta": 0.3, "gamma": 0.4}},  # R0 < 1
-        "query": {
-            "phi": {"op": "G", "bound": 120.0, "arg": "i <= 0.05"},
-            "init": SIR_INIT,
-            "horizon": 120.0,
-            "epsilon": 0.1,
-            "alpha": 0.05,
-        },
-        "seed": 5,
-    })
+    scenario = get_scenario("sir-herd-safety")
+    report = engine.run(scenario.spec())
+    assert report.status.value == scenario.expected
     print(f"  P(i stays <= 5%) = {report.metrics['probability']:.3f}  "
           f"({int(report.metrics['samples'])} simulations)")
     print()

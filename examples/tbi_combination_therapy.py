@@ -12,20 +12,19 @@ This example
 
 1. shows the dose-response structure: untreated cells die above a dose
    threshold while the default treatment policy rescues a window;
-2. synthesizes a minimum-drug treatment plan (thresholds + schedule)
-   with the BMC route on a reduced drug set; and
+2. runs the catalog entry ``tbi-plan`` -- a minimum-drug treatment plan
+   (threshold + schedule) synthesized with the BMC route on a reduced
+   drug set; and
 3. shows threshold choice matters: at high dose only early intervention
    (low theta) survives.
 
 Run:  python examples/tbi_combination_therapy.py
 """
 
-from repro.apps import synthesize_reach_therapy
-from repro.bmc import BMCOptions
-from repro.expr import var
+from repro.api import Engine
 from repro.hybrid import simulate_hybrid
-from repro.logic import And
 from repro.models import tbi_model
+from repro.scenarios import get_scenario
 
 
 def dose_response() -> None:
@@ -47,32 +46,19 @@ def dose_response() -> None:
     print()
 
 
-def synthesize_plan() -> None:
+def synthesize_plan(engine: Engine) -> None:
     print("=" * 70)
     print("2. Minimum-drug plan synthesis (drug A only available, dose 0.55)")
     print("=" * 70)
-    h = tbi_model(dose=0.55, drugs=("drug_A",))
-    goal = And(
-        var("clox") <= 0.9, var("rip3") <= 0.9, var("peox") <= 0.9,
-        var("il") <= 0.9, var("nad") >= 0.25,
+    scenario = get_scenario("tbi-plan")
+    plan = engine.run(scenario.spec())
+    assert plan.status.value == scenario.expected, (
+        f"{scenario.name}: got {plan.status.value!r}, expected {scenario.expected!r}"
     )
-    plan = synthesize_reach_therapy(
-        h,
-        goal=goal,
-        threshold_ranges={"theta_A": (0.2, 0.8)},
-        goal_mode="drug_A",
-        max_drugs=1,
-        time_bound=30.0,
-        options=BMCOptions(
-            enclosure_step=0.5, max_boxes_per_path=40, verify_step=0.25, delta=0.2
-        ),
-    )
-    if plan.found:
-        print(f"  plan found: {' -> '.join(plan.mode_path)}")
-        print(f"  decision threshold theta_A = {plan.thresholds['theta_A']:.3f}")
-        print(f"  drugs used: {plan.n_drugs}  ({plan.detail})")
-    else:
-        print(f"  no plan: {plan.detail}")
+    print(f"  [{scenario.name}] plan found: "
+          f"{' -> '.join(plan.payload['mode_path'])}")
+    print(f"  decision threshold theta_A = {plan.witness['theta_A']:.3f}")
+    print(f"  drugs used: {int(plan.metrics['n_drugs'])}  ({plan.detail})")
     print()
 
 
@@ -92,7 +78,7 @@ def threshold_matters() -> None:
 
 def main() -> None:
     dose_response()
-    synthesize_plan()
+    synthesize_plan(Engine(seed=0))
     threshold_matters()
 
 

@@ -28,6 +28,7 @@ or, batched and parallel::
 Subpackages
 -----------
 - :mod:`repro.api`        unified Engine / TaskSpec / AnalysisReport facade
+- :mod:`repro.scenarios`  declarative scenario catalog + parameter sweeps
 - :mod:`repro.intervals`  outward-rounded interval arithmetic
 - :mod:`repro.expr`       symbolic expressions (terms of L_RF)
 - :mod:`repro.logic`      L_RF formulas, bounded quantifiers, delta-weakening

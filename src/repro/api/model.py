@@ -121,10 +121,12 @@ class Model:
     # ------------------------------------------------------------------
     @property
     def name(self) -> str:
+        """The underlying system's name."""
         return self.system.name
 
     @property
     def is_hybrid(self) -> bool:
+        """Whether the wrapped system is a hybrid automaton."""
         return isinstance(self.system, HybridAutomaton)
 
     @property

@@ -92,6 +92,7 @@ class AnalysisReport:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
+        """The JSON-able report form (inverse of :meth:`from_dict`)."""
         d = asdict(self)
         d["status"] = self.status.value
         if self.witness_box is not None:
@@ -100,6 +101,7 @@ class AnalysisReport:
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "AnalysisReport":
+        """Rebuild a report from its :meth:`to_dict` form."""
         d = dict(d)
         box = d.get("witness_box")
         if box is not None:
@@ -107,10 +109,12 @@ class AnalysisReport:
         return cls(**d)
 
     def to_json(self, indent: int | None = None) -> str:
+        """Serialize the report to JSON text."""
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
     def from_json(cls, text: str) -> "AnalysisReport":
+        """Parse a report from JSON text."""
         return cls.from_dict(json.loads(text))
 
     # ------------------------------------------------------------------

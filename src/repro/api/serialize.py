@@ -81,6 +81,7 @@ def formula_from_value(value: Any) -> Formula:
 
 
 def formula_to_value(phi: Formula) -> dict[str, Any]:
+    """Serialize a formula to its native dict tree."""
     return formula_to_dict(phi)
 
 
@@ -124,6 +125,7 @@ def bltl_from_value(value: Any) -> BLTL:
 
 
 def bltl_to_value(phi: BLTL) -> dict[str, Any]:
+    """Serialize a BLTL property to its dict tree."""
     if isinstance(phi, Prop):
         return {"op": "prop", "formula": formula_to_value(phi.formula)}
     if isinstance(phi, NotOp):
@@ -180,6 +182,7 @@ def timeseries_from_value(value: Any) -> TimeSeriesData:
 
 
 def timeseries_to_value(data: TimeSeriesData) -> dict[str, Any]:
+    """Serialize time-series data to its checkpoint-band dict form."""
     return {
         "checkpoints": [
             {"t": cp.t, "bands": {k: [lo, hi] for k, (lo, hi) in cp.bands.items()}}
@@ -215,4 +218,5 @@ def bounds_from_value(value: Any) -> dict[str, tuple[float, float]]:
 
 
 def bounds_to_value(bounds: Mapping[str, tuple[float, float]]) -> dict[str, list[float]]:
+    """Serialize bounds to ``{"x": [lo, hi]}`` JSON form."""
     return {k: [float(lo), float(hi)] for k, (lo, hi) in bounds.items()}

@@ -42,9 +42,14 @@ class SolverOptions:
     # Width K of the breadth-wise ICP frontier: how many boxes each
     # vectorized tape pass contracts/judges at once (1 = scalar loop).
     frontier_size: int = 64
+    # Finer enclosure step for BMC witness verification (None: reuse
+    # enclosure_step); lets reach/therapy scenarios search coarsely but
+    # confirm witnesses precisely.
+    verify_step: float | None = None
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any] | None) -> "SolverOptions":
+        """Build options from a (possibly partial) dict; rejects unknown keys."""
         return _options_from_dict(cls, d, "solver")
 
 
@@ -59,6 +64,7 @@ class SimOptions:
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any] | None) -> "SimOptions":
+        """Build options from a (possibly partial) dict; rejects unknown keys."""
         return _options_from_dict(cls, d, "sim")
 
 
@@ -117,6 +123,7 @@ class TaskSpec:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
+        """The JSON-able spec form (inverse of :meth:`from_dict`)."""
         return {
             "task": self.task,
             "name": self.name,
@@ -129,6 +136,7 @@ class TaskSpec:
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "TaskSpec":
+        """Rebuild a spec from its :meth:`to_dict` form."""
         if "task" not in d:
             raise ValueError("spec needs a 'task' field")
         if "model" not in d:
@@ -144,13 +152,16 @@ class TaskSpec:
         )
 
     def to_json(self, indent: int | None = None) -> str:
+        """Serialize the spec to JSON text."""
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
     def from_json(cls, text: str) -> "TaskSpec":
+        """Parse a spec from JSON text."""
         return cls.from_dict(json.loads(text))
 
     @classmethod
     def from_file(cls, path: str) -> "TaskSpec":
+        """Load a spec from a scenario JSON file."""
         with open(path, "r", encoding="utf-8") as fh:
             return cls.from_dict(json.load(fh))

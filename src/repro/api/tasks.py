@@ -92,6 +92,7 @@ def get_task(name: str) -> "Task":
 
 
 def task_names() -> list[str]:
+    """All registered task kinds, sorted."""
     return sorted(_REGISTRY)
 
 
@@ -107,6 +108,7 @@ class Task:
     summary: str = ""
 
     def run(self, spec: TaskSpec) -> AnalysisReport:
+        """Execute one declarative spec and return the shared envelope."""
         raise NotImplementedError
 
     # -- shared helpers -------------------------------------------------
@@ -171,6 +173,7 @@ class CalibrateTask(Task):
     summary = "fit parameters to time-series bands via delta-decisions"
 
     def run(self, spec: TaskSpec) -> AnalysisReport:
+        """Calibrate (or pave) parameters against time-series bands."""
         o = spec.solver
         calib = SMTCalibrator(
             spec.model.ode,
@@ -227,6 +230,7 @@ class FalsifyTask(Task):
     summary = "reject model hypotheses (data bands, reachability, barrier)"
 
     def run(self, spec: TaskSpec) -> AnalysisReport:
+        """Dispatch to the requested falsification method."""
         o = spec.solver
         method = str(spec.query.get("method", "data"))
         if method == "data":
@@ -274,6 +278,7 @@ class FalsifyTask(Task):
 
 
 def _bmc_options(o) -> BMCOptions:
+    """Map shared :class:`SolverOptions` onto the BMC option group."""
     return BMCOptions(
         delta=o.delta,
         max_boxes_per_path=o.max_boxes,
@@ -281,6 +286,7 @@ def _bmc_options(o) -> BMCOptions:
         enclosure_order=o.enclosure_order,
         contract_tol=o.contract_tol,
         use_simulation_guidance=o.use_simulation_guidance,
+        verify_step=o.verify_step,
     )
 
 
@@ -305,6 +311,7 @@ class ReachTask(Task):
     summary = "bounded reachability and parameter synthesis (dReach-style BMC)"
 
     def run(self, spec: TaskSpec) -> AnalysisReport:
+        """Run a bounded reachability / parameter-synthesis query."""
         checker = BMCChecker(spec.model.automaton, _bmc_options(spec.solver))
         init_box = None
         if spec.query.get("init"):
@@ -367,6 +374,7 @@ class SMCTask(Task):
     summary = "statistical model checking: estimate/test P(model |= phi)"
 
     def run(self, spec: TaskSpec) -> AnalysisReport:
+        """Estimate or test P(model |= phi) with the requested method."""
         q = spec.query
         phi = bltl_from_value(self._q(spec, "phi"))
         horizon = float(q.get("horizon") or phi.horizon() + 1e-9)
@@ -448,6 +456,7 @@ class LyapunovTask(Task):
     summary = "Lyapunov function synthesis / certification"
 
     def run(self, spec: TaskSpec) -> AnalysisReport:
+        """Synthesize or certify a Lyapunov function."""
         q = spec.query
         analyzer = LyapunovAnalyzer(
             spec.model.ode,
@@ -504,6 +513,7 @@ class TherapyTask(Task):
     summary = "synthesize treatment strategies (BMC reach / SMC policy)"
 
     def run(self, spec: TaskSpec) -> AnalysisReport:
+        """Synthesize a treatment strategy (BMC reach or SMC policy)."""
         q = spec.query
         method = str(q.get("method", "reach"))
         if method == "reach":
@@ -577,6 +587,7 @@ class RobustnessTask(Task):
     summary = "prove robustness to disturbance boxes / bracket thresholds"
 
     def run(self, spec: TaskSpec) -> AnalysisReport:
+        """Prove robustness to a disturbance box or bracket a threshold."""
         q = spec.query
         if str(q.get("method", "check")) == "threshold":
             lo, hi = stimulus_threshold(
@@ -636,6 +647,7 @@ class PipelineTask(Task):
     summary = "full Fig. 2 workflow: calibrate, validate, SMC-refine"
 
     def run(self, spec: TaskSpec) -> AnalysisReport:
+        """Run calibrate -> validate -> (analyze | SMC-refine)."""
         o = spec.solver
         pipeline = AnalysisPipeline(
             spec.model.ode,

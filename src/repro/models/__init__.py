@@ -8,6 +8,7 @@ standard toys for tests and benchmarks.
 from .toys import (
     bouncing_ball,
     damped_oscillator,
+    decay,
     logistic,
     lotka_volterra,
     sir,
@@ -21,9 +22,12 @@ from .cardiac import (
     action_potential,
     ap_features,
     bcf_hybrid,
+    bcf_mode,
     bueno_cherry_fenton,
     fenton_karma,
     fenton_karma_hybrid,
+    fenton_karma_mode,
+    fenton_karma_rest,
 )
 from .prostate import (
     IAS_DEFAULT_PARAMS,
@@ -35,12 +39,15 @@ from .prostate import (
 from .radiation import DRUG_MODES, TBI_DEFAULT_PARAMS, tbi_model
 from .massaction import (
     erk_cascade,
+    erk_cascade_ode,
     find_equilibrium,
     kinetic_proofreading,
+    kinetic_proofreading_ode,
     receptor_ligand,
 )
 
 __all__ = [
+    "decay",
     "logistic",
     "lotka_volterra",
     "sir",
@@ -52,8 +59,11 @@ __all__ = [
     "BCF_EPI_PARAMS",
     "fenton_karma",
     "fenton_karma_hybrid",
+    "fenton_karma_mode",
+    "fenton_karma_rest",
     "bueno_cherry_fenton",
     "bcf_hybrid",
+    "bcf_mode",
     "APFeatures",
     "ap_features",
     "action_potential",
@@ -66,7 +76,9 @@ __all__ = [
     "DRUG_MODES",
     "tbi_model",
     "kinetic_proofreading",
+    "kinetic_proofreading_ode",
     "erk_cascade",
+    "erk_cascade_ode",
     "receptor_ligand",
     "find_equilibrium",
 ]

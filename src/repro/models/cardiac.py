@@ -44,6 +44,9 @@ __all__ = [
     "fenton_karma_hybrid",
     "bueno_cherry_fenton",
     "bcf_hybrid",
+    "fenton_karma_mode",
+    "bcf_mode",
+    "fenton_karma_rest",
     "APFeatures",
     "ap_features",
     "action_potential",
@@ -148,6 +151,36 @@ def fenton_karma_hybrid(
         ),
         params=merged,
         name="fenton_karma_hybrid",
+    )
+
+
+def fenton_karma_mode(
+    mode: str = "excited", params: dict[str, float] | None = None
+) -> ODESystem:
+    """The continuous dynamics of one FK hybrid mode as a plain ODE.
+
+    A JSON-able zoo entry (``{"builtin": "fenton_karma_mode", "args":
+    {"mode": "excited"}}``) for barrier-style studies that analyze a
+    single gating regime, e.g. the spike-and-dome falsification of [37].
+    """
+    return fenton_karma_hybrid(params).mode_system(mode)
+
+
+def fenton_karma_rest(
+    u_max: float = 0.03, params: dict[str, float] | None = None
+) -> HybridAutomaton:
+    """FK hybrid automaton prepared for sub-threshold stimulation study.
+
+    Starts in the ``rest`` mode with the stimulus encoded as the initial
+    voltage interval ``u in [0, u_max]`` (gates at rest, v = w = 1) --
+    the robustness setting of paper Section IV-C.
+    """
+    return fenton_karma_hybrid(
+        params,
+        initial_mode="rest",
+        init=Box.from_bounds(
+            {"u": (0.0, float(u_max)), "v": (1.0, 1.0), "w": (1.0, 1.0)}
+        ),
     )
 
 
@@ -292,6 +325,16 @@ def bcf_hybrid(
         params=merged,
         name="bcf_hybrid",
     )
+
+
+def bcf_mode(mode: str = "m4", params: dict[str, float] | None = None) -> ODESystem:
+    """The continuous dynamics of one BCF hybrid mode as a plain ODE.
+
+    The ``m4`` (fully excited) mode is the dome window of the
+    spike-and-dome comparison in [37]; exposing it as a JSON-able zoo
+    entry lets declarative scenarios run barrier queries against it.
+    """
+    return bcf_hybrid(params).mode_system(mode)
 
 
 # ----------------------------------------------------------------------

@@ -17,7 +17,9 @@ from repro.odes import ODESystem
 
 __all__ = [
     "kinetic_proofreading",
+    "kinetic_proofreading_ode",
     "erk_cascade",
+    "erk_cascade_ode",
     "receptor_ligand",
     "find_equilibrium",
 ]
@@ -113,6 +115,24 @@ def kinetic_proofreading(
     return sys_, eq
 
 
+def kinetic_proofreading_ode(
+    n_steps: int = 3,
+    kon: float = 1.0,
+    koff: float = 0.3,
+    kp: float = 0.5,
+    r_total: float = 1.0,
+    l_total: float = 2.0,
+) -> ODESystem:
+    """The kinetic-proofreading system alone (no equilibrium tuple).
+
+    A JSON-able model-zoo entry for declarative scenarios: builtin
+    factories must return a bare system, so this wraps
+    :func:`kinetic_proofreading` and drops the computed equilibrium
+    (catalog entries bake the equilibrium into the query instead).
+    """
+    return kinetic_proofreading(n_steps, kon, koff, kp, r_total, l_total)[0]
+
+
 def erk_cascade(
     k1: float = 0.8,
     k2: float = 0.6,
@@ -146,3 +166,19 @@ def erk_cascade(
     )
     eq = find_equilibrium(sys_, {"m": 0.5, "e": 0.5})
     return sys_, eq
+
+
+def erk_cascade_ode(
+    k1: float = 0.8,
+    k2: float = 0.6,
+    d1: float = 0.4,
+    d2: float = 0.5,
+    s: float = 0.5,
+    km: float = 1.0,
+) -> ODESystem:
+    """The ERK-cascade system alone (no equilibrium tuple).
+
+    The JSON-able counterpart of :func:`erk_cascade` for declarative
+    scenarios, mirroring :func:`kinetic_proofreading_ode`.
+    """
+    return erk_cascade(k1, k2, d1, d2, s, km)[0]

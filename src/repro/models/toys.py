@@ -9,6 +9,7 @@ from repro.logic import And
 from repro.odes import ODESystem
 
 __all__ = [
+    "decay",
     "logistic",
     "lotka_volterra",
     "sir",
@@ -17,6 +18,12 @@ __all__ = [
     "thermostat",
     "bouncing_ball",
 ]
+
+
+def decay(k: float = 1.0) -> ODESystem:
+    """Exponential decay ``dx/dt = -k x`` (the smallest calibratable
+    model; used by the pipeline scenarios and benchmarks)."""
+    return ODESystem({"x": -var("k") * var("x")}, {"k": k}, name="decay")
 
 
 def logistic(r: float = 1.0, K: float = 10.0) -> ODESystem:

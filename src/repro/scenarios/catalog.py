@@ -1,0 +1,280 @@
+"""The scenario catalog: named, parameterized bindings of the model zoo.
+
+A :class:`Scenario` packages everything needed to reproduce one analysis
+of the paper -- a declarative model recipe, a task kind, its query, the
+solver/simulation option defaults, and catalog metadata (tags, paper
+section, the expected verdict) -- as plain JSON-able data.  Entries
+register themselves with :func:`register_scenario` and are looked up by
+name (``repro scenarios list`` / :func:`get_scenario`), so every future
+workload is a *data* change, not a code change.
+
+Parameterization uses ``{"$param": "name"}`` placeholder markers (or the
+``"$name"`` string shorthand) anywhere inside the model recipe or query;
+:meth:`Scenario.spec` substitutes the declared defaults, overridden per
+call, and returns a ready-to-run :class:`~repro.api.spec.TaskSpec`.
+:class:`~repro.scenarios.sweep.ScenarioSweep` expands grids, seeded
+random draws and patient cohorts over the same parameters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.api.spec import SimOptions, SolverOptions, TaskSpec
+
+__all__ = [
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+    "find_scenarios",
+    "scenario_table",
+]
+
+#: The placeholder marker key: ``{"$param": "dose"}`` substitutes the
+#: value of parameter ``dose`` at :meth:`Scenario.spec` time.
+PARAM_KEY = "$param"
+
+_REGISTRY: dict[str, "Scenario"] = {}
+
+
+def _substitute(value: Any, params: Mapping[str, Any]) -> Any:
+    """Recursively replace ``$param`` placeholders with bound values."""
+    if isinstance(value, Mapping):
+        if set(value.keys()) == {PARAM_KEY}:
+            name = value[PARAM_KEY]
+            if name not in params:
+                raise ValueError(f"scenario placeholder references unknown parameter {name!r}")
+            return params[name]
+        return {k: _substitute(v, params) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_substitute(v, params) for v in value]
+    if isinstance(value, str) and value.startswith("$") and value[1:] in params:
+        return params[value[1:]]
+    return value
+
+
+def _fmt_value(v: Any) -> str:
+    """Deterministic short rendering of a parameter value for names."""
+    if isinstance(v, float):
+        return format(v, ".6g")
+    return str(v)
+
+
+@dataclass
+class Scenario:
+    """One catalog entry: a parameterized, declarative analysis recipe.
+
+    Attributes
+    ----------
+    name:
+        Unique catalog key (kebab-case by convention).
+    summary:
+        One-line description shown in listings and the docs gallery.
+    task:
+        Registered task kind (see ``repro list-tasks``).
+    model:
+        Declarative model recipe (anything ``Model.from_dict`` accepts:
+        ``{"builtin": ...}``, ``{"file": ...}`` or an inline dict); may
+        contain ``$param`` placeholders.
+    query:
+        Task query template; may contain ``$param`` placeholders.
+    solver / sim:
+        Option-group defaults as plain dicts (subsets of
+        :class:`SolverOptions` / :class:`SimOptions` fields).
+    seed:
+        Default RNG seed baked into the entry (``None`` defers to the
+        engine default).
+    params:
+        Declared parameter names with their default values; the only
+        names :meth:`spec` accepts as overrides.
+    tags:
+        Free-form labels for filtering (``cardiac``, ``toy``, ...).
+    paper_section:
+        Where in the source paper this scenario comes from.
+    expected:
+        The :class:`~repro.status.AnalysisStatus` value the *default*
+        parameterization is expected to report, or ``None``.
+    description:
+        Longer prose for ``repro scenarios show`` and the docs gallery.
+    """
+
+    name: str
+    summary: str
+    task: str
+    model: dict[str, Any]
+    query: dict[str, Any] = field(default_factory=dict)
+    solver: dict[str, Any] = field(default_factory=dict)
+    sim: dict[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+    tags: tuple[str, ...] = ()
+    paper_section: str = ""
+    expected: str | None = None
+    description: str = ""
+
+    def __post_init__(self):
+        """Normalize JSON-sourced field shapes (lists, numeric seeds)."""
+        self.tags = tuple(str(t) for t in self.tags)
+        if self.seed is not None:
+            self.seed = int(self.seed)
+
+    # ------------------------------------------------------------------
+    def spec(self, seed: int | None = None, **overrides: Any) -> TaskSpec:
+        """Bind parameters and return a ready-to-run :class:`TaskSpec`.
+
+        Parameters
+        ----------
+        seed:
+            Overrides the entry's default seed when given.
+        overrides:
+            Parameter overrides; only names declared in ``params`` are
+            accepted.
+        """
+        unknown = set(overrides) - set(self.params)
+        if unknown:
+            raise ValueError(
+                f"scenario {self.name!r} has no parameter(s) {sorted(unknown)}; "
+                f"declared: {sorted(self.params)}"
+            )
+        bound = {**self.params, **overrides}
+        name = self.name
+        if overrides:
+            # every explicitly-bound parameter is labeled (even when it
+            # equals the default), so sweep points are distinguishable
+            inner = ", ".join(
+                f"{k}={_fmt_value(overrides[k])}" for k in sorted(overrides)
+            )
+            name = f"{self.name}[{inner}]"
+        return TaskSpec(
+            task=self.task,
+            model=_substitute(dict(self.model), bound),
+            query=_substitute(dict(self.query), bound),
+            solver=SolverOptions.from_dict(self.solver),
+            sim=SimOptions.from_dict(self.sim),
+            seed=self.seed if seed is None else int(seed),
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-able catalog form (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "summary": self.summary,
+            "task": self.task,
+            "model": dict(self.model),
+            "query": dict(self.query),
+            "solver": dict(self.solver),
+            "sim": dict(self.sim),
+            "seed": self.seed,
+            "params": dict(self.params),
+            "tags": list(self.tags),
+            "paper_section": self.paper_section,
+            "expected": self.expected,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from its :meth:`to_dict` form."""
+        for key in ("name", "summary", "task", "model"):
+            if key not in d:
+                raise ValueError(f"scenario dict needs a {key!r} field")
+        return cls(
+            name=str(d["name"]),
+            summary=str(d["summary"]),
+            task=str(d["task"]),
+            model=dict(d["model"]),
+            query=dict(d.get("query", {})),
+            solver=dict(d.get("solver", {})),
+            sim=dict(d.get("sim", {})),
+            seed=None if d.get("seed") is None else int(d["seed"]),
+            params=dict(d.get("params", {})),
+            tags=tuple(d.get("tags", ())),
+            paper_section=str(d.get("paper_section", "")),
+            expected=None if d.get("expected") is None else str(d["expected"]),
+            description=str(d.get("description", "")),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize the catalog entry to JSON text."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        """Parse a catalog entry from JSON text."""
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+
+
+def register_scenario(
+    entry: "Scenario | Callable[[], Scenario]",
+) -> "Scenario | Callable[[], Scenario]":
+    """Add a catalog entry to the registry.
+
+    Usable two ways: call it with a :class:`Scenario` instance, or
+    decorate a zero-argument factory function returning one (the
+    function is invoked once at registration time)::
+
+        @register_scenario
+        def sir_outbreak() -> Scenario:
+            return Scenario(name="sir-outbreak", ...)
+
+    Either way the original argument is returned, so the decorator is
+    transparent.
+    """
+    scenario = entry() if callable(entry) else entry
+    if not isinstance(scenario, Scenario):
+        raise TypeError(f"cannot register {type(scenario).__name__} as a Scenario")
+    if not scenario.name:
+        raise ValueError("a Scenario must have a nonempty name")
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return entry
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a catalog entry by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> Iterator[Scenario]:
+    """Iterate the catalog in name order."""
+    for name in sorted(_REGISTRY):
+        yield _REGISTRY[name]
+
+
+def find_scenarios(tag: str | None = None, task: str | None = None) -> list[Scenario]:
+    """Filter the catalog by tag and/or task kind."""
+    out = []
+    for s in all_scenarios():
+        if tag is not None and tag not in s.tags:
+            continue
+        if task is not None and s.task != task:
+            continue
+        out.append(s)
+    return out
+
+
+def scenario_table() -> list[tuple[str, str, str]]:
+    """``(name, task, one-line summary)`` rows for the CLI listing."""
+    return [(s.name, s.task, s.summary) for s in all_scenarios()]

@@ -1,0 +1,207 @@
+"""Scenario sweeps: expand one catalog entry into a batch of specs.
+
+A :class:`ScenarioSweep` is declarative data, like the scenarios it
+expands: a scenario name plus any combination of
+
+* a **grid** (cartesian product of explicit per-parameter value lists),
+* seeded **random** draws (uniform ranges, ``samples`` draws from one
+  ``random.Random(seed)`` -- the same sweep always expands to the same
+  specs, so repeated submissions hit the result cache),
+* a patient **cohort** (values for one parameter, with the string
+  ``"patients"`` resolving to the model zoo's ``PATIENT_PROFILES``),
+* a list of **seeds** (varying ``TaskSpec.seed`` instead of a model
+  parameter -- the replication axis).
+
+``expand()`` returns plain :class:`~repro.api.spec.TaskSpec` objects in
+a deterministic order; ``submit()``/``run()`` push them through an
+:class:`~repro.api.engine.Engine` batch, so executor backends, progress
+events and the content-addressed result cache all apply unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from .catalog import Scenario, get_scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.engine import Engine
+    from repro.api.report import AnalysisReport
+    from repro.api.spec import TaskSpec
+    from repro.service.jobs import JobHandle
+
+__all__ = ["ScenarioSweep", "patient_cohort"]
+
+
+def patient_cohort() -> list[str]:
+    """The model zoo's synthetic IAS patient names, sorted."""
+    from repro.models import PATIENT_PROFILES
+
+    return sorted(PATIENT_PROFILES)
+
+
+@dataclass
+class ScenarioSweep:
+    """A declarative parameter sweep over one catalog entry.
+
+    Attributes
+    ----------
+    scenario:
+        Catalog entry name (see ``repro scenarios list``).
+    grid:
+        ``{param: [values...]}`` -- expanded as a cartesian product in
+        sorted parameter order.
+    random:
+        ``{param: (lo, hi)}`` -- each of ``samples`` draws assigns every
+        random parameter one uniform value from ``random.Random(seed)``.
+    samples:
+        Number of random draws (required > 0 when ``random`` is given).
+    seed:
+        RNG seed of the random draws (NOT the spec seed).
+    cohort:
+        Values for ``cohort_param``: an explicit list, or the string
+        ``"patients"`` for the IAS patient profiles.
+    cohort_param:
+        The scenario parameter the cohort binds (default ``"patient"``).
+    seeds:
+        Optional list of ``TaskSpec.seed`` values -- the replication
+        axis; each grid/cohort/draw point expands once per seed.
+    """
+
+    scenario: str
+    grid: dict[str, list[Any]] = field(default_factory=dict)
+    random: dict[str, tuple[float, float]] = field(default_factory=dict)
+    samples: int = 0
+    seed: int = 0
+    cohort: list[Any] | str | None = None
+    cohort_param: str = "patient"
+    seeds: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    def entry(self) -> Scenario:
+        """The catalog entry this sweep expands."""
+        return get_scenario(self.scenario)
+
+    def _cohort_values(self) -> list[Any] | None:
+        if self.cohort is None:
+            return None
+        if isinstance(self.cohort, str):
+            if self.cohort != "patients":
+                raise ValueError(
+                    f"unknown symbolic cohort {self.cohort!r}; only 'patients' "
+                    "is recognized (or pass an explicit list of values)"
+                )
+            return patient_cohort()
+        return list(self.cohort)
+
+    def points(self) -> list[dict[str, Any]]:
+        """All parameter bindings, in deterministic expansion order.
+
+        Order: cohort (outermost) x grid axes (sorted by name, values in
+        given order) x random draws (draw index order).
+        """
+        axes: list[tuple[str, list[Any]]] = []
+        cohort = self._cohort_values()
+        if cohort is not None:
+            axes.append((self.cohort_param, cohort))
+        for name in sorted(self.grid):
+            values = list(self.grid[name])
+            if not values:
+                raise ValueError(f"grid axis {name!r} has no values")
+            axes.append((name, values))
+
+        draws: list[dict[str, Any]] = [{}]
+        if self.random:
+            if self.samples <= 0:
+                raise ValueError("random sweeps need samples > 0")
+            rng = random.Random(self.seed)
+            draws = []
+            for _ in range(int(self.samples)):
+                draw: dict[str, Any] = {}
+                for name in sorted(self.random):
+                    lo, hi = self.random[name]
+                    draw[name] = rng.uniform(float(lo), float(hi))
+                draws.append(draw)
+
+        names = [n for n, _ in axes]
+        points = []
+        for combo in itertools.product(*[values for _, values in axes]):
+            base = dict(zip(names, combo))
+            for draw in draws:
+                points.append({**base, **draw})
+        return points
+
+    def expand(self) -> "list[TaskSpec]":
+        """Bind every point (and seed) into a ready-to-run spec list."""
+        entry = self.entry()
+        specs = []
+        for point in self.points():
+            if self.seeds is None:
+                specs.append(entry.spec(**point))
+            else:
+                for s in self.seeds:
+                    spec = entry.spec(seed=int(s), **point)
+                    specs.append(spec.replace(name=f"{spec.name}#s{int(s)}"))
+        return specs
+
+    # ------------------------------------------------------------------
+    def submit(self, engine: "Engine", **kwargs: Any) -> "list[JobHandle]":
+        """Submit the expanded batch; returns handles in order."""
+        return engine.submit_batch(self.expand(), **kwargs)
+
+    def run(self, engine: "Engine | None" = None, **kwargs: Any) -> "list[AnalysisReport]":
+        """Run the sweep synchronously (creating an engine if needed)."""
+        if engine is None:
+            from repro.api.engine import Engine
+
+            with Engine(seed=0) as engine:
+                return engine.run_batch(self.expand(), **kwargs)
+        return engine.run_batch(self.expand(), **kwargs)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-able sweep form (inverse of :meth:`from_dict`)."""
+        return {
+            "scenario": self.scenario,
+            "grid": {k: list(v) for k, v in self.grid.items()},
+            "random": {k: [float(lo), float(hi)] for k, (lo, hi) in self.random.items()},
+            "samples": self.samples,
+            "seed": self.seed,
+            "cohort": (
+                list(self.cohort)
+                if isinstance(self.cohort, (list, tuple))
+                else self.cohort
+            ),
+            "cohort_param": self.cohort_param,
+            "seeds": None if self.seeds is None else [int(s) for s in self.seeds],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "ScenarioSweep":
+        """Rebuild a sweep from its :meth:`to_dict` form."""
+        if "scenario" not in d:
+            raise ValueError("sweep dict needs a 'scenario' field")
+        raw_random = d.get("random", {})
+        return cls(
+            scenario=str(d["scenario"]),
+            grid={k: list(v) for k, v in dict(d.get("grid", {})).items()},
+            random={k: (float(lo), float(hi)) for k, (lo, hi) in dict(raw_random).items()},
+            samples=int(d.get("samples", 0)),
+            seed=int(d.get("seed", 0)),
+            cohort=d.get("cohort"),
+            cohort_param=str(d.get("cohort_param", "patient")),
+            seeds=None if d.get("seeds") is None else [int(s) for s in d["seeds"]],
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize the sweep to JSON text."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSweep":
+        """Parse a sweep from JSON text."""
+        return cls.from_dict(json.loads(text))
