@@ -42,6 +42,14 @@ class SolverOptions:
     # Width K of the breadth-wise ICP frontier: how many boxes each
     # vectorized tape pass contracts/judges at once (1 = scalar loop).
     frontier_size: int = 64
+    # Number of parallel paving shards (1 = in-process search): the
+    # initial box splits into this many disjoint sub-boxes paved in
+    # lock-step epochs on shard_backend workers with work stealing and
+    # a deterministic merge (repro.solver.shard).
+    shards: int = 1
+    # Executor backend of the sharded driver ("process", "thread",
+    # "inline"); processes give true CPU parallelism.
+    shard_backend: str = "process"
     # Finer enclosure step for BMC witness verification (None: reuse
     # enclosure_step); lets reach/therapy scenarios search coarsely but
     # confirm witnesses precisely.

@@ -269,6 +269,8 @@ class FalsifyTask(Task):
                 delta=o.delta,
                 max_boxes=o.max_boxes,
                 frontier_size=o.frontier_size,
+                shards=o.shards,
+                shard_backend=o.shard_backend,
             )
         else:
             raise ValueError(f"unknown falsify method {method!r}")
@@ -467,6 +469,8 @@ class LyapunovTask(Task):
             eps_dv=float(q.get("eps_dv", 1e-4)),
             delta=spec.solver.delta,
             frontier_size=spec.solver.frontier_size,
+            shards=spec.solver.shards,
+            shard_backend=spec.solver.shard_backend,
         )
         mode = str(q.get("mode", "synthesize"))
         if mode == "synthesize":

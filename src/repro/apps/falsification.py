@@ -225,6 +225,8 @@ def _falsify_ascent_impl(
     delta: float = 1e-4,
     max_boxes: int = 200_000,
     frontier_size: int = 64,
+    shards: int = 1,
+    shard_backend: object = "process",
 ) -> FalsificationVerdict:
     if variable not in system.state_names:
         raise ValueError(f"unknown state variable {variable!r}")
@@ -252,7 +254,8 @@ def _falsify_ascent_impl(
     box = Box.from_bounds(dims)
 
     result = DeltaSolver(
-        delta=delta, max_boxes=max_boxes, frontier_size=frontier_size
+        delta=delta, max_boxes=max_boxes, frontier_size=frontier_size,
+        shards=shards, shard_backend=shard_backend,
     )._solve_impl(query, box)
     direction = "ascent" if to_level >= from_level else "descent"
     if result.status is Status.UNSAT:

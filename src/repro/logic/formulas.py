@@ -248,6 +248,13 @@ class And(Formula):
     def atoms(self) -> list[Atom]:
         return [a for p in self.parts for a in p.atoms()]
 
+    def __reduce__(self):
+        # the absorbing __new__ takes the parts positionally, so the
+        # default slot-state pickling (which calls __new__ with no
+        # arguments and gets TRUE back) cannot reconstruct conjunctions;
+        # rebuilding from the flattened parts round-trips exactly
+        return (And, tuple(self.parts))
+
     def __str__(self) -> str:
         return "(" + " /\\ ".join(str(p) for p in self.parts) + ")"
 
@@ -293,6 +300,10 @@ class Or(Formula):
 
     def atoms(self) -> list[Atom]:
         return [a for p in self.parts for a in p.atoms()]
+
+    def __reduce__(self):
+        # see And.__reduce__: the absorbing __new__ breaks default pickling
+        return (Or, tuple(self.parts))
 
     def __str__(self) -> str:
         return "(" + " \\/ ".join(str(p) for p in self.parts) + ")"

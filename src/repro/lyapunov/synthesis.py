@@ -90,6 +90,8 @@ class LyapunovAnalyzer:
         delta: float = 1e-3,
         equilibrium_tol: float = 1e-6,
         frontier_size: int = 64,
+        shards: int = 1,
+        shard_backend: object = "process",
     ):
         # inline default parameter values: the exists-forall conditions
         # must mention only states and template coefficients
@@ -101,6 +103,8 @@ class LyapunovAnalyzer:
         self.eps_dv = float(eps_dv)
         self.delta = float(delta)
         self.frontier_size = int(frontier_size)
+        self.shards = int(shards)
+        self.shard_backend = shard_backend
 
         residual = system.eval_field(self.equilibrium)
         worst = max(abs(v) for v in residual.values())
@@ -148,6 +152,7 @@ class LyapunovAnalyzer:
         ef = ExistsForallSolver(
             delta=self.delta, max_iterations=max_iterations, seed=seed,
             frontier_size=self.frontier_size,
+            shards=self.shards, shard_backend=self.shard_backend,
         )
         res = ef.solve(phi, param_box, self.region)
         if res.status is Status.DELTA_SAT:
@@ -170,6 +175,7 @@ class LyapunovAnalyzer:
         solver = DeltaSolver(
             delta=self.delta, max_boxes=max_boxes,
             frontier_size=self.frontier_size,
+            shards=self.shards, shard_backend=self.shard_backend,
         )
         res = solver._solve_impl(self.violation(V), self.region)
         if res.status is Status.UNSAT:
@@ -199,9 +205,19 @@ class LyapunovAnalyzer:
         names = self.system.state_names
         # V range over region for the bisection bracket
         v_hi = V.eval_interval(dict(self.region)).hi
+        # resolve a named shard backend once: the bisection makes up to
+        # ~2*levels sharded solves, and the driver leaves injected
+        # instances running, so they all reuse one worker pool
+        backend = self.shard_backend
+        owns_pool = self.shards > 1 and isinstance(backend, str)
+        if owns_pool:
+            from repro.service.backends import make_backend
+
+            backend = make_backend(self.shard_backend, self.shards)
         solver = DeltaSolver(
             delta=self.delta, max_boxes=max_boxes,
             frontier_size=self.frontier_size,
+            shards=self.shards, shard_backend=backend,
         )
 
         def boundary_touch(c: float) -> Formula:
@@ -220,14 +236,18 @@ class LyapunovAnalyzer:
                 return True
             return solver._solve_impl(boundary_touch(c), self.region).status is not Status.UNSAT
 
-        lo_ok, hi_bad = 0.0, float(v_hi)
-        if violated(hi_bad):
-            # bisection
-            for _ in range(levels):
-                mid = 0.5 * (lo_ok + hi_bad)
-                if violated(mid):
-                    hi_bad = mid
-                else:
-                    lo_ok = mid
-            return lo_ok
-        return hi_bad
+        try:
+            lo_ok, hi_bad = 0.0, float(v_hi)
+            if violated(hi_bad):
+                # bisection
+                for _ in range(levels):
+                    mid = 0.5 * (lo_ok + hi_bad)
+                    if violated(mid):
+                        hi_bad = mid
+                    else:
+                        lo_ok = mid
+                return lo_ok
+            return hi_bad
+        finally:
+            if owns_pool:
+                backend.shutdown(wait=True)

@@ -4,14 +4,17 @@ A pure-Python delta-complete decision procedure for bounded L_RF
 sentences (paper Section III, Theorem 1): breadth-wise ICP
 branch-and-prune over batches of boxes (formulas compile once into flat
 evaluation tapes judged/contracted with the vectorized interval
-kernel), plus a CEGIS exists-forall solver used for Lyapunov synthesis
-(Section IV-C).
+kernel), a sharded work-stealing driver paving disjoint sub-boxes in
+parallel worker processes with a deterministic merge
+(:mod:`repro.solver.shard`), plus a CEGIS exists-forall solver used for
+Lyapunov synthesis (Section IV-C).
 """
 
 from .contractor import contract_formula, fixpoint_contract, hc4_revise
 from .eval3 import Certainty, certainly_delta_sat, eval_formula
 from .icp import DeltaSolver, Result, SolverStats, Status, solve
 from .exists_forall import EFResult, ExistsForallSolver
+from .shard import ShardPlan, pave_sharded, solve_sharded, split_into_shards
 from .tape import CompiledFormula, ExprTape, compile_formula, judge_batch
 
 __all__ = [
@@ -32,4 +35,8 @@ __all__ = [
     "solve",
     "EFResult",
     "ExistsForallSolver",
+    "ShardPlan",
+    "split_into_shards",
+    "solve_sharded",
+    "pave_sharded",
 ]

@@ -65,6 +65,8 @@ class ExistsForallSolver:
     propose_budget: int = 20_000
     verify_budget: int = 50_000
     frontier_size: int = 64
+    shards: int = 1
+    shard_backend: object = "process"
 
     def solve(self, phi: Formula, param_box: Box, state_box: Box) -> EFResult:
         """Solve ``exists param_box . forall state_box . phi``.
@@ -84,15 +86,45 @@ class ExistsForallSolver:
             state_box.sample_random(rng) for _ in range(self.n_seed_samples)
         ]
         not_phi = phi.negate()
+        # resolve a named shard backend ONCE: the sharded driver leaves
+        # injected instances running, so every propose/verify solve of
+        # the CEGIS loop reuses one worker pool instead of spawning and
+        # tearing down a pool per call
+        backend = self.shard_backend
+        owns_pool = self.shards > 1 and isinstance(backend, str)
+        if owns_pool:
+            from repro.service.backends import make_backend
+
+            backend = make_backend(self.shard_backend, self.shards)
         proposer = DeltaSolver(
             delta=self.delta, max_boxes=self.propose_budget,
             frontier_size=self.frontier_size,
+            shards=self.shards, shard_backend=backend,
         )
         verifier = DeltaSolver(
             delta=self.delta, max_boxes=self.verify_budget,
             frontier_size=self.frontier_size,
+            shards=self.shards, shard_backend=backend,
         )
+        try:
+            return self._cegis(
+                phi, not_phi, param_box, state_box,
+                counterexamples, proposer, verifier,
+            )
+        finally:
+            if owns_pool:
+                backend.shutdown(wait=True)
 
+    def _cegis(
+        self,
+        phi: Formula,
+        not_phi: Formula,
+        param_box: Box,
+        state_box: Box,
+        counterexamples: list[dict[str, float]],
+        proposer: DeltaSolver,
+        verifier: DeltaSolver,
+    ) -> EFResult:
         for it in range(1, self.max_iterations + 1):
             # -- propose: parameters satisfying phi at every counterexample
             constraint = And(*[phi.subs(ce) for ce in counterexamples])

@@ -42,6 +42,7 @@ from repro.progress import emit as _progress
 
 from .contractor import fixpoint_contract
 from .eval3 import Certainty, _certainly_delta_sat_impl, _eval_formula_impl
+from .shard import box_sort_key, lex_key, pave_sharded, solve_sharded
 from .tape import CERTAIN_FALSE, CERTAIN_TRUE, compile_formula
 
 __all__ = ["Status", "Result", "SolverStats", "DeltaSolver", "solve"]
@@ -152,6 +153,21 @@ class DeltaSolver:
         Width ``K`` of the breadth-wise search frontier: how many boxes
         are popped, contracted and judged per vectorized tape pass.
         ``1`` selects the legacy scalar loop.
+    shards:
+        Number of parallel paving shards (:mod:`repro.solver.shard`).
+        ``1`` (the default) keeps the search in-process; ``> 1`` splits
+        the initial box into that many disjoint sub-boxes and paves them
+        in lock-step epochs on ``shard_backend`` workers, with
+        work-stealing rebalancing and a deterministic merge.
+    shard_backend:
+        Executor backend of the sharded driver: a backend name
+        (``"process"``, ``"thread"``, ``"inline"``) or a live
+        :class:`~repro.service.backends.ExecutorBackend` instance.
+        Named backends are instantiated per call and shut down on exit
+        (including cancellation); an injected instance is left running
+        for reuse -- its lifecycle stays with the caller.
+    shard_workers:
+        Worker-pool size of the sharded driver (default: ``shards``).
     """
 
     delta: float = 1e-3
@@ -159,6 +175,9 @@ class DeltaSolver:
     contract_tol: float = 1e-2
     min_width: float = 1e-12
     frontier_size: int = 64
+    shards: int = 1
+    shard_backend: object = "process"
+    shard_workers: int | None = None
 
     def solve(self, phi: Formula, box: Box) -> Result:
         """Decide ``exists box. phi`` in the delta-relaxed sense.
@@ -184,6 +203,14 @@ class DeltaSolver:
         missing = phi.variables() - set(box.names)
         if missing:
             raise ValueError(f"free variables without bounds: {sorted(missing)}")
+        if self.shards > 1:
+            return solve_sharded(
+                phi, box,
+                delta=self.delta, max_boxes=self.max_boxes,
+                contract_tol=self.contract_tol, min_width=self.min_width,
+                frontier_size=self.frontier_size, shards=self.shards,
+                backend=self.shard_backend, workers=self.shard_workers,
+            )
         if self.frontier_size <= 1:
             return self._solve_scalar(phi, box)
         return self._solve_batched(phi, box)
@@ -197,7 +224,19 @@ class DeltaSolver:
         green boxes consist entirely of delta-solutions, red boxes contain
         no solutions, yellow boxes are smaller than ``min_width`` and
         remain undecided.
+
+        Each returned list is sorted by the total lexicographic box
+        order, so pavings are byte-identical across ``frontier_size``
+        and ``shards`` settings of equal classification.
         """
+        if self.shards > 1:
+            return pave_sharded(
+                phi, box,
+                delta=self.delta, max_boxes=self.max_boxes,
+                contract_tol=self.contract_tol, min_width=min_width,
+                frontier_size=self.frontier_size, shards=self.shards,
+                backend=self.shard_backend, workers=self.shard_workers,
+            )
         if self.frontier_size <= 1:
             return self._pave_scalar(phi, box, min_width)
         return self._pave_batched(phi, box, min_width)
@@ -213,12 +252,18 @@ class DeltaSolver:
         root = BoxArray.from_box(box, names)
 
         # Priority queue: explore widest boxes first (fair coverage).
+        # Equal-width ties break on the total lexicographic box order,
+        # not insertion order, so pop order (and hence the witness and
+        # serialized Result) is the same for equivalent runs; the
+        # counter only shields the ndarray payload from comparison.
         tie = itertools.count()
-        heap: list[tuple[float, int, int, np.ndarray, np.ndarray]] = []
+        heap: list[tuple[float, tuple, int, int, np.ndarray, np.ndarray]] = []
 
         def push_rows(boxes: BoxArray, depths: np.ndarray) -> None:
             for w, d, lo, hi in zip(boxes.max_width(), depths, boxes.lo, boxes.hi):
-                heapq.heappush(heap, (-float(w), next(tie), int(d), lo, hi))
+                heapq.heappush(
+                    heap, (-float(w), lex_key(lo, hi), next(tie), int(d), lo, hi)
+                )
 
         push_rows(root, np.zeros(1, dtype=int))
         unresolved: Box | None = None
@@ -231,11 +276,11 @@ class DeltaSolver:
                 return Result(Status.UNKNOWN, fallback, self.delta, stats)
             k = min(self.frontier_size, budget, len(heap))
             popped = [heapq.heappop(heap) for _ in range(k)]
-            depths = np.array([p[2] for p in popped])
+            depths = np.array([p[3] for p in popped])
             frontier = BoxArray(
                 names,
-                np.array([p[3] for p in popped]),
                 np.array([p[4] for p in popped]),
+                np.array([p[5] for p in popped]),
             )
             stats.boxes_processed += k
             stats.max_depth = max(stats.max_depth, int(depths.max()))
@@ -259,8 +304,13 @@ class DeltaSolver:
             certified = compiled.judge(live, self.delta) == CERTAIN_TRUE
             if certified.any():
                 stats.wall_time = time.perf_counter() - t0
-                winner = live.row(int(np.flatnonzero(certified)[0]))
-                return Result(Status.DELTA_SAT, winner, self.delta, stats)
+                # lex-least certified row: the winner must not depend on
+                # which equal-priority box happened to be popped first
+                win = min(
+                    (int(i) for i in np.flatnonzero(certified)),
+                    key=lambda i: lex_key(live.lo[i], live.hi[i]),
+                )
+                return Result(Status.DELTA_SAT, live.row(win), self.delta, stats)
 
             narrow = live.max_width() <= self.min_width
             if narrow.any() and unresolved is None:
@@ -319,7 +369,7 @@ class DeltaSolver:
                     left, right = contracted.row(i).split()
                     work.append(left)
                     work.append(right)
-        return sat_boxes, unsat_boxes, undecided
+        return _sorted_paving(sat_boxes, unsat_boxes, undecided)
 
     # ------------------------------------------------------------------
     # Legacy scalar loop (frontier_size=1; benchmark baseline)
@@ -328,12 +378,16 @@ class DeltaSolver:
         t0 = time.perf_counter()
         stats = SolverStats()
 
-        # Priority queue: explore widest boxes first (fair coverage).
+        # Priority queue: explore widest boxes first (fair coverage),
+        # equal widths in total lexicographic box order (see the batched
+        # loop: pop order must not depend on insertion order).
         tie = itertools.count()
-        heap: list[tuple[float, int, int, Box]] = []
+        heap: list[tuple[float, tuple, int, int, Box]] = []
 
         def push(b: Box, depth: int) -> None:
-            heapq.heappush(heap, (-b.max_width(), next(tie), depth, b))
+            heapq.heappush(
+                heap, (-b.max_width(), box_sort_key(b), next(tie), depth, b)
+            )
 
         push(box, 0)
         unresolved: Box | None = None
@@ -341,8 +395,8 @@ class DeltaSolver:
         while heap:
             if stats.boxes_processed >= self.max_boxes:
                 stats.wall_time = time.perf_counter() - t0
-                return Result(Status.UNKNOWN, unresolved or heap[0][3], self.delta, stats)
-            __, __, depth, current = heapq.heappop(heap)
+                return Result(Status.UNKNOWN, unresolved or heap[0][4], self.delta, stats)
+            __, __, __, depth, current = heapq.heappop(heap)
             stats.boxes_processed += 1
             stats.max_depth = max(stats.max_depth, depth)
             _progress(
@@ -419,14 +473,30 @@ class DeltaSolver:
             left, right = contracted.split()
             work.append(left)
             work.append(right)
-        return sat_boxes, unsat_boxes, undecided
+        return _sorted_paving(sat_boxes, unsat_boxes, undecided)
+
+
+def _sorted_paving(
+    sat: list[Box], unsat: list[Box], undecided: list[Box]
+) -> tuple[list[Box], list[Box], list[Box]]:
+    """Deterministic paving order: box lists sorted lexicographically.
+
+    The classification order of the work loop depends on pop order
+    (stack depth, frontier width, shard scheduling); sorting makes the
+    serialized result a pure function of the classification itself.
+    """
+    return (
+        sorted(sat, key=box_sort_key),
+        sorted(unsat, key=box_sort_key),
+        sorted(undecided, key=box_sort_key),
+    )
 
 
 def _rebox(names: tuple[str, ...], entry: tuple) -> Box:
     from repro.intervals import Interval
 
     return Box({k: Interval(float(lo), float(hi))
-                for k, lo, hi in zip(names, entry[3], entry[4])})
+                for k, lo, hi in zip(names, entry[4], entry[5])})
 
 
 def solve(phi: Formula, box: Box, delta: float = 1e-3, **kwargs) -> Result:

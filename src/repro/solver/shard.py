@@ -1,0 +1,640 @@
+"""Sharded, work-stealing parallel paving across worker processes.
+
+The batched frontier loop of :mod:`repro.solver.icp` saturates one core;
+this module is the step from "one fast core" to "all cores".  The ICP
+search is embarrassingly shardable -- disjoint sub-boxes can be paved
+independently and merged -- *provided* the merge is verdict-exact and
+deterministic.  The driver here guarantees both:
+
+* the initial box is expanded in-coordinator through the *same*
+  contract-and-split tree the non-sharded loop walks, until there are
+  at least ``shards`` disjoint pending sub-boxes; those are dealt to
+  the shard queues (widest first, lexicographic ties, round-robin), so
+  the sharded search explores the identical box tree -- an exhaustive
+  paving therefore classifies the identical leaves for *every* shard
+  count, and a solve with budget to spare keeps the identical verdict
+  (the certified witness box may differ between shard counts; under a
+  binding ``max_boxes`` budget the exploration order differs, so a
+  budget-bound verdict can too -- both answers stay sound);
+* every **epoch** each shard's widest pending boxes are shipped to a
+  worker through the pluggable :class:`~repro.service.backends.ExecutorBackend`
+  protocol (``process`` for true parallelism, ``thread``/``inline`` for
+  tests), where one vectorized contract/judge/certify/split pass of the
+  compiled tape runs over the whole chunk;
+* epochs are **lock-step**: the coordinator waits for every in-flight
+  chunk before acting on any result, so all scheduling decisions are
+  pure functions of epoch-complete state and two sharded runs are
+  byte-identical regardless of backend, worker count or OS scheduling;
+* after each epoch the coordinator **rebalances** by stealing the widest
+  pending boxes from overloaded shards through a shared steal queue and
+  dealing them to starved shards (deterministically, in shard order);
+* results merge under the *total* lexicographic box order of
+  :func:`lex_key` -- ties between equal-width boxes never depend on
+  arrival order.
+
+Worker-side formula compilation is cached per process keyed on the
+pickled formula, so each worker compiles each formula once no matter how
+many epochs it serves.  Cooperative cancellation rides on the normal
+progress checkpoints: the coordinator emits one per-shard
+:class:`~repro.progress.ProgressEvent` per epoch, and a cancel request
+unwinds the driver, which drains and shuts down its worker pool before
+re-raising (no orphaned processes).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import pickle
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.intervals import Box, BoxArray, Interval
+from repro.logic import Formula
+from repro.progress import emit as _progress
+from repro.service.backends import ExecutorBackend, make_backend
+
+from .tape import CERTAIN_FALSE, CERTAIN_TRUE, CompiledFormula, compile_formula
+
+__all__ = ["ShardPlan", "split_into_shards", "lex_key", "solve_sharded", "pave_sharded"]
+
+
+# ----------------------------------------------------------------------
+# Deterministic ordering helpers
+# ----------------------------------------------------------------------
+
+
+def lex_key(lo, hi) -> tuple:
+    """Total lexicographic order on box bounds (all lows, then all highs).
+
+    This is the tie-breaker that makes every ordering decision of the
+    sharded search -- heap ties, witness selection among simultaneous
+    certifications, merged paving order -- independent of arrival order.
+    """
+    return tuple(float(v) for v in lo) + tuple(float(v) for v in hi)
+
+
+def box_sort_key(box: Box) -> tuple:
+    """:func:`lex_key` of a :class:`Box` in its own name order."""
+    return lex_key([box[k].lo for k in box.names], [box[k].hi for k in box.names])
+
+
+def _rebox(names: tuple[str, ...], lo, hi) -> Box:
+    return Box({k: Interval(float(a), float(b)) for k, a, b in zip(names, lo, hi)})
+
+
+# ----------------------------------------------------------------------
+# Shard decomposition
+# ----------------------------------------------------------------------
+
+
+def split_into_shards(box: Box, shards: int) -> list[Box]:
+    """Bisect ``box`` into ``shards`` disjoint sub-boxes.
+
+    Repeatedly splits the currently-widest piece along its widest
+    dimension (scalar midpoint rule, ties by :func:`box_sort_key`), so
+    the decomposition is the first levels of the serial bisection tree.
+    The returned list is sorted lexicographically.
+
+    This is the *geometric* decomposition -- useful for domain
+    decomposition of a raw box.  The solver drivers below instead
+    bootstrap through the contract-and-split tree so the sharded search
+    classifies exactly the boxes the non-sharded search classifies.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    pieces = [box]
+    while len(pieces) < shards:
+        pieces.sort(key=lambda b: (-b.max_width(), box_sort_key(b)))
+        widest = pieces.pop(0)
+        if widest.max_width() <= 0.0:
+            pieces.append(widest)  # cannot subdivide a point box further
+            break
+        left, right = widest.split()
+        pieces.extend((left, right))
+    pieces.sort(key=box_sort_key)
+    return pieces
+
+
+# ----------------------------------------------------------------------
+# Worker side: one vectorized epoch pass per chunk
+# ----------------------------------------------------------------------
+
+#: Per-process compiled-tape cache, keyed on the pickled formula so one
+#: worker process compiles each formula exactly once across epochs.
+_TAPE_CACHE: dict[bytes, CompiledFormula] = {}
+
+
+def _compiled(phi_blob: bytes) -> CompiledFormula:
+    tape = _TAPE_CACHE.get(phi_blob)
+    if tape is None:
+        if len(_TAPE_CACHE) >= 32:
+            _TAPE_CACHE.clear()
+        tape = compile_formula(pickle.loads(phi_blob))
+        _TAPE_CACHE[phi_blob] = tape
+    return tape
+
+
+def _solve_epoch(
+    phi_blob: bytes,
+    names: tuple[str, ...],
+    lo: np.ndarray,
+    hi: np.ndarray,
+    depths: np.ndarray,
+    delta: float,
+    contract_tol: float,
+    min_width: float,
+) -> dict:
+    """One branch-and-prune pass over a chunk of a shard's frontier.
+
+    Returns certified witness rows, too-narrow unresolved rows, the
+    split children that go back on the shard's queue, and counters.
+    Pure function of its arguments -- the coordinator's determinism
+    rests on that.
+    """
+    compiled = _compiled(phi_blob)
+    frontier = BoxArray(names, lo, hi)
+    contracted = compiled.fixpoint_contract(frontier, tol=contract_tol)
+    judgment = compiled.judge(contracted, 0.0)
+    dead = contracted.is_empty | (judgment == CERTAIN_FALSE)
+    out = {
+        "processed": int(len(frontier)),
+        "pruned": int(dead.sum()),
+        "splits": 0,
+        "witnesses": [],
+        "unresolved": [],
+        "children": None,
+        "max_depth": int(depths.max(initial=0)),
+    }
+    live_idx = np.flatnonzero(~dead)
+    if not live_idx.size:
+        return out
+    live = contracted.take(live_idx)
+    certified = compiled.judge(live, delta) == CERTAIN_TRUE
+    for i in np.flatnonzero(certified):
+        out["witnesses"].append((live.lo[i].copy(), live.hi[i].copy()))
+    if certified.any():
+        return out  # this chunk is done: a witness ends the whole search
+    narrow = live.max_width() <= min_width
+    for i in np.flatnonzero(narrow):
+        out["unresolved"].append((live.lo[i].copy(), live.hi[i].copy()))
+    splittable = np.flatnonzero(~narrow)
+    if splittable.size:
+        parents = live.take(splittable)
+        children = parents.split_widest()
+        out["splits"] = int(splittable.size)
+        out["children"] = (
+            children.lo,
+            children.hi,
+            np.repeat(depths[live_idx[splittable]] + 1, 2),
+        )
+    return out
+
+
+def _pave_epoch(
+    phi_blob: bytes,
+    names: tuple[str, ...],
+    lo: np.ndarray,
+    hi: np.ndarray,
+    delta: float,
+    contract_tol: float,
+    min_width: float,
+) -> dict:
+    """One paving pass over a chunk: classify rows or split them."""
+    compiled = _compiled(phi_blob)
+    frontier = BoxArray(names, lo, hi)
+    contracted = compiled.fixpoint_contract(frontier, tol=contract_tol)
+    judgment = compiled.judge(contracted, 0.0)
+    certified = compiled.judge(contracted, delta) == CERTAIN_TRUE
+    widths = contracted.max_width()
+    empty = contracted.is_empty
+    sat, unsat, undecided = [], [], []
+    splittable: list[int] = []
+    for i in range(len(frontier)):
+        if empty[i] or judgment[i] == CERTAIN_FALSE:
+            unsat.append((lo[i].copy(), hi[i].copy()))  # the original box
+        elif certified[i]:
+            # the pruned-away shell contains no solutions
+            sat.append((contracted.lo[i].copy(), contracted.hi[i].copy()))
+        elif widths[i] <= min_width:
+            undecided.append((contracted.lo[i].copy(), contracted.hi[i].copy()))
+        else:
+            splittable.append(i)
+    out = {
+        "processed": int(len(frontier)),
+        "sat": sat,
+        "unsat": unsat,
+        "undecided": undecided,
+        "children": None,
+        "splits": len(splittable),
+    }
+    if splittable:
+        children = contracted.take(np.array(splittable)).split_widest()
+        out["children"] = (children.lo, children.hi)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+class _ShardQueue:
+    """Pending boxes of one shard: a widest-first heap with lex ties.
+
+    Entries are ``(-width, lex_key, tie, lo, hi, depth)``; the counter
+    (shared between the queues of one driver run, so stolen entries
+    keep their identity) only shields the ndarray payload from tuple
+    comparison -- equal ``lex_key`` already implies identical bounds.
+    """
+
+    __slots__ = ("entries", "_tie")
+
+    def __init__(self, tie: "itertools.count | None" = None):
+        self.entries: list[tuple] = []
+        self._tie = tie if tie is not None else itertools.count()
+
+    def push(self, lo: np.ndarray, hi: np.ndarray, depth: int) -> None:
+        width = float(np.max(hi - lo, initial=0.0))
+        heapq.heappush(
+            self.entries,
+            (-width, lex_key(lo, hi), next(self._tie), lo, hi, depth),
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def take_chunk(self, k: int) -> list[tuple]:
+        """Remove and return the ``k`` widest entries (deterministic)."""
+        return [heapq.heappop(self.entries)
+                for _ in range(min(k, len(self.entries)))]
+
+    def steal(self, k: int) -> list[tuple]:
+        """Give away the ``k`` widest entries to the shared steal queue."""
+        return self.take_chunk(k)
+
+    def receive(self, entries: list[tuple]) -> None:
+        for entry in entries:
+            heapq.heappush(self.entries, entry)
+
+
+def _root_arrays(box: Box, names: tuple[str, ...]) -> tuple[np.ndarray, np.ndarray]:
+    return (
+        np.array([box[k].lo for k in names], dtype=float),
+        np.array([box[k].hi for k in names], dtype=float),
+    )
+
+
+def _deal(boot: _ShardQueue, shards: int) -> list[_ShardQueue]:
+    """Deal bootstrapped pending boxes to shard queues, widest first.
+
+    The queues share the boot queue's tie counter so stolen entries
+    keep globally-unique ties.
+    """
+    queues = [_ShardQueue(boot._tie) for _ in range(shards)]
+    entries = sorted(boot.entries, key=lambda e: (e[0], e[1]))
+    for i, entry in enumerate(entries):
+        queues[i % shards].receive([entry])
+    return queues
+
+
+@dataclass
+class ShardPlan:
+    """Resolved sharding configuration of one driver run."""
+
+    shards: int
+    backend: ExecutorBackend
+    owns_backend: bool
+
+    def shutdown(self) -> None:
+        """Release the worker pool if this run created it (idempotent).
+
+        Backends the driver instantiated from a name are drained and
+        shut down; a caller-injected :class:`ExecutorBackend` instance
+        is left running (it may be serving other work), and its
+        lifecycle stays with the caller.
+        """
+        if self.owns_backend:
+            self.backend.shutdown(wait=True)
+
+
+def _resolve_plan(
+    shards: int, backend: str | ExecutorBackend, workers: int | None
+) -> ShardPlan:
+    if isinstance(backend, ExecutorBackend):
+        return ShardPlan(shards, backend, owns_backend=False)
+    return ShardPlan(
+        shards, make_backend(backend, workers or shards), owns_backend=True
+    )
+
+
+def _wait_all(futures: list) -> list:
+    """Lock-step barrier: collect every chunk result (or raise the first
+    worker failure after draining, so no future is left running)."""
+    results, first_error = [], None
+    for f in futures:
+        try:
+            results.append(f.result())
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            if first_error is None:
+                first_error = exc
+    if first_error is not None:
+        raise first_error
+    return results
+
+
+def _rebalance(queues: list[_ShardQueue]) -> int:
+    """Work stealing: move widest boxes from overloaded to starved shards.
+
+    Shards above the mean load surrender their widest pending boxes to a
+    shared steal queue; shards below the mean take from it (widest first,
+    dealt in shard order).  Runs between lock-step epochs, so the
+    outcome is deterministic.  Returns the number of boxes stolen.
+    """
+    total = sum(len(q) for q in queues)
+    if total == 0:
+        return 0
+    target = -(-total // len(queues))  # ceil
+    pool: list[tuple] = []
+    for q in queues:
+        if len(q) > target:
+            pool.extend(q.steal(len(q) - target))
+    if not pool:
+        return 0
+    pool.sort(key=lambda e: (e[0], e[1]))
+    stolen = len(pool)
+    for q in queues:
+        if not pool:
+            break
+        if len(q) < target:
+            take = min(target - len(q), len(pool))
+            q.receive(pool[:take])
+            del pool[:take]
+    if pool:  # everyone at target: deal the remainder round-robin
+        for i, entry in enumerate(pool):
+            queues[i % len(queues)].receive([entry])
+    return stolen
+
+
+def solve_sharded(
+    phi: Formula,
+    box: Box,
+    *,
+    delta: float,
+    max_boxes: int,
+    contract_tol: float,
+    min_width: float,
+    frontier_size: int,
+    shards: int,
+    backend: str | ExecutorBackend = "process",
+    workers: int | None = None,
+):
+    """Decide ``exists box . phi`` across ``shards`` parallel pavers.
+
+    Same verdict contract as :meth:`DeltaSolver.solve`; the run is a
+    pure function of the arguments (byte-identical results regardless of
+    backend or scheduling).  ``phi`` must already be existential-hoisted
+    (the :class:`~repro.solver.icp.DeltaSolver` entry point does this).
+    """
+    from .icp import Result, SolverStats, Status  # local: avoid import cycle
+
+    import time
+
+    t0 = time.perf_counter()
+    stats = SolverStats()
+    names = tuple(box.names)
+    phi_blob = pickle.dumps(phi)
+    frontier_size = max(2, int(frontier_size))
+
+    unresolved: tuple[tuple, np.ndarray, np.ndarray] | None = None
+    epoch = 0
+    steals = 0
+
+    def finish(status: Status, witness: Box | None) -> Result:
+        stats.wall_time = time.perf_counter() - t0
+        return Result(status, witness, delta, stats)
+
+    def absorb(res: dict, into: _ShardQueue) -> list[tuple]:
+        nonlocal unresolved
+        stats.boxes_processed += res["processed"]
+        stats.boxes_pruned += res["pruned"]
+        stats.splits += res["splits"]
+        stats.max_depth = max(stats.max_depth, res["max_depth"])
+        for lo_r, hi_r in res["unresolved"]:
+            cand = (lex_key(lo_r, hi_r), lo_r, hi_r)
+            if unresolved is None or cand[0] < unresolved[0]:
+                unresolved = cand
+        if res["children"] is not None:
+            c_lo, c_hi, c_depth = res["children"]
+            for j in range(c_lo.shape[0]):
+                into.push(c_lo[j], c_hi[j], int(c_depth[j]))
+        return res["witnesses"]
+
+    # Bootstrap in-coordinator: walk the same contract-and-split tree
+    # the non-sharded loop walks until every shard can be given work,
+    # so sharding never changes *which* boxes get classified.
+    boot = _ShardQueue()
+    boot.push(*_root_arrays(box, names), 0)
+    while boot and len(boot) < shards and stats.boxes_processed < max_boxes:
+        chunk = boot.take_chunk(
+            min(frontier_size, len(boot), max_boxes - stats.boxes_processed)
+        )
+        _progress(
+            "shard", "bootstrap",
+            pending=len(boot), boxes=stats.boxes_processed, shards=shards,
+        )
+        witnesses = absorb(
+            _solve_epoch(
+                phi_blob, names,
+                np.array([e[3] for e in chunk]), np.array([e[4] for e in chunk]),
+                np.array([e[5] for e in chunk], dtype=int),
+                delta, contract_tol, min_width,
+            ),
+            boot,
+        )
+        if witnesses:
+            lo_w, hi_w = min(witnesses, key=lambda w: lex_key(w[0], w[1]))
+            return finish(Status.DELTA_SAT, _rebox(names, lo_w, hi_w))
+    queues = _deal(boot, shards)
+
+    plan = _resolve_plan(shards, backend, workers)
+    try:
+        while any(queues):
+            budget = max_boxes - stats.boxes_processed
+            if budget <= 0:
+                if unresolved is not None:
+                    return finish(Status.UNKNOWN, _rebox(names, *unresolved[1:]))
+                # deterministic fallback: the widest pending box, lex ties
+                best = min(
+                    (e for q in queues for e in q.entries),
+                    key=lambda e: (e[0], e[1]),
+                )
+                return finish(Status.UNKNOWN, _rebox(names, best[3], best[4]))
+
+            epoch += 1
+            chunks: list[tuple[int, list[tuple]]] = []
+            for i, q in enumerate(queues):
+                if not q or budget <= 0:
+                    continue
+                k = min(frontier_size, len(q), budget)
+                budget -= k
+                chunks.append((i, q.take_chunk(k)))
+
+            # progress checkpoints fire BEFORE any submit: a cancel can
+            # then only unwind between epochs, with no future in flight
+            for i, chunk in chunks:
+                _progress(
+                    "shard", "branch-and-prune",
+                    shard=i, epoch=epoch, chunk=len(chunk),
+                    pending=len(queues[i]), boxes=stats.boxes_processed,
+                    steals=steals,
+                )
+            futures = [
+                plan.backend.submit(
+                    _solve_epoch, phi_blob, names,
+                    np.array([e[3] for e in chunk]),
+                    np.array([e[4] for e in chunk]),
+                    np.array([e[5] for e in chunk], dtype=int),
+                    delta, contract_tol, min_width,
+                )
+                for i, chunk in chunks
+            ]
+            results = _wait_all(futures)
+
+            witnesses: list[tuple] = []
+            for (i, _), res in zip(chunks, results):
+                witnesses.extend(absorb(res, queues[i]))
+
+            if witnesses:
+                # lock-step determinism: every chunk of this epoch was
+                # collected, so the winning witness is the lex-least of a
+                # scheduling-independent set
+                lo_w, hi_w = min(witnesses, key=lambda w: lex_key(w[0], w[1]))
+                return finish(Status.DELTA_SAT, _rebox(names, lo_w, hi_w))
+
+            steals += _rebalance(queues)
+
+        if unresolved is not None:
+            return finish(Status.UNKNOWN, _rebox(names, *unresolved[1:]))
+        return finish(Status.UNSAT, None)
+    finally:
+        plan.shutdown()
+
+
+def pave_sharded(
+    phi: Formula,
+    box: Box,
+    *,
+    delta: float,
+    max_boxes: int,
+    contract_tol: float,
+    min_width: float,
+    frontier_size: int,
+    shards: int,
+    backend: str | ExecutorBackend = "process",
+    workers: int | None = None,
+) -> tuple[list[Box], list[Box], list[Box]]:
+    """Partition ``box`` into (delta-sat, unsat, undecided) sub-boxes
+    across ``shards`` parallel pavers.
+
+    Shard pavings merge under the total lexicographic order of
+    :func:`box_sort_key`, so two sharded runs (any backend, any
+    scheduling) return byte-identical lists.
+    """
+    names = tuple(box.names)
+    phi_blob = pickle.dumps(phi)
+    frontier_size = max(2, int(frontier_size))
+
+    sat: list[Box] = []
+    unsat: list[Box] = []
+    undecided: list[Box] = []
+    processed = 0
+    epoch = 0
+    steals = 0
+
+    def absorb(res: dict, into: _ShardQueue) -> None:
+        nonlocal processed
+        processed += res["processed"]
+        sat.extend(_rebox(names, lo_r, hi_r) for lo_r, hi_r in res["sat"])
+        unsat.extend(_rebox(names, lo_r, hi_r) for lo_r, hi_r in res["unsat"])
+        undecided.extend(
+            _rebox(names, lo_r, hi_r) for lo_r, hi_r in res["undecided"]
+        )
+        if res["children"] is not None:
+            c_lo, c_hi = res["children"]
+            for j in range(c_lo.shape[0]):
+                into.push(c_lo[j], c_hi[j], 0)
+
+    # Bootstrap (see solve_sharded): same tree, hence same classified
+    # leaves as the non-sharded paving, regardless of the shard count.
+    boot = _ShardQueue()
+    boot.push(*_root_arrays(box, names), 0)
+    while boot and len(boot) < shards and processed < max_boxes:
+        chunk = boot.take_chunk(
+            min(frontier_size, len(boot), max_boxes - processed)
+        )
+        _progress(
+            "shard", "bootstrap",
+            pending=len(boot), boxes=processed, shards=shards,
+        )
+        absorb(
+            _pave_epoch(
+                phi_blob, names,
+                np.array([e[3] for e in chunk]), np.array([e[4] for e in chunk]),
+                delta, contract_tol, min_width,
+            ),
+            boot,
+        )
+    queues = _deal(boot, shards)
+
+    plan = _resolve_plan(shards, backend, workers)
+    try:
+        while any(queues):
+            remaining = max_boxes - processed
+            if remaining <= 0:
+                undecided.extend(
+                    _rebox(names, e[3], e[4]) for q in queues for e in q.entries
+                )
+                break
+
+            epoch += 1
+            chunks: list[tuple[int, list[tuple]]] = []
+            for i, q in enumerate(queues):
+                if not q or remaining <= 0:
+                    continue
+                k = min(frontier_size, len(q), remaining)
+                remaining -= k
+                chunks.append((i, q.take_chunk(k)))
+
+            # see solve_sharded: checkpoints precede submits so a cancel
+            # never strands an in-flight future
+            for i, chunk in chunks:
+                _progress(
+                    "shard", "paving",
+                    shard=i, epoch=epoch, chunk=len(chunk),
+                    pending=len(queues[i]), boxes=processed,
+                    sat=len(sat), unsat=len(unsat), steals=steals,
+                )
+            futures = [
+                plan.backend.submit(
+                    _pave_epoch, phi_blob, names,
+                    np.array([e[3] for e in chunk]),
+                    np.array([e[4] for e in chunk]),
+                    delta, contract_tol, min_width,
+                )
+                for i, chunk in chunks
+            ]
+            results = _wait_all(futures)
+
+            for (i, _), res in zip(chunks, results):
+                absorb(res, queues[i])
+
+            steals += _rebalance(queues)
+    finally:
+        plan.shutdown()
+
+    sat.sort(key=box_sort_key)
+    unsat.sort(key=box_sort_key)
+    undecided.sort(key=box_sort_key)
+    return sat, unsat, undecided

@@ -1,0 +1,1 @@
+"""Developer tooling: golden-corpus generation and conformance digests."""

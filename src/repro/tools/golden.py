@@ -1,0 +1,193 @@
+"""Golden-verdict conformance corpus: digests guarding every solver path.
+
+The corpus (``tests/golden/``) pins, for every catalog scenario at its
+fixed seed, the verdict the framework must produce -- and it must
+produce the *same* verdict through every execution path of the
+delta-decision machinery:
+
+``serial``
+    the legacy scalar ICP loop (``frontier_size=1``),
+``vectorized``
+    the batched frontier loop (the scenario's own solver defaults),
+``sharded``
+    the work-stealing parallel driver (``shards=2``).
+
+A snapshot stores the mode-invariant *projection* of the report (task,
+name, status, rounded metrics, witness variable names) plus its SHA-256
+digest.  Mode-dependent fields (wall time, boxes processed, exact
+witness coordinates -- the scalar and batched searches may certify
+different boxes of equal validity) are deliberately excluded, so a
+digest mismatch always means a real verdict regression.
+
+Alongside the scenario snapshots, ``paving-*.json`` entries pin the
+**byte-exact** paving digests of dedicated synthesis problems: for
+pavings the serial, vectorized and sharded kernels classify the very
+same sub-boxes bound-for-bound, and the corpus proves it stays that
+way.
+
+Regenerate with ``python -m repro.tools.regen_golden`` after an
+intentional behavior change; CI fails on stale snapshots.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import replace as _dataclass_replace
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "MODES",
+    "PAVING_PROBLEMS",
+    "golden_dir",
+    "project_report",
+    "projection_digest",
+    "scenario_projection",
+    "paving_digest",
+]
+
+#: Solver-option overrides selecting each conformance execution path.
+#: ``None`` keeps the scenario's own default for that field.
+MODES: dict[str, dict[str, Any]] = {
+    "serial": {"frontier_size": 1, "shards": 1},
+    "vectorized": {"shards": 1},
+    "sharded": {"shards": 2, "shard_backend": "thread"},
+}
+
+
+def golden_dir(start: Path | None = None) -> Path:
+    """The ``tests/golden`` directory of the repository checkout."""
+    here = Path(start or __file__).resolve()
+    for parent in here.parents:
+        candidate = parent / "tests" / "golden"
+        if (parent / "pyproject.toml").exists():
+            return candidate
+    raise FileNotFoundError("cannot locate the repository root (pyproject.toml)")
+
+
+# ----------------------------------------------------------------------
+# Report projection
+# ----------------------------------------------------------------------
+
+
+def project_report(report) -> dict[str, Any]:
+    """The mode-invariant projection of an :class:`AnalysisReport`.
+
+    Everything here must agree across the serial, vectorized and
+    sharded solver paths; volatile fields (timings, box counts, exact
+    witness coordinates) are excluded by construction.
+    """
+    return {
+        "task": report.task,
+        "name": report.name,
+        "status": report.status.value,
+        "witness_vars": (
+            None if report.witness is None else sorted(report.witness)
+        ),
+        "metrics": {
+            k: round(float(v), 9) for k, v in sorted(report.metrics.items())
+        },
+    }
+
+
+def projection_digest(projection: Mapping[str, Any]) -> str:
+    """Canonical SHA-256 of a projection (sorted keys, no whitespace)."""
+    blob = json.dumps(projection, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _mode_spec(spec, mode: str):
+    overrides = MODES[mode]
+    return spec.replace(solver=_dataclass_replace(spec.solver, **overrides))
+
+
+def scenario_projection(name: str, mode: str) -> dict[str, Any]:
+    """Run one catalog scenario through one solver path and project it."""
+    from repro.api import Engine
+    from repro.scenarios import get_scenario
+
+    spec = _mode_spec(get_scenario(name).spec(), mode)
+    with Engine(seed=0) as engine:
+        return project_report(engine.run(spec))
+
+
+# ----------------------------------------------------------------------
+# Byte-exact paving conformance
+# ----------------------------------------------------------------------
+
+
+def _annulus():
+    from repro.expr import sin, variables
+    from repro.intervals import Box
+    from repro.logic import And, in_range
+
+    x, y = variables("x y")
+    phi = And(
+        in_range(x ** 2 + y ** 2 + 0.3 * sin(3 * x) * sin(3 * y), 0.55, 0.95),
+        in_range(x * y, -0.2, 0.6),
+    )
+    return phi, Box.from_bounds({"x": (-1.5, 1.5), "y": (-1.5, 1.5)})
+
+
+def _cubic_band():
+    from repro.expr import var
+    from repro.intervals import Box
+    from repro.logic import in_range
+
+    x = var("x")
+    phi = in_range(x * x * x - x, -0.1, 0.1)
+    return phi, Box.from_bounds({"x": (-2.0, 2.0)})
+
+
+def _bilinear_wedge():
+    from repro.expr import variables
+    from repro.intervals import Box
+    from repro.logic import And
+
+    x, y = variables("x y")
+    phi = And(x * y - 0.25 >= 0, x + y <= 1.6)
+    return phi, Box.from_bounds({"x": (0.0, 2.0), "y": (0.0, 2.0)})
+
+
+#: name -> (problem factory, min_width): the dedicated paving workloads
+#: whose partitions must be byte-identical across every solver path.
+PAVING_PROBLEMS = {
+    "annulus": (_annulus, 0.05),
+    "cubic-band": (_cubic_band, 0.01),
+    "bilinear-wedge": (_bilinear_wedge, 0.05),
+}
+
+
+def paving_digest(problem: str, mode: str) -> dict[str, Any]:
+    """Pave one conformance problem through one solver path.
+
+    Returns the box counts plus a SHA-256 over the bounds of every
+    classified box, in the solver's deterministic lexicographic output
+    order.  Bounds are hashed at 10 significant digits: the scalar and
+    vectorized fixpoint loops agree bound-for-bound only up to
+    single-ulp contraction differences (see
+    ``benchmarks/icp_throughput.py``), and the digest must pin the
+    partition, not that noise.
+    """
+    from repro.solver import DeltaSolver
+
+    factory, min_width = PAVING_PROBLEMS[problem]
+    phi, box = factory()
+    solver = DeltaSolver(delta=1e-3, max_boxes=1_000_000)
+    for k, v in MODES[mode].items():
+        setattr(solver, k, v)
+    sat, unsat, undecided = solver.pave(phi, box, min_width=min_width)
+    h = hashlib.sha256()
+    for part in (sat, unsat, undecided):
+        h.update(b"|")
+        for b in part:
+            for name in b.names:
+                iv = b[name]
+                # + 0.0 canonicalizes the sign of IEEE negative zeros,
+                # which differ between the scalar and vectorized kernels
+                h.update(f"{name}:{iv.lo + 0.0:.10g}:{iv.hi + 0.0:.10g};".encode())
+    return {
+        "counts": [len(sat), len(unsat), len(undecided)],
+        "digest": h.hexdigest(),
+    }

@@ -1,0 +1,93 @@
+"""Regenerate the golden-verdict conformance corpus (``tests/golden/``).
+
+Usage::
+
+    python -m repro.tools.regen_golden [--out DIR]
+
+For every catalog scenario the three solver paths (serial, vectorized,
+sharded) are executed and their report projections compared; the run
+**fails** if any path disagrees, so a snapshot is only ever written for
+a verdict the whole stack reproduces.  The dedicated paving problems
+are digested the same way (their digests must be byte-identical across
+paths).  CI and ``tests/test_golden_corpus.py`` fail on stale
+snapshots; rerun this tool after an intentional behavior change and
+commit the diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .golden import (
+    MODES,
+    PAVING_PROBLEMS,
+    golden_dir,
+    paving_digest,
+    projection_digest,
+    scenario_projection,
+)
+
+
+def _write(path: Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Regenerate every snapshot; nonzero exit on cross-path divergence."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=None, help="output directory (default: tests/golden)"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.scenarios import scenario_names
+
+    out = Path(args.out) if args.out else golden_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    failures = 0
+
+    for name in scenario_names():
+        projections = {m: scenario_projection(name, m) for m in MODES}
+        reference = projections["vectorized"]
+        diverged = {m: p for m, p in projections.items() if p != reference}
+        if diverged:
+            failures += 1
+            print(f"FAIL {name}: solver paths disagree", file=sys.stderr)
+            for m, p in projections.items():
+                print(f"  {m}: {json.dumps(p, sort_keys=True)}", file=sys.stderr)
+            continue
+        _write(out / f"{name}.json", {
+            "scenario": name,
+            "status": reference["status"],
+            "projection": reference,
+            "digest": projection_digest(reference),
+        })
+        print(f"ok   {name}: {reference['status']}")
+
+    for problem in PAVING_PROBLEMS:
+        digests = {m: paving_digest(problem, m) for m in MODES}
+        reference = digests["vectorized"]
+        if any(d != reference for d in digests.values()):
+            failures += 1
+            print(f"FAIL paving-{problem}: paths disagree: {digests}",
+                  file=sys.stderr)
+            continue
+        _write(out / f"paving-{problem}.json", {
+            "problem": problem, **reference,
+        })
+        print(f"ok   paving-{problem}: {reference['counts']}")
+
+    if failures:
+        print(f"{failures} divergence(s); no snapshot written for them",
+              file=sys.stderr)
+        return 1
+    print(f"wrote {len(scenario_names()) + len(PAVING_PROBLEMS)} snapshot(s) "
+          f"to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

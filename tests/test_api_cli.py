@@ -68,6 +68,39 @@ class TestRun:
         assert report["status"] == "delta-sat"
         assert report["task"] == "calibrate"
 
+    def test_run_shards_flag_drives_sharded_solver(self, tmp_path, capsys):
+        # a falsify/ascent spec actually routes through the sharded
+        # driver (calibrate-style tasks accept but ignore the option)
+        path = tmp_path / "ascent.json"
+        path.write_text(json.dumps({
+            "task": "falsify",
+            "name": "cli-ascent",
+            "model": {"builtin": "logistic"},
+            "query": {
+                "method": "ascent", "variable": "x",
+                "from_level": 2.0, "to_level": 4.0,
+                "state_bounds": {"x": [0.0, 12.0]},
+                "param_ranges": {"r": [0.1, 2.0]},
+            },
+        }))
+        assert main(["run", str(path), "--shards", "2", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        # logistic growth ascends through [2, 4]: a delta-sat witness
+        assert report["status"] == "delta-sat"
+        assert main(["run", str(path), "--json"]) == 0
+        unsharded = json.loads(capsys.readouterr().out)
+        assert unsharded["status"] == report["status"]
+
+    def test_apply_shards_helper(self):
+        from repro.api.cli import _apply_shards
+        from repro.api.spec import TaskSpec
+
+        spec = TaskSpec.from_dict(CALIBRATE_SCENARIO)
+        assert _apply_shards([spec], None)[0].solver.shards == 1
+        overridden = _apply_shards([spec], 4)[0]
+        assert overridden.solver.shards == 4
+        assert spec.solver.shards == 1  # original untouched
+
     def test_run_bad_scenario_exits_nonzero(self, tmp_path, capsys):
         path = tmp_path / "bad.json"
         path.write_text(json.dumps({

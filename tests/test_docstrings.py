@@ -1,4 +1,5 @@
-"""Docstring coverage of the public surface (repro.api, repro.scenarios).
+"""Docstring coverage of the public surface (repro.api, repro.scenarios,
+repro.tools).
 
 Mirrors the ruff pydocstyle D1 rules enabled in pyproject.toml
 (D100-D104, D106) so the check also runs where ruff is not installed:
@@ -14,7 +15,7 @@ import pytest
 import repro
 
 SRC = pathlib.Path(repro.__file__).resolve().parent
-PACKAGES = (SRC / "api", SRC / "scenarios")
+PACKAGES = (SRC / "api", SRC / "scenarios", SRC / "tools")
 
 
 def _public_surface():

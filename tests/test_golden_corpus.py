@@ -1,0 +1,86 @@
+"""Golden-verdict conformance: every solver path reproduces the corpus.
+
+``tests/golden/`` pins the verdict projection of all catalog scenarios
+and the byte-level paving digests of the dedicated conformance
+problems.  Each entry is asserted against three execution paths of the
+delta-decision machinery -- the legacy scalar loop, the vectorized
+frontier loop, and the sharded work-stealing driver -- so any verdict
+regression in any path (or a stale snapshot after an intentional
+change) fails here.  Regenerate with::
+
+    python -m repro.tools.regen_golden
+"""
+
+import json
+
+import pytest
+
+from repro.scenarios import scenario_names
+from repro.tools.golden import (
+    MODES,
+    PAVING_PROBLEMS,
+    golden_dir,
+    paving_digest,
+    projection_digest,
+    scenario_projection,
+)
+
+GOLDEN = golden_dir()
+
+#: Scenarios whose three-path run is expensive (policy search over SMC
+#: scoring); exercised only in the full (non-PR) workflow.
+SLOW_SCENARIOS = {"ias-policy"}
+
+
+def _load(stem: str) -> dict:
+    path = GOLDEN / f"{stem}.json"
+    assert path.exists(), (
+        f"missing golden snapshot {path.name}; regenerate the corpus with "
+        "`python -m repro.tools.regen_golden`"
+    )
+    return json.loads(path.read_text())
+
+
+def test_corpus_is_complete():
+    """Exactly one snapshot per catalog scenario and paving problem.
+
+    A scenario added without regenerating the corpus (or a stale
+    snapshot for a removed one) fails here before any solver runs.
+    """
+    committed = {p.stem for p in GOLDEN.glob("*.json")}
+    expected = set(scenario_names()) | {f"paving-{p}" for p in PAVING_PROBLEMS}
+    assert committed == expected, (
+        "golden corpus out of sync with the catalog; regenerate with "
+        "`python -m repro.tools.regen_golden`"
+    )
+
+
+def _scenario_params():
+    for name in scenario_names():
+        for mode in MODES:
+            marks = [pytest.mark.slow] if name in SLOW_SCENARIOS else []
+            yield pytest.param(name, mode, marks=marks, id=f"{name}-{mode}")
+
+
+@pytest.mark.parametrize("name,mode", _scenario_params())
+def test_scenario_verdict_conformance(name, mode):
+    golden = _load(name)
+    projection = scenario_projection(name, mode)
+    assert projection == golden["projection"], (
+        f"{name} via the {mode} solver path diverges from the golden "
+        f"verdict {golden['status']!r}"
+    )
+    assert projection_digest(projection) == golden["digest"]
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
+@pytest.mark.parametrize("problem", sorted(PAVING_PROBLEMS))
+def test_paving_conformance(problem, mode):
+    """Serial, vectorized and sharded pavings classify identical boxes."""
+    golden = _load(f"paving-{problem}")
+    result = paving_digest(problem, mode)
+    assert result["counts"] == golden["counts"]
+    assert result["digest"] == golden["digest"], (
+        f"paving of {problem!r} via the {mode} path classified different "
+        "boxes than the golden partition"
+    )

@@ -1,0 +1,252 @@
+"""Unit tests of the sharded work-stealing ICP driver."""
+
+import numpy as np
+import pytest
+
+from repro.expr import var, variables
+from repro.intervals import Box
+from repro.logic import And, Or, in_range
+from repro.service.backends import ThreadBackend
+from repro.solver import DeltaSolver, Status, split_into_shards
+from repro.solver.shard import (
+    ShardPlan,
+    _rebalance,
+    _ShardQueue,
+    box_sort_key,
+    lex_key,
+)
+
+x, y = variables("x y")
+
+
+def box2(xb=(-1.5, 1.5), yb=(-1.5, 1.5)) -> Box:
+    return Box.from_bounds({"x": xb, "y": yb})
+
+
+def annulus():
+    phi = And(in_range(x ** 2 + y ** 2, 0.55, 0.95), in_range(x * y, -0.2, 0.6))
+    return phi, box2()
+
+
+def paving_tuples(parts):
+    return [
+        [tuple((k, b[k].lo, b[k].hi) for k in b.names) for b in part]
+        for part in parts
+    ]
+
+
+class TestSplitIntoShards:
+    def test_counts_and_disjoint_cover(self):
+        b = box2()
+        for n in (1, 2, 3, 4, 7, 8):
+            pieces = split_into_shards(b, n)
+            assert len(pieces) == n
+            total = sum(p.volume() for p in pieces)
+            assert total == pytest.approx(b.volume(), rel=1e-12)
+            for p in pieces:
+                assert b.contains_box(p)
+            for i, p in enumerate(pieces):
+                for q in pieces[i + 1:]:
+                    inter = p.intersect(q)
+                    assert inter.is_empty or inter.volume() == 0.0
+
+    def test_deterministic_and_sorted(self):
+        a = split_into_shards(box2(), 5)
+        b = split_into_shards(box2(), 5)
+        assert a == b
+        assert [box_sort_key(p) for p in a] == sorted(box_sort_key(p) for p in a)
+
+    def test_point_box_stops_early(self):
+        b = Box.from_bounds({"x": (1.0, 1.0)})
+        assert split_into_shards(b, 4) == [b]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            split_into_shards(box2(), 0)
+
+
+class TestLexTieBreak:
+    """Regression: result ordering must not depend on heap pop order."""
+
+    def test_paving_order_identical_across_frontier_sizes(self):
+        # before the total tie-break + sorted outputs, the serialized
+        # paving order depended on how many boxes each pass popped
+        phi, b = annulus()
+        pavings = [
+            paving_tuples(
+                DeltaSolver(delta=1e-3, frontier_size=k, max_boxes=200_000)
+                .pave(phi, b, min_width=0.1)
+            )
+            for k in (1, 8, 64)
+        ]
+        assert pavings[0] == pavings[1] == pavings[2]
+
+    def test_witness_independent_of_disjunct_order(self):
+        # two symmetric certifiable cells: the lex-least certified box
+        # must win no matter how the formula lists them
+        cells = [in_range(x, 0.5, 0.9), in_range(x, -0.9, -0.5)]
+        b = Box.from_bounds({"x": (-1.0, 1.0)})
+        r1 = DeltaSolver(delta=0.01)._solve_impl(Or(*cells), b)
+        r2 = DeltaSolver(delta=0.01)._solve_impl(Or(*reversed(cells)), b)
+        assert r1.status is r2.status is Status.DELTA_SAT
+        assert r1.witness_box == r2.witness_box
+
+    def test_lex_key_totality(self):
+        assert lex_key([0.0, 1.0], [1.0, 2.0]) < lex_key([0.0, 1.5], [1.0, 2.0])
+        assert lex_key([0.0], [1.0]) < lex_key([0.0], [2.0])
+
+
+class TestShardedConformance:
+    @pytest.mark.parametrize("shards", [2, 3, 5])
+    def test_paving_identical_to_serial(self, shards):
+        phi, b = annulus()
+        base = DeltaSolver(delta=1e-3, max_boxes=200_000)
+        sharded = DeltaSolver(
+            delta=1e-3, max_boxes=200_000, shards=shards, shard_backend="inline"
+        )
+        assert paving_tuples(base.pave(phi, b, min_width=0.1)) == paving_tuples(
+            sharded.pave(phi, b, min_width=0.1)
+        )
+
+    @pytest.mark.parametrize("backend", ["inline", "thread"])
+    def test_backend_does_not_change_results(self, backend):
+        phi, b = annulus()
+        solver = DeltaSolver(
+            delta=1e-3, max_boxes=200_000, shards=3, shard_backend=backend
+        )
+        ref = DeltaSolver(
+            delta=1e-3, max_boxes=200_000, shards=3, shard_backend="inline"
+        )
+        assert paving_tuples(solver.pave(phi, b, min_width=0.1)) == paving_tuples(
+            ref.pave(phi, b, min_width=0.1)
+        )
+        r1 = solver._solve_impl(phi, b)
+        r2 = ref._solve_impl(phi, b)
+        assert r1.status is r2.status
+        assert r1.witness_box == r2.witness_box
+
+    @pytest.mark.slow
+    def test_process_backend_round_trip(self):
+        # formulas and box chunks must pickle to worker processes and
+        # classify identically there
+        phi, b = annulus()
+        serial = DeltaSolver(delta=1e-3, max_boxes=200_000)
+        sharded = DeltaSolver(
+            delta=1e-3, max_boxes=200_000, shards=2, shard_backend="process"
+        )
+        assert paving_tuples(serial.pave(phi, b, min_width=0.1)) == paving_tuples(
+            sharded.pave(phi, b, min_width=0.1)
+        )
+
+    def test_sharded_verdicts(self):
+        b = Box.from_bounds({"x": (-2.0, 2.0)})
+        sat = in_range(var("x") * var("x"), 0.5, 1.0)
+        unsat = And(var("x") >= 1.5, var("x") * var("x") <= 1.0)
+        for phi, expected in ((sat, Status.DELTA_SAT), (unsat, Status.UNSAT)):
+            res = DeltaSolver(
+                delta=1e-3, shards=3, shard_backend="inline"
+            )._solve_impl(phi, b)
+            assert res.status is expected
+
+    def test_budget_exhaustion_returns_unknown_with_box(self):
+        phi, b = annulus()
+        res = DeltaSolver(
+            delta=1e-9, max_boxes=12, shards=3, shard_backend="inline"
+        )._solve_impl(phi, b)
+        assert res.status is Status.UNKNOWN
+        assert res.witness_box is not None
+        assert res.stats.boxes_processed <= 12 + 3  # one epoch of slack
+
+    def test_sharded_run_is_reproducible(self):
+        phi, b = annulus()
+        solver = DeltaSolver(
+            delta=1e-3, max_boxes=200_000, shards=4, shard_backend="thread"
+        )
+        first = paving_tuples(solver.pave(phi, b, min_width=0.1))
+        second = paving_tuples(solver.pave(phi, b, min_width=0.1))
+        assert first == second
+
+
+class TestWorkStealing:
+    @staticmethod
+    def _queue_with(widths):
+        q = _ShardQueue()
+        for i, w in enumerate(widths):
+            q.push(np.array([float(i)]), np.array([float(i) + w]), 0)
+        return q
+
+    def test_rebalance_moves_widest_to_starved(self):
+        rich = self._queue_with([8.0, 4.0, 2.0, 1.0, 0.5, 0.25])
+        poor = _ShardQueue()
+        moved = _rebalance([rich, poor])
+        assert moved == 3
+        assert len(rich) == 3 and len(poor) == 3
+        # the starved shard received the widest pending boxes
+        widths = sorted(-e[0] for e in poor.entries)
+        assert widths == [2.0, 4.0, 8.0]
+
+    def test_rebalance_noop_when_balanced(self):
+        a = self._queue_with([1.0, 2.0])
+        b = self._queue_with([1.5, 2.5])
+        assert _rebalance([a, b]) == 0
+        assert len(a) == len(b) == 2
+
+    def test_rebalance_empty(self):
+        assert _rebalance([_ShardQueue(), _ShardQueue()]) == 0
+
+    def test_take_chunk_orders_widest_then_lex(self):
+        q = _ShardQueue()
+        q.push(np.array([1.0]), np.array([2.0]), 0)   # width 1, lex later
+        q.push(np.array([0.0]), np.array([1.0]), 0)   # width 1, lex first
+        q.push(np.array([0.0]), np.array([3.0]), 0)   # width 3
+        chunk = q.take_chunk(3)
+        assert [float(e[4][0] - e[3][0]) for e in chunk] == [3.0, 1.0, 1.0]
+        assert float(chunk[1][3][0]) == 0.0  # lex tie-break among width-1
+
+
+class TestShardPlan:
+    def test_injected_backend_survives_for_reuse(self):
+        # a caller-provided pool is NOT torn down between calls: the
+        # CEGIS loop reuses one pool across its propose/verify solves
+        phi, b = annulus()
+        backend = ThreadBackend(workers=2)
+        solver = DeltaSolver(
+            delta=1e-3, max_boxes=50_000, shards=2, shard_backend=backend
+        )
+        first = paving_tuples(solver.pave(phi, b, min_width=0.3))
+        assert backend._pool is not None  # still warm
+        second = paving_tuples(solver.pave(phi, b, min_width=0.3))
+        assert first == second
+        backend.shutdown()
+
+    def test_named_backend_is_owned_and_released(self):
+        import repro.solver.shard as shard_mod
+
+        created = []
+        original = shard_mod.make_backend
+
+        def recording(name, workers=None):
+            backend = original(name, workers)
+            created.append(backend)
+            return backend
+
+        phi, b = annulus()
+        shard_mod.make_backend = recording
+        try:
+            DeltaSolver(
+                delta=1e-3, max_boxes=50_000, shards=2, shard_backend="thread"
+            ).pave(phi, b, min_width=0.3)
+        finally:
+            shard_mod.make_backend = original
+        assert len(created) == 1
+        assert created[0]._pool is None  # shutdown() ran inside the call
+
+    def test_plan_shutdown_respects_ownership(self):
+        backend = ThreadBackend(workers=1)
+        backend.submit(lambda: None).result()
+        ShardPlan(1, backend, owns_backend=False).shutdown()
+        assert backend._pool is not None  # caller-owned: left running
+        owned = ShardPlan(1, backend, owns_backend=True)
+        owned.shutdown()
+        owned.shutdown()  # idempotent
+        assert backend._pool is None

@@ -1,0 +1,95 @@
+"""Mid-shard cooperative cancellation: no orphaned worker processes.
+
+Submits a long sharded falsification through ``Engine.submit``, cancels
+after the first per-shard progress event, and asserts the job lands in
+``CANCELLED`` with every shard worker pool drained and shut down
+(checked via backend introspection and process-table inspection).
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+import repro.solver.shard as shard_mod
+from repro.api import Engine, TaskSpec
+from repro.service.jobs import JobState
+from repro.status import AnalysisStatus
+
+#: A falsification hard enough to pave for minutes: the FK ascent
+#: barrier over a wide dome window at tight delta/contraction settings.
+GRINDING_SPEC = dict(
+    task="falsify",
+    model={"builtin": "fenton_karma_mode", "args": {"mode": "excited"}},
+    query={
+        "method": "ascent", "variable": "u",
+        "from_level": 0.3, "to_level": 0.9,
+        "state_bounds": {"u": [0.0, 1.2], "v": [0.0, 0.01], "w": [0.0, 1.0]},
+        "param_ranges": {"tau_r": [10.0, 38.0], "tau_si": [28.0, 130.0]},
+    },
+    solver={
+        "delta": 1e-7, "max_boxes": 100_000, "contract_tol": 1e-4,
+        "shards": 2, "shard_backend": "process",
+    },
+)
+
+
+def _wait_for_shard_event(job, timeout: float = 60.0) -> bool:
+    deadline = time.monotonic() + timeout
+    seen = 0
+    while time.monotonic() < deadline:
+        job.wait_event(min_count=seen + 1, timeout=1.0)
+        events = job.events()
+        if any(e.source == "shard" for e in events):
+            return True
+        seen = len(events)
+        if job.done():
+            return False
+    return False
+
+
+def test_cancel_mid_shard_leaves_no_orphans(monkeypatch):
+    created = []
+    original = shard_mod.make_backend
+
+    def recording_make_backend(name, workers=None):
+        backend = original(name, workers)
+        created.append(backend)
+        return backend
+
+    monkeypatch.setattr(shard_mod, "make_backend", recording_make_backend)
+
+    with Engine(seed=0) as engine:
+        job = engine.submit(TaskSpec(**GRINDING_SPEC), backend="thread")
+        assert _wait_for_shard_event(job), (
+            "no per-shard progress event before the job finished: "
+            f"{job.status} {job.events()[:5]}"
+        )
+        assert job.cancel()
+        report = job.result(timeout=120.0)
+
+    assert job.status is JobState.CANCELLED
+    assert report.status is AnalysisStatus.CANCELLED
+
+    # backend introspection: the shard driver owned a worker pool and
+    # tore it down on the cancellation unwind
+    assert created, "the sharded driver never created its backend"
+    for backend in created:
+        assert backend._pool is None, f"{backend!r} still holds a pool"
+
+    # and no worker process survived the shutdown
+    deadline = time.monotonic() + 10.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.1)
+    assert multiprocessing.active_children() == []
+
+
+@pytest.mark.slow
+def test_cancel_before_any_epoch_is_clean():
+    """Cancelling immediately still lands in CANCELLED, not ERROR."""
+    with Engine(seed=0) as engine:
+        job = engine.submit(TaskSpec(**GRINDING_SPEC), backend="thread")
+        job.cancel()
+        report = job.result(timeout=120.0)
+    assert job.status is JobState.CANCELLED
+    assert report.status is AnalysisStatus.CANCELLED

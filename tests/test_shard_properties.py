@@ -1,0 +1,112 @@
+"""Hypothesis property tests of the sharded paving driver.
+
+Random polynomial problems over random boxes, checked against the
+driver's contracts: sharded verdicts equal serial verdicts, merged
+pavings cover every solution with disjoint in-box pieces, and results
+are deterministic across shard counts, backends and repeated runs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import Const, var
+from repro.intervals import Box
+from repro.logic import And
+from repro.solver import DeltaSolver, Status
+
+x, y = var("x"), var("y")
+
+COEF = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+
+
+@st.composite
+def quadratic_atom(draw):
+    """Random atom a*x^2 + b*x*y + c*y^2 + d*x + e*y + f >= 0."""
+    a, b, c, d, e, f = (draw(COEF) for _ in range(6))
+    term = (
+        Const(a) * x * x + Const(b) * x * y + Const(c) * y * y
+        + Const(d) * x + Const(e) * y + Const(f)
+    )
+    return term >= 0
+
+
+@st.composite
+def search_box(draw):
+    """A random nondegenerate box around the origin."""
+    cx = draw(st.floats(min_value=-1.0, max_value=1.0, allow_nan=False))
+    cy = draw(st.floats(min_value=-1.0, max_value=1.0, allow_nan=False))
+    hx = draw(st.floats(min_value=0.4, max_value=2.0, allow_nan=False))
+    hy = draw(st.floats(min_value=0.4, max_value=2.0, allow_nan=False))
+    return Box.from_bounds({"x": (cx - hx, cx + hx), "y": (cy - hy, cy + hy)})
+
+
+def _sharded(shards, backend="inline", **kw):
+    return DeltaSolver(
+        delta=0.05, max_boxes=4000, shards=shards, shard_backend=backend, **kw
+    )
+
+
+def _tuples(parts):
+    return [
+        [tuple((k, b[k].lo, b[k].hi) for k in b.names) for b in part]
+        for part in parts
+    ]
+
+
+@given(quadratic_atom(), quadratic_atom(), st.integers(min_value=2, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_sharded_verdict_equals_serial(a1, a2, shards):
+    phi = And(a1, a2)
+    box = Box.from_bounds({"x": (-2.0, 2.0), "y": (-2.0, 2.0)})
+    serial = DeltaSolver(delta=0.05, max_boxes=4000)._solve_impl(phi, box)
+    sharded = _sharded(shards)._solve_impl(phi, box)
+    assert sharded.status is serial.status
+    if sharded.status is Status.DELTA_SAT:
+        # any witness must delta-satisfy the weakened formula
+        weak = phi.delta_weaken(0.05 + 1e-9)
+        for pt in sharded.witness_box.corners():
+            assert weak.eval(pt)
+
+
+@given(quadratic_atom(), search_box(), st.integers(min_value=2, max_value=4))
+@settings(max_examples=25, deadline=None)
+def test_merged_paving_partitions_the_box(atom, box, shards):
+    """Merged shard pavings: in-box, pairwise disjoint, and every
+    solution point is covered by a sat or undecided piece (contraction
+    only ever discards non-solutions)."""
+    sat, unsat, und = _sharded(shards).pave(atom, box, min_width=0.4)
+    pieces = sat + unsat + und
+    for b in pieces:
+        assert box.inflate(1e-9).contains_box(b)
+    for i, b in enumerate(pieces):
+        for other in pieces[i + 1:]:
+            inter = b.intersect(other)
+            assert inter.is_empty or inter.volume() == 0.0, (b, other)
+    covered = sat + und
+    for pt in box.sample_grid(5):
+        if atom.eval(pt):
+            assert any(b.inflate(1e-9).contains_point(pt) for b in covered), pt
+
+
+@given(quadratic_atom(), quadratic_atom(), st.integers(min_value=2, max_value=4))
+@settings(max_examples=20, deadline=None)
+def test_determinism_across_shard_counts(a1, a2, shards):
+    """The bootstrap walks the serial tree, so the merged paving is the
+    same for every shard count -- including no sharding at all."""
+    phi = And(a1, a2)
+    box = Box.from_bounds({"x": (-2.0, 2.0), "y": (-2.0, 2.0)})
+    serial = DeltaSolver(delta=0.05, max_boxes=4000).pave(phi, box, min_width=0.4)
+    sharded = _sharded(shards).pave(phi, box, min_width=0.4)
+    assert _tuples(serial) == _tuples(sharded)
+
+
+@given(quadratic_atom(), quadratic_atom())
+@settings(max_examples=10, deadline=None)
+def test_determinism_across_backend_types(a1, a2):
+    """Thread scheduling must not leak into the merged result."""
+    phi = And(a1, a2)
+    box = Box.from_bounds({"x": (-2.0, 2.0), "y": (-2.0, 2.0)})
+    inline = _sharded(3, "inline").pave(phi, box, min_width=0.4)
+    threaded = _sharded(3, "thread").pave(phi, box, min_width=0.4)
+    again = _sharded(3, "thread").pave(phi, box, min_width=0.4)
+    assert _tuples(inline) == _tuples(threaded) == _tuples(again)
