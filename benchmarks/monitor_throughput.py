@@ -1,0 +1,146 @@
+"""Streaming-monitor fleet throughput and history-independence.
+
+Two measurements over :mod:`repro.monitor`:
+
+* **Fleet throughput** -- 1,000 concurrent streams (quick: 200) of a
+  nested BLTL property fed round-robin through one
+  :class:`~repro.monitor.FleetSupervisor` (batched ingest, vectorized
+  predicate pre-screen), reporting samples/sec and verdict counts.
+* **History independence** -- one stream driven through many episodes;
+  the per-episode wall time of the last decile must stay within a
+  small factor of the first decile (the episode ring resets on
+  rollover and window frontiers never rescan decided prefixes, so
+  per-sample cost must not grow with stream lifetime).
+
+CI runs this in ``--quick`` mode and uploads the JSON as the
+``BENCH_monitor_throughput.json`` artifact::
+
+    python benchmarks/monitor_throughput.py --quick --out BENCH_monitor_throughput.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+
+def build_formula():
+    """A nested property exercising F/G frontiers and the Until automaton."""
+    from repro.expr import parse_expr
+    from repro.logic import Atom
+    from repro.smc.bltl import F, G, U
+
+    def atom(text, strict=False):
+        return Atom(parse_expr(text), strict)
+
+    # tuned so a sin+noise fleet splits into a true/false verdict mix,
+    # exercising both early-exit polarities
+    return G(6.0, F(2.0, atom("x + 0.3"))) & U(4.0, atom("x + 1.5"),
+                                               atom("x - 0.8", True))
+
+
+def fleet_throughput(streams: int, samples_per_stream: int, batch: int):
+    """Feed a synthetic fleet; return (seconds, samples_fed, summary)."""
+    import numpy as np
+
+    from repro.monitor import FleetSupervisor
+
+    phi = build_formula()
+    horizon = phi.horizon()
+    sup = FleetSupervisor()
+    rng = np.random.default_rng(0)
+    phases = rng.uniform(0.0, 6.28, streams)
+    for i in range(streams):
+        sup.add_stream(f"s{i:04d}", phi, early_stop=False)
+
+    dt = horizon / (samples_per_stream - 1)  # one episode spans the horizon
+    fed = 0
+    t0 = time.perf_counter()
+    for k in range(samples_per_stream):
+        t = k * dt
+        xs = np.sin(t + phases) + rng.normal(0.0, 0.3, streams)
+        rows = [(f"s{i:04d}", t, {"x": float(xs[i])}) for i in range(streams)]
+        for lo in range(0, streams, batch):
+            sup.ingest(rows[lo:lo + batch])
+        fed += streams
+    sup.close_all()
+    return time.perf_counter() - t0, fed, sup.summary()
+
+
+def history_independence(episodes: int, samples_per_episode: int):
+    """Per-episode wall times for one long-lived stream."""
+    import numpy as np
+
+    from repro.monitor import StreamState
+
+    phi = build_formula()
+    horizon = phi.horizon()
+    s = StreamState("long", phi, early_stop=False)
+    rng = np.random.default_rng(1)
+    dt = horizon / (samples_per_episode - 1)
+    clock = 0.0
+    times = []
+    for _ in range(episodes):
+        xs = rng.normal(0.0, 1.0, samples_per_episode)
+        t0 = time.perf_counter()
+        for k in range(samples_per_episode):
+            s.push(clock + k * dt, {"x": float(xs[k])})
+        s.end_episode()
+        times.append(time.perf_counter() - t0)
+        clock += horizon + 1.0
+    return times
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller fleet / fewer episodes (CI smoke mode)")
+    parser.add_argument("--streams", type=int, default=None,
+                        help="fleet size (default 1000, quick: 200)")
+    parser.add_argument("--out", default="BENCH_monitor_throughput.json")
+    args = parser.parse_args(argv)
+
+    streams = args.streams or (200 if args.quick else 1000)
+    samples_per_stream = 40 if args.quick else 80
+    episodes = 40 if args.quick else 120
+    samples_per_episode = 30 if args.quick else 60
+
+    seconds, fed, summary = fleet_throughput(streams, samples_per_stream,
+                                             batch=256)
+    ep_times = history_independence(episodes, samples_per_episode)
+    decile = max(1, len(ep_times) // 10)
+    early = sum(ep_times[:decile]) / decile
+    late = sum(ep_times[-decile:]) / decile
+    ratio = late / early if early > 0 else None
+
+    result = {
+        "benchmark": "monitor_throughput",
+        "mode": "quick" if args.quick else "full",
+        "streams": streams,
+        "samples_fed": fed,
+        "seconds": round(seconds, 4),
+        "samples_per_s": round(fed / seconds, 1),
+        "fleet": summary,
+        "episodes": episodes,
+        "per_episode_ms_first_decile": round(early * 1e3, 4),
+        "per_episode_ms_last_decile": round(late * 1e3, 4),
+        "history_cost_ratio": round(ratio, 3) if ratio is not None else None,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+    print(json.dumps(result, indent=2))
+
+    # the ratio bound is deliberately loose: CI machines are noisy, but
+    # a per-sample cost growing with history shows up as ratio ~ O(episodes)
+    if ratio is not None and ratio > 5.0:
+        print("FAIL: per-episode cost grew with stream history")
+        return 1
+    if summary["streams"] != streams or summary["episodes"] != streams:
+        print("FAIL: fleet did not complete its episodes")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

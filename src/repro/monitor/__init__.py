@@ -1,0 +1,48 @@
+"""Online streaming verification (ROADMAP item: monitoring service).
+
+Everything the batch SMC stack evaluates over complete trajectories --
+BLTL verdicts (:func:`repro.smc.bltl.monitor`), robustness margins
+(:func:`repro.smc.bltl.robustness`), sequential hypothesis tests
+(:func:`repro.smc.stats.sprt`) -- this package evaluates
+**incrementally** over streaming time-series, one sample at a time,
+never holding a full trajectory:
+
+* :mod:`~repro.monitor.automaton` -- the per-formula online monitor:
+  three-valued verdicts with sound early termination, exact batch
+  conformance at horizon completion, running robustness bounds.
+* :mod:`~repro.monitor.stream` -- per-stream state: out-of-order
+  admission, episode rollover, the incremental per-stream SPRT.
+* :mod:`~repro.monitor.supervisor` -- the fleet supervisor: thousands
+  of streams in one process, event fan-out, progress/cancellation,
+  vectorized predicate batching via the interval tape evaluator.
+* :mod:`~repro.monitor.store` -- append-only JSONL journal with
+  replay/backfill recovery.
+* :mod:`~repro.monitor.sources` -- replay, CSV/JSONL tailing, and
+  synthetic catalog-scenario fleets.
+* :mod:`~repro.monitor.tui` -- ``repro watch``: Textual dashboard with
+  a plain-ticker fallback.
+"""
+
+from .automaton import MonitorResult, OnlineMonitor, Verdict
+from .sources import replay_source, scenario_property, stream_scenario, tail_source
+from .store import EventStore
+from .stream import MonitorEvent, StreamState
+from .supervisor import FleetSupervisor
+from .tui import HAS_TEXTUAL, plain_watch, watch
+
+__all__ = [
+    "Verdict",
+    "MonitorResult",
+    "OnlineMonitor",
+    "MonitorEvent",
+    "StreamState",
+    "FleetSupervisor",
+    "EventStore",
+    "replay_source",
+    "tail_source",
+    "scenario_property",
+    "stream_scenario",
+    "HAS_TEXTUAL",
+    "watch",
+    "plain_watch",
+]

@@ -1,0 +1,273 @@
+"""Sample sources: replay, file tailing, and synthetic scenario fleets.
+
+Three ways to feed a :class:`~repro.monitor.supervisor.FleetSupervisor`:
+
+* :func:`replay_source` -- re-emit the journaled samples of an
+  :class:`~repro.monitor.store.EventStore`, preserving the original
+  cross-stream interleaving (recovery, regression runs, demos).
+* :func:`tail_source` -- read timestamped samples from a CSV or JSONL
+  file, optionally following it as it grows (integration with external
+  simulators that drop rows into a file).
+* :func:`stream_scenario` -- the synthetic fleet driver: registers
+  ``n`` streams of one catalog scenario on a supervisor and feeds them
+  episode-by-episode with freshly simulated trajectories (the same
+  sampling path the batch SMC engine uses), round-robin interleaved so
+  the whole fleet advances together and the supervisor's vectorized
+  predicate pass sees cross-stream batches.
+
+The synthetic driver streams each sample **with its derivative row**,
+so the online monitors' dense output interpolates exactly like the
+batch monitor over the original trajectory -- the conformance suite
+leans on this.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math as _math
+import os
+import time as _time
+from typing import Any, Iterator, Mapping
+
+from repro import progress
+from repro.api.serialize import bltl_from_value
+from repro.scenarios import get_scenario
+from repro.smc.bltl import BLTL
+from repro.smc.engine import InitialDistribution, StatisticalModelChecker
+
+from .store import EventStore
+from .supervisor import FleetSupervisor
+
+__all__ = [
+    "replay_source",
+    "tail_source",
+    "scenario_property",
+    "stream_scenario",
+]
+
+#: A source item: ``(stream_id, t, values, derivs_or_None)``.
+Sample = tuple
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+
+
+def replay_source(store: EventStore, streams: list[str] | None = None) -> Iterator[Sample]:
+    """Re-emit a journal's samples in their original append order.
+
+    Restricting to ``streams`` filters the interleaving without
+    changing per-stream order.
+    """
+    wanted = set(streams) if streams is not None else None
+    for ev in store.replay(kinds=frozenset({"sample"})):
+        if wanted is not None and ev.stream not in wanted:
+            continue
+        yield ev.stream, ev.time, ev.payload["values"], ev.payload.get("derivs")
+
+
+# ----------------------------------------------------------------------
+# file tailing
+# ----------------------------------------------------------------------
+
+
+def _parse_jsonl_row(line: str, default_stream: str) -> Sample | None:
+    d = json.loads(line)
+    t = d.get("t", d.get("time"))
+    if t is None:
+        return None
+    stream = str(d.get("stream", default_stream))
+    values = d.get("values")
+    if values is None:
+        values = {k: float(v) for k, v in d.items()
+                  if k not in ("t", "time", "stream", "derivs")
+                  and isinstance(v, (int, float))}
+    return stream, float(t), dict(values), d.get("derivs")
+
+
+def _parse_csv_row(row: dict, default_stream: str) -> Sample | None:
+    t = row.get("t", row.get("time"))
+    if t in (None, ""):
+        return None
+    stream = str(row.get("stream") or default_stream)
+    values = {k: float(v) for k, v in row.items()
+              if k not in ("t", "time", "stream") and v not in (None, "")}
+    return stream, float(t), values, None
+
+
+def tail_source(
+    path: str | os.PathLike,
+    follow: bool = False,
+    poll: float = 0.2,
+    idle_timeout: float | None = None,
+) -> Iterator[Sample]:
+    """Samples from a CSV or JSONL file, optionally tailing its growth.
+
+    Format is chosen by extension (``.csv`` vs anything else = JSONL).
+    JSONL rows are objects with ``t`` (or ``time``), an optional
+    ``stream`` id (default: the file stem), and either a nested
+    ``values`` object or flat numeric fields.  CSV needs a header with
+    a ``t``/``time`` column; remaining columns are state variables
+    (non-numeric cells are skipped row-wise).
+
+    With ``follow``, the generator polls for new lines every ``poll``
+    seconds and stops after ``idle_timeout`` seconds without growth
+    (``None`` = forever; each poll runs a progress checkpoint, so a
+    cancel event also stops it).
+    """
+    path = os.fspath(path)
+    default_stream = os.path.splitext(os.path.basename(path))[0]
+    is_csv = path.endswith(".csv")
+    header: list[str] | None = None
+    idle = 0.0
+    with open(path, "r", encoding="utf-8", newline="") as fh:
+        while True:
+            line = fh.readline()
+            if not line:
+                if not follow:
+                    return
+                if idle_timeout is not None and idle >= idle_timeout:
+                    return
+                progress.emit("monitor", "tail", path=1.0)
+                _time.sleep(poll)
+                idle += poll
+                continue
+            idle = 0.0
+            if not line.strip():
+                continue
+            if is_csv:
+                cells = next(csv.reader([line]))
+                if header is None:
+                    header = [c.strip() for c in cells]
+                    continue
+                sample = _parse_csv_row(dict(zip(header, cells)), default_stream)
+            else:
+                sample = _parse_jsonl_row(line, default_stream)
+            if sample is not None:
+                yield sample
+
+
+# ----------------------------------------------------------------------
+# synthetic scenario fleets
+# ----------------------------------------------------------------------
+
+
+def scenario_property(
+    name: str, params: Mapping[str, Any] | None = None, seed: int = 0
+) -> tuple[BLTL, float, StatisticalModelChecker, float | None]:
+    """The monitorable core of a catalog scenario.
+
+    Returns ``(phi, horizon, checker, theta)``: the BLTL property, its
+    simulation horizon, a trajectory sampler configured exactly like
+    the batch SMC task would build it, and the scenario's SPRT
+    threshold (``None`` when the scenario doesn't declare one).  Only
+    scenarios whose query carries a ``phi`` qualify (the ``smc``
+    entries of the catalog); others raise ``ValueError``.
+    """
+    spec = get_scenario(name).spec(**dict(params or {}))
+    q = spec.query
+    if not q.get("phi"):
+        raise ValueError(
+            f"scenario {name!r} has no BLTL property (task {spec.task!r}); "
+            "pick an smc scenario"
+        )
+    phi = bltl_from_value(q["phi"])
+    horizon = float(q.get("horizon") or phi.horizon() + 1e-9)
+    init = q.get("init") or dict(spec.model.initial)
+    entries = {
+        k: (float(v[0]), float(v[1])) if isinstance(v, (list, tuple)) else float(v)
+        for k, v in dict(init).items()
+    }
+    checker = StatisticalModelChecker(
+        spec.model.system,
+        InitialDistribution(entries),
+        horizon=horizon,
+        seed=seed if spec.seed is None else int(spec.seed) + seed,
+        rtol=spec.sim.rtol,
+        max_step=spec.sim.max_step,
+    )
+    theta = q.get("theta")
+    return phi, horizon, checker, float(theta) if theta is not None else None
+
+
+def stream_scenario(
+    supervisor: FleetSupervisor,
+    name: str,
+    streams: int = 8,
+    episodes: int = 5,
+    seed: int = 0,
+    params: Mapping[str, Any] | None = None,
+    theta: float | None = None,
+    early_stop: bool = True,
+    thin: int = 1,
+) -> dict[str, int]:
+    """Drive a synthetic fleet of one scenario through a supervisor.
+
+    Registers ``streams`` streams named ``{name}-{i:03d}``, then runs up
+    to ``episodes`` rounds: each round simulates one fresh trajectory
+    per still-active stream (seeded per stream, so the fleet is a
+    deterministic function of ``seed``) and feeds the fleet round-robin
+    -- one sample per stream per tick -- through
+    :meth:`~repro.monitor.supervisor.FleetSupervisor.ingest`.  Episode
+    boundaries are punctuated so partially monitored trajectories close
+    cleanly; per-stream clocks advance monotonically across episodes.
+    ``theta`` (default: the scenario's own) arms the per-stream SPRT;
+    streams stop consuming simulations once their test concludes.
+    ``thin`` keeps every ``thin``-th sample (coarser streams, faster
+    fleets).  Returns the final fleet summary.
+    """
+    phi, horizon, checker, sc_theta = scenario_property(name, params, seed)
+    if theta is None:
+        theta = sc_theta
+    ids = [f"{name}-{i:03d}" for i in range(int(streams))]
+    clocks = {}
+    for sid in ids:
+        state = supervisor.streams.get(sid)
+        if state is None:
+            state = supervisor.add_stream(sid, phi, theta=theta, early_stop=early_stop)
+        # resume past whatever a journal restore already released
+        mark = state.released_to
+        clocks[sid] = 0.0 if mark == -_math.inf else mark + horizon * 1e-3
+    for round_no in range(int(episodes)):
+        alive = [sid for sid in ids if not supervisor.streams[sid].done]
+        if not alive:
+            break
+        feeds = {}
+        for sid in alive:
+            traj = checker.sample_trajectory()
+            step = max(1, int(thin))
+            idx = list(range(0, len(traj.times), step))
+            if idx[-1] != len(traj.times) - 1:
+                idx.append(len(traj.times) - 1)  # keep the horizon endpoint
+            feeds[sid] = (traj, idx)
+        before = {sid: supervisor.streams[sid].episodes_done for sid in alive}
+        tick = 0
+        while feeds:
+            batch = []
+            for sid in list(feeds):
+                state = supervisor.streams[sid]
+                traj, idx = feeds[sid]
+                # stop feeding once this round's episode is over (early
+                # stop / SPRT decision): don't leak trajectory tails
+                # into the next episode
+                if (tick >= len(idx) or state.done
+                        or state.episodes_done > before[sid]):
+                    del feeds[sid]
+                    continue
+                i = idx[tick]
+                t = clocks[sid] + float(traj.times[i] - traj.times[0])
+                values = dict(zip(traj.names, map(float, traj.states[i])))
+                derivs = (dict(zip(traj.names, map(float, traj.derivs[i])))
+                          if traj.derivs is not None else None)
+                batch.append((sid, t, values, derivs))
+            if batch:
+                supervisor.ingest(batch)
+            tick += 1
+        supervisor.end_episodes(alive)
+        for sid in alive:
+            clocks[sid] += horizon * 1.001  # past the episode span, plus a gap
+        progress.emit("monitor", "synthetic", round=round_no + 1,
+                      **supervisor.summary())
+    return supervisor.summary()

@@ -1,0 +1,375 @@
+"""Per-stream state: reordering, episodes, and the incremental SPRT.
+
+A *stream* is one source of timestamped state samples (one simulation
+run, one telemetry feed, one replayed trajectory).  This module wraps
+the single-episode :class:`~repro.monitor.automaton.OnlineMonitor` with
+everything a long-lived feed needs:
+
+* **Out-of-order tolerance.**  Samples are admitted through a bounded
+  reorder buffer: a sample is released to the monitor only once the
+  stream's *watermark* (newest time seen minus ``reorder_window``)
+  passes it, so samples arriving up to ``reorder_window`` time units
+  late are transparently re-sorted.  Samples older than the watermark
+  at arrival are dropped and counted (:attr:`StreamState.late_dropped`)
+  -- never silently.
+* **Episodes.**  Each completed monitoring pass over one formula
+  horizon is an *episode*; when it ends, a fresh monitor starts at the
+  next released sample.  With ``early_stop`` (default) an episode ends
+  the moment its verdict is irrevocable, without waiting out the
+  horizon.
+* **Sequential testing.**  Each episode's boolean verdict is one
+  Bernoulli observation fed to an incremental
+  :class:`~repro.smc.stats.SPRTState` testing ``P(phi) >= theta``; the
+  stream reaches a hypothesis decision without ever buffering episode
+  outcomes.
+
+Every observable state change is returned as a :class:`MonitorEvent`
+(and mirrored to an optional event store), which is what the fleet
+supervisor multiplexes and the ``repro watch`` TUI renders.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.logic import Formula
+from repro.smc.bltl import BLTL
+from repro.smc.stats import SPRTState
+
+from .automaton import MonitorResult, OnlineMonitor, Verdict
+
+__all__ = ["MonitorEvent", "StreamState"]
+
+
+@dataclass
+class MonitorEvent:
+    """One observable state change of a monitored stream.
+
+    Attributes
+    ----------
+    kind:
+        ``"start"`` (episode anchored), ``"verdict"`` (three-valued
+        verdict flip), ``"episode"`` (episode finished; payload holds
+        the :class:`~repro.monitor.automaton.MonitorResult` dict),
+        ``"decision"`` (stream-level SPRT concluded), ``"closed"``
+        (stream shut down), or ``"sample"`` (a released sample --
+        recorded only when a store journals for replay).
+    stream:
+        The emitting stream's id.
+    time:
+        Stream time of the change (sample time that triggered it).
+    episode:
+        Episode index (0-based) the event belongs to.
+    verdict:
+        Three-valued verdict string for ``"verdict"``/``"episode"``
+        events, ``"H0"``/``"H1"`` for ``"decision"`` events.
+    payload:
+        Kind-specific extras (result dicts, sample rows, counters).
+    seq:
+        Per-stream sequence number, assigned on emission.
+    """
+
+    kind: str
+    stream: str
+    time: float
+    episode: int
+    verdict: str = ""
+    payload: dict[str, Any] = field(default_factory=dict)
+    seq: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able projection (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "stream": self.stream,
+            "time": self.time,
+            "episode": self.episode,
+            "verdict": self.verdict,
+            "payload": self.payload,
+            "seq": self.seq,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "MonitorEvent":
+        """Rebuild an event from its :meth:`to_dict` projection."""
+        return cls(
+            kind=d["kind"],
+            stream=d["stream"],
+            time=float(d["time"]),
+            episode=int(d["episode"]),
+            verdict=d.get("verdict", ""),
+            payload=dict(d.get("payload", {})),
+            seq=int(d.get("seq", 0)),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable rendering for the plain ticker."""
+        text = f"[{self.stream}] t={self.time:.4g} ep{self.episode} {self.kind}"
+        if self.verdict:
+            text += f" -> {self.verdict}"
+        if self.kind == "episode" and self.payload.get("margin") is not None:
+            text += f" (margin {self.payload['margin']:.4g})"
+        return text
+
+
+class StreamState:
+    """Monitoring state of one sample stream.
+
+    Parameters
+    ----------
+    stream_id:
+        Identifier used in events and the store journal.
+    phi:
+        The monitored property (BLTL or bare predicate).
+    extra_env:
+        Constant bindings visible to the state predicates.
+    theta:
+        When given, episode verdicts feed an SPRT for
+        ``P(phi) >= theta`` with bounds ``alpha``/``beta`` and the
+        given ``indifference`` half-width; the stream is *done* when
+        the test concludes.
+    max_episodes:
+        Optional episode budget; when reached the stream is done (and
+        an undecided SPRT concludes best-effort).
+    reorder_window:
+        Lateness tolerance in stream-time units (see module docs).
+    early_stop:
+        End an episode at its first irrevocable verdict instead of
+        waiting out the horizon (the episode is then ``complete=False``
+        and carries no exact margin).
+    """
+
+    def __init__(
+        self,
+        stream_id: str,
+        phi: BLTL | Formula,
+        *,
+        extra_env: Mapping[str, float] | None = None,
+        theta: float | None = None,
+        alpha: float = 0.05,
+        beta: float = 0.05,
+        indifference: float = 0.05,
+        max_episodes: int | None = None,
+        reorder_window: float = 0.0,
+        early_stop: bool = True,
+    ):
+        self.stream_id = str(stream_id)
+        self.phi = phi
+        self.extra_env = dict(extra_env or {})
+        self.reorder_window = float(reorder_window)
+        self.early_stop = bool(early_stop)
+        self.max_episodes = max_episodes
+        self.sprt: SPRTState | None = (
+            SPRTState(theta, alpha, beta, indifference) if theta is not None else None
+        )
+        self.monitor: OnlineMonitor | None = None
+        self.episode = -1  # index of the episode in progress
+        self.episodes_done = 0
+        self.last_result: MonitorResult | None = None
+        self.samples_seen = 0
+        self.late_dropped = 0
+        self.ignored_done = 0  # samples arriving after the stream was done
+        self.closed = False
+        self.done = False
+        self._pending: list[tuple[float, int, dict, dict | None]] = []
+        self._push_seq = 0  # tie-break for equal pending times
+        self._released_to = -math.inf
+        self._event_seq = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def verdict(self) -> Verdict:
+        """Verdict of the episode in progress (last result when idle)."""
+        if self.monitor is not None:
+            return self.monitor.verdict
+        if self.last_result is not None:
+            return self.last_result.verdict
+        return Verdict.UNKNOWN
+
+    @property
+    def pending(self) -> int:
+        """Samples waiting in the reorder buffer."""
+        return len(self._pending)
+
+    @property
+    def released_to(self) -> float:
+        """High-water mark of released sample times (``-inf`` if none).
+
+        Sources that resume a stream (e.g. after a journal restore)
+        must feed times beyond this mark; anything at or below it is
+        dropped as late.
+        """
+        return self._released_to
+
+    def margin_interval(self) -> tuple[float, float]:
+        """Robustness bounds of the episode in progress."""
+        if self.monitor is not None:
+            return self.monitor.margin_interval()
+        if self.last_result is not None and self.last_result.margin is not None:
+            return (self.last_result.margin, self.last_result.margin)
+        return (-math.inf, math.inf)
+
+    def describe(self) -> str:
+        """Short status string for tables."""
+        sprt = f" sprt={self.sprt.describe()}" if self.sprt is not None else ""
+        return (
+            f"{self.stream_id}: ep{max(self.episode, 0)} "
+            f"{self.verdict}{sprt} n={self.samples_seen}"
+        )
+
+    # ------------------------------------------------------------------
+    def push(self, t: float, values: Mapping[str, float],
+             derivs: Mapping[str, float] | None = None,
+             primed: Mapping[int, Verdict] | None = None) -> list[MonitorEvent]:
+        """Admit one sample; returns the events it released.
+
+        Samples may arrive out of order within ``reorder_window``.
+        ``primed`` carries pre-computed certain leaf verdicts from the
+        supervisor's batched predicate pass; they travel with the
+        sample through the reorder buffer and are deposited into
+        whichever episode monitor the sample is eventually fed to.
+        Samples pushed into a closed or done stream are counted in
+        :attr:`ignored_done` and dropped (a fleet must survive
+        stragglers arriving after shutdown).
+        """
+        if self.closed:
+            self.ignored_done += 1
+            return []
+        t = float(t)
+        self.samples_seen += 1
+        if self.done:
+            self.ignored_done += 1
+            return []
+        if t <= self._released_to:
+            self.late_dropped += 1
+            return []
+        heapq.heappush(
+            self._pending,
+            (t, self._push_seq, dict(values), dict(derivs) if derivs else None,
+             dict(primed) if primed else None),
+        )
+        self._push_seq += 1
+        return self._release(t - self.reorder_window)
+
+    def advance_watermark(self, t: float) -> list[MonitorEvent]:
+        """Release all buffered samples at or before time ``t``.
+
+        Sources emit this as *punctuation* -- e.g. when a replay or tail
+        source reaches end-of-file -- so reorder-buffered samples are
+        not held back waiting for data that will never come.
+        """
+        return self._release(float(t))
+
+    def end_episode(self) -> list[MonitorEvent]:
+        """Punctuate an episode boundary: flush and close the episode.
+
+        Sources call this when their underlying trajectory ends, so an
+        episode whose horizon the data never covered finishes as a
+        partial (``complete=False``) result instead of silently
+        absorbing the next trajectory's samples.  A no-op when no
+        episode is in progress.
+        """
+        events = self._release(math.inf)
+        if self.monitor is not None:
+            events.extend(self._finish_episode())
+        return events
+
+    def close(self) -> list[MonitorEvent]:
+        """Flush the reorder buffer, end the episode, conclude the SPRT."""
+        if self.closed:
+            return []
+        events = self._release(math.inf)
+        if self.monitor is not None:
+            events.extend(self._finish_episode())
+        if self.sprt is not None and not self.sprt.decided and self.sprt.samples:
+            result = self.sprt.conclude()
+            events.append(self._event(
+                "decision", self._released_to, verdict=result.decision,
+                payload={"samples": result.samples_used,
+                         "successes": result.successes, "forced": True},
+            ))
+        self.closed = True
+        self.done = True
+        events.append(self._event("closed", self._released_to, payload={
+            "episodes": self.episodes_done,
+            "samples": self.samples_seen,
+            "late_dropped": self.late_dropped,
+        }))
+        return events
+
+    # ------------------------------------------------------------------
+    def _release(self, up_to: float) -> list[MonitorEvent]:
+        events: list[MonitorEvent] = []
+        while self._pending and self._pending[0][0] <= up_to:
+            t, _, values, derivs, primed = heapq.heappop(self._pending)
+            if self.done:
+                self.ignored_done += 1
+                continue
+            if t <= self._released_to:
+                self.late_dropped += 1
+                continue
+            self._released_to = t
+            events.extend(self._feed(t, values, derivs, primed))
+        return events
+
+    def _feed(self, t: float, values: dict, derivs: dict | None,
+              primed: dict | None = None) -> list[MonitorEvent]:
+        events: list[MonitorEvent] = []
+        if self.monitor is None:
+            self.episode += 1
+            self.monitor = OnlineMonitor(self.phi, extra_env=self.extra_env)
+            events.append(self._event("start", t))
+        events.append(self._event("sample", t, payload={
+            "values": values, **({"derivs": derivs} if derivs else {}),
+        }))
+        if primed:
+            self.monitor.prime(t, primed)
+        before = self.monitor.verdict
+        after = self.monitor.step(t, values, derivs)
+        if after is not before:
+            events.append(self._event("verdict", t, verdict=after.value))
+        if self.monitor.finished or (self.early_stop and after.decided):
+            events.extend(self._finish_episode())
+        return events
+
+    def _finish_episode(self) -> list[MonitorEvent]:
+        events: list[MonitorEvent] = []
+        result = self.monitor.finish()
+        self.last_result = result
+        self.monitor = None
+        self.episodes_done += 1
+        events.append(self._event(
+            "episode", self._released_to, verdict=result.verdict.value,
+            payload=result.to_dict(),
+        ))
+        if self.sprt is not None and result.verdict.decided:
+            decision = self.sprt.update(result.verdict is Verdict.TRUE)
+            if decision is not None:
+                self.done = True
+                events.append(self._event(
+                    "decision", self._released_to, verdict=decision.decision,
+                    payload={"samples": decision.samples_used,
+                             "successes": decision.successes},
+                ))
+        if self.max_episodes is not None and self.episodes_done >= self.max_episodes:
+            self.done = True
+        return events
+
+    def _event(self, kind: str, t: float, verdict: str = "",
+               payload: dict | None = None) -> MonitorEvent:
+        if not math.isfinite(t):
+            t = self._released_to if math.isfinite(self._released_to) else 0.0
+        ev = MonitorEvent(
+            kind=kind,
+            stream=self.stream_id,
+            time=t,
+            episode=max(self.episode, 0),
+            verdict=verdict,
+            payload=payload or {},
+            seq=self._event_seq,
+        )
+        self._event_seq += 1
+        return ev

@@ -1,0 +1,303 @@
+"""Fleet supervisor: thousands of monitored streams in one process.
+
+The supervisor owns a registry of :class:`~repro.monitor.stream.StreamState`
+objects and routes samples to them, adding the cross-cutting concerns a
+fleet needs:
+
+* **Event fan-out.**  Every released :class:`~repro.monitor.stream.MonitorEvent`
+  goes to the (optional) append-only :class:`~repro.monitor.store.EventStore`;
+  verdict transitions additionally go to the subscriber callback and
+  are mirrored as :func:`repro.progress.emit` counters, so a progress
+  scope (or the process-wide default sink) sees verdict flips and SPRT
+  decisions as they happen.
+* **Cooperative cancellation.**  ``emit`` doubles as the cancellation
+  checkpoint: when the surrounding progress scope's cancel event fires,
+  :meth:`FleetSupervisor.run` unwinds via
+  :class:`~repro.progress.JobCancelled` within one sample batch.
+* **Batched predicate evaluation.**  When a batch of samples arrives
+  together (:meth:`ingest`), the state predicates shared across streams
+  are judged in one vectorized interval pass over the PR 3 tape
+  evaluator (:mod:`repro.solver.tape`) on degenerate (point) boxes.
+  Predicates the interval judge decides *with certainty* are primed
+  into the per-stream monitors, which then skip the scalar evaluation;
+  undecided rows (value within outward rounding of the threshold) fall
+  back to the exact scalar path.  Certainty of outward-rounded interval
+  arithmetic at a point implies agreement with the scalar semantics,
+  so priming never changes a verdict -- only the cost of reaching it.
+* **Recovery.**  :meth:`restore` backfills stream states by replaying
+  the journaled samples of an existing store through fresh monitors
+  (without re-journaling), reproducing the exact pre-crash verdict
+  state before live ingestion resumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro import progress
+from repro.intervals import BoxArray
+from repro.logic import Formula
+from repro.smc.bltl import BLTL
+from repro.solver.tape import CERTAIN_FALSE, CERTAIN_TRUE, compile_formula
+
+from .automaton import Verdict
+from .store import EventStore, TRANSITION_KINDS
+from .stream import MonitorEvent, StreamState
+
+__all__ = ["FleetSupervisor"]
+
+#: A routed sample: ``(stream_id, t, values)`` or
+#: ``(stream_id, t, values, derivs)``.
+SampleBatch = Iterable[tuple]
+
+
+class FleetSupervisor:
+    """Multiplexes many monitored streams through one event pipeline.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`~repro.monitor.store.EventStore`; when given,
+        *all* events (including the per-sample journal needed for
+        replay) are appended to it.
+    on_event:
+        Subscriber for verdict-transition events (``"sample"`` events
+        are store-only -- they would swamp a UI).
+    batch_predicates:
+        Enable the vectorized tape pre-screen in :meth:`ingest`.
+    """
+
+    def __init__(
+        self,
+        store: EventStore | None = None,
+        on_event: Callable[[MonitorEvent], None] | None = None,
+        batch_predicates: bool = True,
+    ):
+        self.store = store
+        self.on_event = on_event
+        self.batch_predicates = bool(batch_predicates)
+        self.streams: dict[str, StreamState] = {}
+        self.events_seen = 0
+        self._compiled: dict[int, Any] = {}  # id(Formula) -> (CompiledFormula, names)
+        self._leaf_cache: dict[int, list[Formula]] = {}  # id(phi) -> leaf formulas
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def add_stream(self, stream_id: str, phi: BLTL | Formula, **kwargs: Any) -> StreamState:
+        """Register a stream; kwargs go to :class:`StreamState`."""
+        if stream_id in self.streams:
+            raise ValueError(f"stream {stream_id!r} already registered")
+        state = StreamState(stream_id, phi, **kwargs)
+        self.streams[stream_id] = state
+        return state
+
+    def remove_stream(self, stream_id: str) -> list[MonitorEvent]:
+        """Close and drop one stream; returns its closing events."""
+        state = self.streams.pop(stream_id)
+        return self._dispatch(state.close())
+
+    @property
+    def active(self) -> int:
+        """Streams not yet done (SPRT undecided, budget unspent)."""
+        return sum(1 for s in self.streams.values() if not s.done)
+
+    def summary(self) -> dict[str, int]:
+        """Aggregate fleet counters (for progress events and the TUI)."""
+        counts = {"streams": len(self.streams), "active": 0, "true": 0,
+                  "false": 0, "unknown": 0, "episodes": 0, "samples": 0,
+                  "late_dropped": 0}
+        for s in self.streams.values():
+            if not s.done:
+                counts["active"] += 1
+            counts[s.verdict.value] += 1
+            counts["episodes"] += s.episodes_done
+            counts["samples"] += s.samples_seen
+            counts["late_dropped"] += s.late_dropped
+        return counts
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def push(self, stream_id: str, t: float, values: Mapping[str, float],
+             derivs: Mapping[str, float] | None = None) -> list[MonitorEvent]:
+        """Route one sample to one stream."""
+        return self._dispatch(self.streams[stream_id].push(t, values, derivs))
+
+    def ingest(self, batch: SampleBatch) -> list[MonitorEvent]:
+        """Route a batch of samples, with the vectorized predicate pass.
+
+        ``batch`` holds ``(stream_id, t, values[, derivs])`` tuples.
+        Samples for unknown stream ids raise ``KeyError``.
+        """
+        rows = [(sid, float(t), rest[0], rest[1] if len(rest) > 1 else None)
+                for sid, t, *rest in batch]
+        primed = self._prime(rows) if self.batch_predicates else {}
+        events: list[MonitorEvent] = []
+        for i, (sid, t, values, derivs) in enumerate(rows):
+            events.extend(self._dispatch(
+                self.streams[sid].push(t, values, derivs, primed.get(i))
+            ))
+        return events
+
+    def advance_watermarks(self, t: float) -> list[MonitorEvent]:
+        """Punctuate every stream: release reorder buffers up to ``t``."""
+        events: list[MonitorEvent] = []
+        for s in self.streams.values():
+            events.extend(self._dispatch(s.advance_watermark(t)))
+        return events
+
+    def end_episodes(self, stream_ids: Iterable[str] | None = None) -> list[MonitorEvent]:
+        """Punctuate episode boundaries on the given (default: all) streams."""
+        ids = list(stream_ids) if stream_ids is not None else list(self.streams)
+        events: list[MonitorEvent] = []
+        for sid in ids:
+            events.extend(self._dispatch(self.streams[sid].end_episode()))
+        return events
+
+    def close_all(self) -> list[MonitorEvent]:
+        """Close every stream (flush, finish episodes, conclude SPRTs)."""
+        events: list[MonitorEvent] = []
+        for s in self.streams.values():
+            events.extend(self._dispatch(s.close()))
+        progress.emit("monitor", "closed", **self.summary())
+        return events
+
+    def run(self, source: Iterable, checkpoint_every: int = 64) -> list[MonitorEvent]:
+        """Drain a sample source, with periodic progress checkpoints.
+
+        ``source`` yields the same tuples :meth:`ingest` accepts, one
+        at a time or in list-valued batches.  Every
+        ``checkpoint_every`` batches a ``monitor/fleet`` progress event
+        reports the fleet summary -- and doubles as the cooperative
+        cancellation checkpoint.  Stops early once every stream is done.
+        """
+        events: list[MonitorEvent] = []
+        for i, item in enumerate(source):
+            batch = item if isinstance(item, list) else [item]
+            events.extend(self.ingest(batch))
+            if (i + 1) % checkpoint_every == 0:
+                progress.emit("monitor", "fleet", **self.summary())
+                if self.active == 0:
+                    break
+        progress.emit("monitor", "fleet", **self.summary())
+        return events
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def restore(self, store: EventStore) -> list[MonitorEvent]:
+        """Backfill stream states by replaying a journal's samples.
+
+        Streams must have been re-registered (same ids and formulas)
+        before the call.  Replayed samples are fed through the normal
+        pipeline but **not** re-journaled and **not** re-delivered to
+        the subscriber; the regenerated transition events are returned
+        so callers can verify them against ``store.transitions()``.
+        Streams present in the journal but not registered are skipped.
+        """
+        regenerated: list[MonitorEvent] = []
+        saved_store, saved_sub = self.store, self.on_event
+        self.store = None
+        self.on_event = None
+        try:
+            for sid in store.streams():
+                state = self.streams.get(sid)
+                if state is None:
+                    continue
+                replay_kinds = frozenset({"sample", "episode", "closed"})
+                for ev in store.replay(stream=sid, kinds=replay_kinds):
+                    if ev.kind == "sample":
+                        regenerated.extend(self._dispatch(state.push(
+                            ev.time, ev.payload["values"], ev.payload.get("derivs")
+                        )))
+                    elif ev.kind == "episode":
+                        # re-apply forced boundaries: if the regenerated
+                        # stream closed this episode itself (horizon or
+                        # early stop), this is a no-op
+                        if state.monitor is not None and state.episodes_done == ev.episode:
+                            regenerated.extend(self._dispatch(state.end_episode()))
+                    elif ev.kind == "closed" and not state.closed:
+                        regenerated.extend(self._dispatch(state.close()))
+        finally:
+            self.store = saved_store
+            self.on_event = saved_sub
+        return regenerated
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _dispatch(self, events: list[MonitorEvent]) -> list[MonitorEvent]:
+        for ev in events:
+            self.events_seen += 1
+            if self.store is not None:
+                self.store.append(ev)
+            if ev.kind in TRANSITION_KINDS:
+                if self.on_event is not None:
+                    self.on_event(ev)
+                if ev.kind in ("verdict", "decision"):
+                    progress.emit(
+                        "monitor", ev.kind, message=ev.describe(),
+                        episode=ev.episode, time=ev.time,
+                    )
+        return events
+
+    def _leaves(self, state: StreamState) -> list[Formula]:
+        """The state's predicate leaves (structural per formula, cached)."""
+        entry = self._leaf_cache.get(id(state.phi))
+        if entry is None:
+            from .automaton import _compile
+            from repro.smc.bltl import _as_bltl
+            _, leaf_nodes = _compile(_as_bltl(state.phi))
+            entry = [n.phi.formula for n in leaf_nodes]
+            self._leaf_cache[id(state.phi)] = entry
+        return entry
+
+    def _compiled_leaf(self, formula: Formula):
+        entry = self._compiled.get(id(formula))
+        if entry is None:
+            names = tuple(sorted(formula.variables()))
+            entry = (compile_formula(formula), names)
+            self._compiled[id(formula)] = entry
+        return entry
+
+    def _prime(self, rows: list[tuple]) -> dict[int, dict[int, Verdict]]:
+        """Vectorized certain-verdict pass over a sample batch.
+
+        Groups the batch rows by leaf predicate, judges each group's
+        point boxes in one tape pass, and returns, per batch row, the
+        leaf verdicts that are certain.  Rows whose streams are closed
+        or missing a predicate variable simply don't participate.
+        """
+        # leaf id -> (formula, names, [(row_idx, leaf_idx, point_row), ...])
+        groups: dict[int, tuple[Formula, tuple[str, ...], list]] = {}
+        for row_idx, (sid, t, values, _derivs) in enumerate(rows):
+            state = self.streams.get(sid)
+            if state is None or state.closed or state.done:
+                continue
+            env = state.extra_env
+            for leaf_idx, formula in enumerate(self._leaves(state)):
+                compiled, names = self._compiled_leaf(formula)
+                try:
+                    point = [float(values[n]) if n in values else float(env[n])
+                             for n in names]
+                except KeyError:
+                    continue
+                groups.setdefault(id(formula), (formula, names, []))[2].append(
+                    (row_idx, leaf_idx, point)
+                )
+        primed: dict[int, dict[int, Verdict]] = {}
+        for formula, names, members in groups.values():
+            compiled, _ = self._compiled_leaf(formula)
+            pts = np.array([m[2] for m in members], dtype=float)
+            if not names:
+                pts = pts.reshape(len(members), 0)
+            verdicts = compiled.judge(BoxArray(names, pts, pts.copy()), 0.0)
+            for (row_idx, leaf_idx, _), v in zip(members, verdicts):
+                if v == CERTAIN_TRUE:
+                    primed.setdefault(row_idx, {})[leaf_idx] = Verdict.TRUE
+                elif v == CERTAIN_FALSE:
+                    primed.setdefault(row_idx, {})[leaf_idx] = Verdict.FALSE
+        return primed

@@ -1,0 +1,190 @@
+"""Live fleet views: a Textual dashboard with a plain-ticker fallback.
+
+``repro watch`` renders a :class:`~repro.monitor.supervisor.FleetSupervisor`
+while a source feeds it.  Two modes:
+
+* **Textual DataTable** (when the optional ``textual`` dependency is
+  installed -- ``pip install repro[monitor]``): one row per stream
+  showing episode, live three-valued verdict, running robustness
+  bounds, SPRT status and sample counters, refreshed on a timer while
+  a worker thread drains the source.
+* **Plain ticker** (always available, and the only mode in headless
+  environments): verdict transitions are printed as one-line records
+  as they happen, with periodic fleet-summary lines.
+
+Both modes return the final fleet summary dict, so the CLI can render
+a closing report regardless of frontend.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from typing import Any, Callable, Iterable, TextIO
+
+from .stream import MonitorEvent
+from .supervisor import FleetSupervisor
+
+__all__ = ["HAS_TEXTUAL", "watch", "plain_watch"]
+
+try:  # pragma: no cover - exercised only where textual is installed
+    from textual.app import App  # noqa: F401
+
+    HAS_TEXTUAL = True
+except ImportError:  # textual is an optional [monitor] extra
+    HAS_TEXTUAL = False
+
+
+def _fmt_margin(lo: float, hi: float) -> str:
+    def one(x: float) -> str:
+        return f"{x:.3g}" if math.isfinite(x) else ("-inf" if x < 0 else "inf")
+
+    if lo == hi:
+        return one(lo)
+    return f"[{one(lo)}, {one(hi)}]"
+
+
+def _drive(supervisor: FleetSupervisor, source: Iterable | Callable[[], Any]) -> None:
+    """Run a source through the supervisor.
+
+    ``source`` is either an iterable of samples/batches (drained via
+    :meth:`FleetSupervisor.run`) or a zero-argument driver callable
+    that feeds the supervisor itself (e.g. a bound
+    :func:`~repro.monitor.sources.stream_scenario`).
+    """
+    if callable(source):
+        source()
+    else:
+        supervisor.run(source)
+    supervisor.close_all()
+
+
+def plain_watch(
+    supervisor: FleetSupervisor,
+    source: Iterable | Callable[[], Any],
+    out: TextIO | None = None,
+    summary_every: float = 2.0,
+    quiet: bool = False,
+) -> dict[str, int]:
+    """Drive ``source`` through the supervisor, printing a ticker.
+
+    ``source`` is an iterable of samples or a zero-argument driver (see
+    :func:`_drive`).  Verdict transitions print as they happen
+    (suppressed when ``quiet``); a fleet summary line prints at most
+    every ``summary_every`` seconds and once at the end.  Returns the
+    final summary.
+    """
+    out = out if out is not None else sys.stdout
+    last_summary = [0.0]
+    prev_subscriber = supervisor.on_event
+
+    def ticker(ev: MonitorEvent) -> None:
+        if prev_subscriber is not None:
+            prev_subscriber(ev)
+        if not quiet and ev.kind in ("verdict", "episode", "decision"):
+            print(ev.describe(), file=out)
+        now = time.monotonic()
+        if now - last_summary[0] >= summary_every:
+            last_summary[0] = now
+            s = supervisor.summary()
+            print(
+                f"-- fleet: {s['active']}/{s['streams']} active, "
+                f"{s['true']} true / {s['false']} false / {s['unknown']} unknown, "
+                f"{s['episodes']} episodes, {s['samples']} samples",
+                file=out,
+            )
+
+    supervisor.on_event = ticker
+    try:
+        _drive(supervisor, source)
+    finally:
+        supervisor.on_event = prev_subscriber
+    summary = supervisor.summary()
+    print(
+        f"== done: {summary['streams']} streams, {summary['episodes']} episodes, "
+        f"{summary['true']} true / {summary['false']} false / "
+        f"{summary['unknown']} unknown, {summary['late_dropped']} late-dropped",
+        file=out,
+    )
+    return summary
+
+
+def watch(
+    supervisor: FleetSupervisor,
+    source: Iterable | Callable[[], Any],
+    plain: bool = False,
+    refresh: float = 0.5,
+    out: TextIO | None = None,
+) -> dict[str, int]:
+    """Watch the fleet with the richest available frontend.
+
+    Uses the Textual dashboard when installed and not ``plain``;
+    otherwise falls back to :func:`plain_watch`.
+    """
+    if plain or not HAS_TEXTUAL:
+        return plain_watch(supervisor, source, out=out)
+    return _textual_watch(supervisor, source, refresh)
+
+
+def _textual_watch(  # pragma: no cover - needs the optional textual extra
+    supervisor: FleetSupervisor, source: Iterable | Callable[[], Any], refresh: float
+) -> dict[str, int]:
+    import threading
+
+    from textual.app import App, ComposeResult
+    from textual.widgets import DataTable, Footer, Header
+
+    class WatchApp(App):
+        """One DataTable row per monitored stream, timer-refreshed."""
+
+        TITLE = "repro watch"
+        BINDINGS = [("q", "quit", "Quit")]
+
+        def compose(self) -> ComposeResult:
+            yield Header(show_clock=True)
+            yield DataTable(zebra_stripes=True)
+            yield Footer()
+
+        def on_mount(self) -> None:
+            table = self.query_one(DataTable)
+            table.cursor_type = "row"
+            table.add_columns(
+                "stream", "episode", "verdict", "margin", "sprt",
+                "samples", "late",
+            )
+            self._worker = threading.Thread(target=self._drain, daemon=True)
+            self._worker.start()
+            self.set_interval(refresh, self._refresh_rows)
+
+        def _drain(self) -> None:
+            try:
+                _drive(supervisor, source)
+            finally:
+                self.call_from_thread(self._refresh_rows)
+
+        def _refresh_rows(self) -> None:
+            table = self.query_one(DataTable)
+            table.clear()
+            for sid, s in sorted(supervisor.streams.items()):
+                lo, hi = s.margin_interval()
+                table.add_row(
+                    sid,
+                    str(max(s.episode, 0)),
+                    str(s.verdict),
+                    _fmt_margin(lo, hi),
+                    s.sprt.describe() if s.sprt is not None else "-",
+                    str(s.samples_seen),
+                    str(s.late_dropped),
+                    key=sid,
+                )
+            s = supervisor.summary()
+            self.sub_title = (
+                f"{s['active']}/{s['streams']} active | "
+                f"{s['true']}T {s['false']}F {s['unknown']}U | "
+                f"{s['episodes']} episodes"
+            )
+
+    app: Any = WatchApp()
+    app.run()
+    return supervisor.summary()

@@ -47,6 +47,7 @@ __all__ = [
     "progress_scope",
     "emit",
     "active",
+    "set_default_sink",
 ]
 
 
@@ -116,10 +117,34 @@ _SCOPE: contextvars.ContextVar[_Scope | None] = contextvars.ContextVar(
     "repro_progress_scope", default=None
 )
 
+#: Process-wide fallback sink: receives events emitted outside any
+#: progress scope (and inside cancel-only scopes that carry no sink).
+_DEFAULT_SINK: Callable[[ProgressEvent], None] | None = None
+
 
 def active() -> bool:
     """Whether a progress scope is currently listening."""
     return _SCOPE.get() is not None
+
+
+def set_default_sink(
+    sink: Callable[[ProgressEvent], None] | None,
+) -> Callable[[ProgressEvent], None] | None:
+    """Install a process-wide fallback sink; returns the previous one.
+
+    Historically ``emit`` silently dropped its counters whenever no
+    progress scope was active, which made long-lived emitters (the
+    :mod:`repro.monitor` fleet supervisor, ad-hoc scripts) invisible
+    unless they ran under the service layer.  With a default sink set,
+    unscoped emissions -- and emissions inside a cancel-only scope
+    whose ``sink`` is ``None`` -- are delivered there instead of being
+    discarded.  Scoped sinks always take precedence, and cancellation
+    semantics are unchanged.  Pass ``None`` to uninstall.
+    """
+    global _DEFAULT_SINK
+    previous = _DEFAULT_SINK
+    _DEFAULT_SINK = sink
+    return previous
 
 
 @contextmanager
@@ -152,24 +177,29 @@ def progress_scope(
 def emit(source: str, stage: str, message: str = "", **counters: float) -> None:
     """Progress checkpoint: report counters and honor cancellation.
 
-    No-op without an active scope.  Raises :class:`JobCancelled` when
-    the scope's cancel event is set.
+    No-op without an active scope unless a process-wide fallback sink
+    is installed (:func:`set_default_sink`).  Raises
+    :class:`JobCancelled` when the active scope's cancel event is set.
     """
     scope = _SCOPE.get()
     if scope is None:
-        return
-    if scope.cancel is not None and scope.cancel.is_set():
-        raise JobCancelled(f"cancelled during {source}/{stage}")
-    if scope.sink is None:
-        return
-    if scope.interval > 0.0:
-        key = (source, stage)
-        now = time.monotonic()
-        last = scope.last_emit.get(key)
-        if last is not None and now - last < scope.interval:
+        if _DEFAULT_SINK is None:
             return
-        scope.last_emit[key] = now
-    scope.sink(
+        sink = _DEFAULT_SINK
+    else:
+        if scope.cancel is not None and scope.cancel.is_set():
+            raise JobCancelled(f"cancelled during {source}/{stage}")
+        sink = scope.sink if scope.sink is not None else _DEFAULT_SINK
+        if sink is None:
+            return
+        if scope.interval > 0.0:
+            key = (source, stage)
+            now = time.monotonic()
+            last = scope.last_emit.get(key)
+            if last is not None and now - last < scope.interval:
+                return
+            scope.last_emit[key] = now
+    sink(
         ProgressEvent(
             source,
             stage,

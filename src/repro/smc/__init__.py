@@ -22,10 +22,12 @@ from .bltl import (
     monitor,
     prop,
     robustness,
+    window_times,
 )
 from .stats import (
     BayesianEstimate,
     SPRTResult,
+    SPRTState,
     bayesian_estimate,
     chernoff_sample_size,
     estimate_probability,
@@ -52,7 +54,9 @@ __all__ = [
     "U",
     "monitor",
     "robustness",
+    "window_times",
     "SPRTResult",
+    "SPRTState",
     "sprt",
     "chernoff_sample_size",
     "estimate_probability",

@@ -28,7 +28,12 @@ from repro.logic import Formula
 from repro.odes import Trajectory
 
 __all__ = ["BLTL", "Prop", "NotOp", "AndOp", "OrOp", "Eventually", "Always",
-           "Until", "At", "at_time", "prop", "F", "G", "U", "monitor", "robustness"]
+           "Until", "At", "at_time", "prop", "F", "G", "U", "monitor",
+           "robustness", "window_times", "WINDOW_EPS"]
+
+#: Tolerance of the closed temporal-window convention: a sample time
+#: within ``WINDOW_EPS`` of a window endpoint counts as lying *on* it.
+WINDOW_EPS = 1e-12
 
 
 class BLTL:
@@ -184,14 +189,61 @@ def monitor(
     return _sat(phi, traj, float(t_start), env)
 
 
-def _times_in(traj: Trajectory, lo: float, hi: float) -> list[float]:
-    ts = traj.times[(traj.times >= lo - 1e-12) & (traj.times <= hi + 1e-12)]
+def window_times(times, lo: float, hi: float,
+                 t_min: float | None = None,
+                 t_max: float | None = None) -> list[float]:
+    """Evaluation instants of the temporal window ``[lo, hi]``.
+
+    This is the single place that defines the discretization convention
+    of every temporal operator, shared by the batch monitor
+    (:func:`monitor` / :func:`robustness`) and the online monitor
+    (:mod:`repro.monitor.automaton`):
+
+    * The window is **closed on both endpoints**.  Every sample time in
+      ``times`` lying within ``WINDOW_EPS`` of ``[lo, hi]`` is an
+      evaluation instant (a sample within tolerance of an endpoint
+      *stands in* for that endpoint -- the exact endpoint is then not
+      inserted).
+    * When no sample covers an endpoint, the exact endpoint is inserted
+      so the window never evaluates over an empty or truncated instant
+      set: ``lo`` is prepended when the first selected sample lies more
+      than ``WINDOW_EPS`` after it, and ``hi`` is appended when the last
+      instant lies more than ``WINDOW_EPS`` before it.  Both endpoint
+      rules use the same ``WINDOW_EPS`` tolerance.
+    * Inserted endpoints are clamped into ``[t_min, t_max]`` when given
+      (the sampled span of the trajectory), so a window that overshoots
+      the final sample by less than the :func:`monitor` horizon slack
+      evaluates at the last sample instead of asking the dense-output
+      interpolant for a time it cannot reach.
+
+    Parameters
+    ----------
+    times:
+        Sorted sample times (a numpy array).
+    lo, hi:
+        The closed window bounds (``lo <= hi``).
+    t_min, t_max:
+        Optional clamp range for *inserted* endpoints (selected sample
+        times are never clamped).
+    """
+    def clamp(point: float) -> float:
+        if t_min is not None:
+            point = max(point, t_min)
+        if t_max is not None:
+            point = min(point, t_max)
+        return point
+
+    ts = times[(times >= lo - WINDOW_EPS) & (times <= hi + WINDOW_EPS)]
     out = list(map(float, ts))
-    if not out or out[0] > lo + 1e-12:
-        out.insert(0, lo)
-    if out[-1] < hi - 1e-12:
-        out.append(hi)
+    if not out or out[0] > lo + WINDOW_EPS:
+        out.insert(0, clamp(lo))
+    if out[-1] < hi - WINDOW_EPS:
+        out.append(clamp(hi))
     return out
+
+
+def _times_in(traj: Trajectory, lo: float, hi: float) -> list[float]:
+    return window_times(traj.times, lo, hi, traj.t0, traj.t_end)
 
 
 def _sat(phi: BLTL, traj: Trajectory, t: float, env: dict[str, float]) -> bool:

@@ -15,6 +15,7 @@ from typing import Callable, Iterator
 
 __all__ = [
     "SPRTResult",
+    "SPRTState",
     "sprt",
     "chernoff_sample_size",
     "estimate_probability",
@@ -36,6 +37,109 @@ class SPRTResult:
         return "H0" if self.accept else "H1"
 
 
+@dataclass
+class SPRTState:
+    """Incremental Wald SPRT for ``H0: p >= theta + indifference`` vs
+    ``H1: p <= theta - indifference``.
+
+    Observations are fed **one at a time** via :meth:`update`, which
+    returns the :class:`SPRTResult` the moment the log-likelihood ratio
+    crosses a decision threshold and ``None`` while the test is still
+    undecided.  The batch :func:`sprt` entry point is a thin driver
+    around this state, so both paths share one likelihood accumulator --
+    the online monitoring layer (:mod:`repro.monitor`) keeps one
+    ``SPRTState`` per telemetry stream and concludes hypothesis tests
+    as verdicts arrive, without buffering outcomes.
+
+    Error bounds: P(accept H1 | H0) <= alpha, P(accept H0 | H1) <= beta.
+    If ``max_samples`` observations arrive without a crossing, the
+    decision falls back to the empirical mean (best effort), exactly as
+    the batch call always did.
+    """
+
+    theta: float
+    alpha: float = 0.05
+    beta: float = 0.05
+    indifference: float = 0.05
+    max_samples: int = 100_000
+
+    def __post_init__(self):
+        p0 = min(self.theta + self.indifference, 1.0 - 1e-9)
+        p1 = max(self.theta - self.indifference, 1e-9)
+        if p1 >= p0:
+            raise ValueError("indifference region collapsed; reduce indifference")
+        self._accept_h0_at = math.log(self.beta / (1.0 - self.alpha))
+        self._accept_h1_at = math.log((1.0 - self.beta) / self.alpha)
+        self._succ_inc = math.log(p1 / p0)
+        self._fail_inc = math.log((1.0 - p1) / (1.0 - p0))
+        self._llr = 0.0
+        self._n = 0
+        self._k = 0
+        self._result: SPRTResult | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        """Observations consumed so far."""
+        return self._n
+
+    @property
+    def successes(self) -> int:
+        """Successful observations so far."""
+        return self._k
+
+    @property
+    def result(self) -> SPRTResult | None:
+        """The decision, or ``None`` while the test is running."""
+        return self._result
+
+    @property
+    def decided(self) -> bool:
+        """Whether the test has concluded."""
+        return self._result is not None
+
+    def describe(self) -> str:
+        """Short status string (``H0``/``H1``/``n=k/N``) for tables."""
+        if self._result is not None:
+            return self._result.decision
+        return f"{self._k}/{self._n}"
+
+    # ------------------------------------------------------------------
+    def update(self, success: bool) -> SPRTResult | None:
+        """Consume one Bernoulli observation.
+
+        Returns the decision the moment it is reached (and keeps
+        returning it for any further -- ignored -- observations), or
+        ``None`` while undecided.
+        """
+        if self._result is not None:
+            return self._result
+        self._n += 1
+        if success:
+            self._k += 1
+            self._llr += self._succ_inc
+        else:
+            self._llr += self._fail_inc
+        if self._llr <= self._accept_h0_at:
+            self._result = SPRTResult(True, self._n, self._k)
+        elif self._llr >= self._accept_h1_at:
+            self._result = SPRTResult(False, self._n, self._k)
+        elif self._n >= self.max_samples:
+            self._result = self.conclude()
+        return self._result
+
+    def conclude(self) -> SPRTResult:
+        """Force a best-effort decision by the empirical mean.
+
+        Used when the observation budget runs out (batch path) or a
+        stream closes before the likelihood ratio crosses a threshold.
+        """
+        if self._result is not None:
+            return self._result
+        accept = (self._k / max(self._n, 1)) >= self.theta
+        return SPRTResult(accept=accept, samples_used=self._n, successes=self._k)
+
+
 def sprt(
     sampler: Callable[[], bool] | Iterator[bool],
     theta: float,
@@ -51,32 +155,18 @@ def sprt(
     one sample).  Error bounds: P(accept H1 | H0) <= alpha,
     P(accept H0 | H1) <= beta.  If the budget runs out, the decision is
     by the empirical mean (best effort).
+
+    This is a batch driver over :class:`SPRTState`; feeding the same
+    outcomes one-by-one through :meth:`SPRTState.update` reaches the
+    identical decision after the identical number of samples.
     """
-    p0 = min(theta + indifference, 1.0 - 1e-9)
-    p1 = max(theta - indifference, 1e-9)
-    if p1 >= p0:
-        raise ValueError("indifference region collapsed; reduce indifference")
-    a = math.log(beta / (1.0 - alpha))       # accept H0 at or below
-    b = math.log((1.0 - beta) / alpha)       # accept H1 at or above
-    llr = 0.0
-    n = 0
-    k = 0
-    succ_inc = math.log(p1 / p0)
-    fail_inc = math.log((1.0 - p1) / (1.0 - p0))
+    state = SPRTState(theta, alpha, beta, indifference, max_samples)
     draw = sampler if callable(sampler) else lambda it=iter(sampler): next(it)
-    while n < max_samples:
-        x = bool(draw())
-        n += 1
-        if x:
-            k += 1
-            llr += succ_inc
-        else:
-            llr += fail_inc
-        if llr <= a:
-            return SPRTResult(accept=True, samples_used=n, successes=k)
-        if llr >= b:
-            return SPRTResult(accept=False, samples_used=n, successes=k)
-    return SPRTResult(accept=(k / max(n, 1)) >= theta, samples_used=n, successes=k)
+    while state.samples < max_samples:
+        result = state.update(bool(draw()))
+        if result is not None:
+            return result
+    return state.conclude()
 
 
 def chernoff_sample_size(epsilon: float, alpha: float) -> int:

@@ -1,5 +1,5 @@
-"""Docstring coverage of the public surface (repro.api, repro.scenarios,
-repro.tools).
+"""Docstring coverage of the public surface (repro.api, repro.monitor,
+repro.scenarios, repro.tools).
 
 Mirrors the ruff pydocstyle D1 rules enabled in pyproject.toml
 (D100-D104, D106) so the check also runs where ruff is not installed:
@@ -15,7 +15,7 @@ import pytest
 import repro
 
 SRC = pathlib.Path(repro.__file__).resolve().parent
-PACKAGES = (SRC / "api", SRC / "scenarios", SRC / "tools")
+PACKAGES = (SRC / "api", SRC / "monitor", SRC / "scenarios", SRC / "tools")
 
 
 def _public_surface():

@@ -1,0 +1,189 @@
+"""Unit tests for the satellites of the streaming-monitor PR.
+
+Covers the pieces the online monitor stack leans on but that are
+useful on their own: the shared :func:`repro.smc.bltl.window_times`
+discretization convention, the incremental
+:class:`repro.smc.stats.SPRTState`, and the process-wide default
+progress sink.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import progress
+from repro.smc.bltl import WINDOW_EPS, window_times
+from repro.smc.stats import SPRTState, sprt
+
+
+class TestWindowTimes:
+    def test_closed_on_both_endpoints(self):
+        ts = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        assert window_times(ts, 1.0, 3.0) == [1.0, 2.0, 3.0]
+
+    def test_samples_within_eps_stand_in_for_endpoints(self):
+        ts = np.array([1.0 + 0.5 * WINDOW_EPS, 2.0, 3.0 - 0.5 * WINDOW_EPS])
+        out = window_times(ts, 1.0, 3.0)
+        # the near-endpoint samples are selected; the exact endpoints
+        # are NOT additionally inserted
+        assert out == [float(ts[0]), 2.0, float(ts[2])]
+
+    def test_missing_endpoints_are_inserted(self):
+        ts = np.array([0.0, 1.5, 2.5, 4.0])
+        assert window_times(ts, 1.0, 3.0) == [1.0, 1.5, 2.5, 3.0]
+
+    def test_empty_window_still_evaluates_both_bounds(self):
+        ts = np.array([0.0, 10.0])
+        assert window_times(ts, 3.0, 5.0) == [3.0, 5.0]
+
+    def test_degenerate_window_single_instant(self):
+        ts = np.array([0.0, 1.0, 2.0])
+        assert window_times(ts, 1.5, 1.5) == [1.5]
+        assert window_times(ts, 1.0, 1.0) == [1.0]
+
+    def test_inserted_endpoints_clamped_selected_samples_not(self):
+        ts = np.array([0.0, 1.0, 2.0])
+        # hi overshoots the sampled span: the inserted endpoint clamps
+        # to t_max instead of asking the interpolant for t=2.4 (the
+        # clamped instant may duplicate the last sample -- harmless
+        # under max/min semantics, and kept for batch byte-identity)
+        assert window_times(ts, 1.5, 2.4, 0.0, 2.0) == [1.5, 2.0, 2.0]
+        # a sample just past hi (within eps) is selected and NOT clamped
+        ts2 = np.array([0.0, 2.4 + 0.5 * WINDOW_EPS])
+        out = window_times(ts2, 1.5, 2.4, 0.0, 2.0)
+        assert out[-1] == float(ts2[-1])
+
+    def test_monotone_output(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            ts = np.sort(rng.uniform(0.0, 10.0, 20))
+            lo = float(rng.uniform(0.0, 9.0))
+            hi = lo + float(rng.uniform(0.0, 3.0))
+            out = window_times(ts, lo, hi, float(ts[0]), float(ts[-1]))
+            assert out == sorted(out)
+            assert out  # never empty: the window always evaluates
+
+
+class TestSPRTStateIncremental:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        outcomes=st.lists(st.booleans(), min_size=1, max_size=400),
+        theta=st.floats(0.1, 0.9),
+        alpha=st.floats(0.01, 0.2),
+        beta=st.floats(0.01, 0.2),
+        indifference=st.floats(0.01, 0.09),
+    )
+    def test_one_by_one_equals_batch(self, outcomes, theta, alpha, beta,
+                                     indifference):
+        """Feeding outcomes one at a time reaches the batch decision
+        after the identical number of samples."""
+        max_samples = len(outcomes)
+        batch = sprt(iter(outcomes), theta, alpha, beta, indifference,
+                     max_samples=max_samples)
+
+        state = SPRTState(theta, alpha, beta, indifference,
+                          max_samples=max_samples)
+        incremental = None
+        for i, o in enumerate(outcomes):
+            incremental = state.update(o)
+            if incremental is not None:
+                break
+        assert incremental is not None  # max_samples budget forces a call
+        assert incremental.accept == batch.accept
+        assert incremental.samples_used == batch.samples_used
+        assert incremental.successes == batch.successes
+
+    def test_decision_is_sticky(self):
+        state = SPRTState(0.5, 0.05, 0.05, 0.05, max_samples=1000)
+        result = None
+        while result is None:
+            result = state.update(True)
+        again = state.update(False)  # ignored after the decision
+        assert again is result
+        assert state.decided
+
+    def test_all_true_accepts_h0_all_false_accepts_h1(self):
+        up = SPRTState(0.5)
+        res = None
+        while res is None:
+            res = up.update(True)
+        assert res.accept and res.decision == "H0"
+
+        down = SPRTState(0.5)
+        res = None
+        while res is None:
+            res = down.update(False)
+        assert not res.accept and res.decision == "H1"
+
+    def test_budget_exhaustion_falls_back_to_empirical_mean(self):
+        state = SPRTState(0.5, indifference=0.4, max_samples=6)
+        seq = [True, False, True, False, True, False]
+        results = [state.update(o) for o in seq]
+        assert results[-1] is not None
+        assert results[-1].samples_used == 6
+
+
+class TestDefaultProgressSink:
+    def test_unscoped_emit_is_noop_without_default_sink(self):
+        assert progress.set_default_sink(None) is None  # clean slate
+        progress.emit("a", "b", n=1.0)  # must not raise, must not deliver
+
+    def test_unscoped_emit_delivers_to_default_sink(self):
+        seen = []
+        prev = progress.set_default_sink(seen.append)
+        try:
+            progress.emit("a", "b", n=1.0)
+        finally:
+            progress.set_default_sink(prev)
+        assert len(seen) == 1
+        assert (seen[0].source, seen[0].stage, seen[0].counters) == (
+            "a", "b", {"n": 1.0})
+
+    def test_scoped_sink_takes_precedence(self):
+        fallback, scoped = [], []
+        prev = progress.set_default_sink(fallback.append)
+        try:
+            with progress.progress_scope(sink=scoped.append):
+                progress.emit("a", "b", n=1.0)
+        finally:
+            progress.set_default_sink(prev)
+        assert len(scoped) == 1 and fallback == []
+
+    def test_cancel_only_scope_falls_back_to_default_sink(self):
+        seen = []
+        prev = progress.set_default_sink(seen.append)
+        try:
+            with progress.progress_scope(cancel=threading.Event()):
+                progress.emit("a", "b", n=1.0)
+        finally:
+            progress.set_default_sink(prev)
+        assert len(seen) == 1
+
+    def test_cancellation_still_wins_over_default_sink(self):
+        seen = []
+        cancel = threading.Event()
+        cancel.set()
+        prev = progress.set_default_sink(seen.append)
+        try:
+            with progress.progress_scope(cancel=cancel):
+                with pytest.raises(progress.JobCancelled):
+                    progress.emit("a", "b", n=1.0)
+        finally:
+            progress.set_default_sink(prev)
+        assert seen == []
+
+    def test_uninstall_restores_previous(self):
+        first, second = [], []
+        prev = progress.set_default_sink(first.append)
+        try:
+            inner_prev = progress.set_default_sink(second.append)
+            assert inner_prev is not None
+            progress.emit("a", "b")
+            progress.set_default_sink(inner_prev)
+            progress.emit("a", "c")
+        finally:
+            progress.set_default_sink(prev)
+        assert [e.stage for e in second] == ["b"]
+        assert [e.stage for e in first] == ["c"]

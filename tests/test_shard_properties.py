@@ -16,7 +16,13 @@ from repro.solver import DeltaSolver, Status
 
 x, y = var("x"), var("y")
 
-COEF = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+# subnormal coefficients are excluded: a product like 5e-324 * -0.5
+# underflows to -0.0 in the scalar eval (so `>= 0` holds) while the
+# interval kernel soundly proves the real value negative -- a float
+# semantics mismatch, not a paving bug
+COEF = st.floats(
+    min_value=-3.0, max_value=3.0, allow_nan=False, allow_subnormal=False
+)
 
 
 @st.composite
