@@ -1,0 +1,194 @@
+"""Cluster-backend ICP throughput and single-flight dedup on the FK model.
+
+Runs the ``cardiac-fk-dome`` barrier falsification at benchmark
+resolution (same grind as ``shard_throughput.py``: the dome window
+widened so the paving exhausts its whole box budget) three times --
+once in-process (``shards=2`` on the thread backend, the reference),
+once through a live :class:`repro.cluster.ClusterBackend` with one
+worker subprocess, and once with two -- and reports boxes/sec for
+each plus the 2-worker speedup over 1 worker.  All three runs must
+return identical verdicts (the epoch driver's conformance contract
+holds across backends, so the cluster pool inherits it).
+
+A second section measures single-flight dedup: eight identical
+submissions race into an ``Engine(dedup=True)`` and the dedup counters
+must show one leader doing the work for all eight.
+
+CI runs this in ``--quick`` mode and uploads the JSON as the
+``BENCH_cluster_throughput.json`` artifact::
+
+    python benchmarks/cluster_throughput.py --quick --out BENCH_cluster_throughput.json
+
+The >= 1.3x two-worker speedup floor is enforced in full mode on
+machines with at least 2 CPUs; the 7/8 dedup hit ratio is enforced in
+full mode unconditionally (followers only need the leader to still be
+in flight, which a full-budget paving guarantees).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+#: Two-worker speedup floor over the one-worker pool, enforced in full mode.
+SPEEDUP_FLOOR = 1.3
+
+#: Identical concurrent submissions raced through single-flight dedup.
+DEDUP_BURST = 8
+
+
+def benchmark_spec(max_boxes: int):
+    """The cardiac FK falsification scenario at benchmark resolution."""
+    from dataclasses import replace
+
+    from repro.scenarios import get_scenario
+
+    spec = get_scenario("cardiac-fk-dome").spec()
+    # widen the dome window to the hard edge of the excitable regime:
+    # the barrier query then exhausts the whole box budget, so every
+    # run does exactly max_boxes of work and boxes/sec is comparable
+    spec.query["to_level"] = 0.88
+    return spec.replace(
+        solver=replace(
+            spec.solver, delta=1e-6, max_boxes=max_boxes, shards=2
+        ),
+        name="cardiac-fk-dome[bench]",
+    )
+
+
+def run_local(spec) -> dict:
+    """Reference run: the same epoch loop, in-process thread backend."""
+    from dataclasses import replace
+
+    from repro.api import Engine
+
+    spec = spec.replace(solver=replace(spec.solver, shard_backend="thread"))
+    t0 = time.perf_counter()
+    with Engine(seed=0) as engine:
+        report = engine.run(spec)
+    seconds = time.perf_counter() - t0
+    boxes = int(report.stats.get("boxes_processed", 0))
+    return {
+        "backend": "thread",
+        "status": report.status.value,
+        "seconds": round(seconds, 4),
+        "boxes": boxes,
+        "boxes_per_s": round(boxes / seconds, 1),
+    }
+
+
+def run_cluster(spec, workers: int) -> dict:
+    """One falsification through a live lease/heartbeat worker pool."""
+    from dataclasses import replace
+
+    from repro.api import Engine
+    from repro.cluster import ClusterBackend
+
+    backend = ClusterBackend(workers)
+    try:
+        backend.wait_for_workers(workers, timeout=60.0)
+        spec = spec.replace(
+            solver=replace(spec.solver, shard_backend=backend)
+        )
+        t0 = time.perf_counter()
+        with Engine(seed=0) as engine:
+            report = engine.run(spec)
+        seconds = time.perf_counter() - t0
+        counters = dict(backend.status().get("counters", {}))
+    finally:
+        backend.shutdown()
+    boxes = int(report.stats.get("boxes_processed", 0))
+    return {
+        "backend": f"cluster[{workers}w]",
+        "workers": workers,
+        "status": report.status.value,
+        "seconds": round(seconds, 4),
+        "boxes": boxes,
+        "boxes_per_s": round(boxes / seconds, 1),
+        "units": counters.get("completed", 0),
+        "requeued": counters.get("requeued", 0),
+    }
+
+
+def run_dedup(spec) -> dict:
+    """Race DEDUP_BURST identical submissions through single-flight."""
+    from repro.api import Engine
+
+    t0 = time.perf_counter()
+    with Engine(seed=0, dedup=True) as engine:
+        jobs = [engine.submit(spec, backend="thread")
+                for _ in range(DEDUP_BURST)]
+        statuses = {job.result(timeout=600).status.value for job in jobs}
+        stats = dict(engine.dedup_stats() or {})
+    seconds = time.perf_counter() - t0
+    followers = int(stats.get("followers", 0))
+    return {
+        "burst": DEDUP_BURST,
+        "seconds": round(seconds, 4),
+        "leaders": int(stats.get("leaders", 0)),
+        "followers": followers,
+        "hit_ratio": round(followers / DEDUP_BURST, 3),
+        "statuses_identical": len(statuses) == 1,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller box budget (CI smoke mode)")
+    parser.add_argument("--max-boxes", type=int, default=None,
+                        help="box budget (default 24000, quick: 6000)")
+    parser.add_argument("--out", default="BENCH_cluster_throughput.json")
+    args = parser.parse_args(argv)
+
+    max_boxes = args.max_boxes or (6_000 if args.quick else 24_000)
+    spec = benchmark_spec(max_boxes)
+    local = run_local(spec)
+    one = run_cluster(spec, workers=1)
+    two = run_cluster(spec, workers=2)
+    dedup = run_dedup(spec)
+
+    cpus = os.cpu_count() or 1
+    statuses = {local["status"], one["status"], two["status"]}
+    result = {
+        "benchmark": "cluster_throughput",
+        "mode": "quick" if args.quick else "full",
+        "scenario": "cardiac-fk-dome",
+        "max_boxes": max_boxes,
+        "cpus": cpus,
+        "local": local,
+        "cluster_1w": one,
+        "cluster_2w": two,
+        "speedup_2w": round(two["boxes_per_s"] / one["boxes_per_s"], 2),
+        "verdicts_identical": len(statuses) == 1,
+        "dedup": dedup,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+    print(json.dumps(result, indent=2))
+
+    if not result["verdicts_identical"]:
+        print("FAIL: cluster runs returned a different verdict")
+        return 1
+    if not dedup["statuses_identical"]:
+        print("FAIL: dedup followers returned a different verdict")
+        return 1
+    if not args.quick:
+        if dedup["leaders"] != 1 or dedup["followers"] != DEDUP_BURST - 1:
+            print(f"FAIL: expected 1 leader / {DEDUP_BURST - 1} followers, "
+                  f"got {dedup['leaders']} / {dedup['followers']}")
+            return 1
+        if cpus < 2:
+            print(f"note: only {cpus} CPU(s); the {SPEEDUP_FLOOR}x floor "
+                  "needs >= 2 cores and is not enforced here")
+        elif result["speedup_2w"] < SPEEDUP_FLOOR:
+            print(f"FAIL: two-worker cluster below the {SPEEDUP_FLOOR}x "
+                  "throughput target")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,10 +20,20 @@ An optional content-addressed :class:`~repro.service.cache.ResultCache`
 is consulted before any backend sees a spec: identical scenarios
 (canonical spec hash, seed included) are served from cache,
 byte-identical to the first run's report.
+
+With ``dedup=True`` the cache gains a single-flight layer
+(:class:`~repro.cluster.singleflight.SingleFlight`): identical specs
+submitted *while* the first is still solving collapse onto one leader
+solve -- followers do no work, receive forwarded copies of the
+leader's progress events, and land with byte-identical report copies
+the moment the leader finishes.  The service layer enables this by
+default; plain engines keep the historical one-solve-per-submit
+behavior.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import threading
 import time
@@ -122,6 +132,18 @@ class Engine:
         Rate limit (seconds) per (source, stage) for delivered events;
         ``0`` delivers every event.  Cancellation is checked on every
         emit regardless.
+    dedup:
+        Enable single-flight dedup of identical in-flight specs (the
+        service layer turns this on; default off to preserve the
+        one-solve-per-submit behavior of plain engines).
+    on_job_done:
+        Optional hook ``(job) -> None`` fired exactly once per job on
+        its terminal transition, whatever path finished it (worker,
+        cache hit, follower landing, cancellation).  The service layer
+        journals terminal reports through this.
+    job_prefix:
+        Prefix of generated job ids (service replicas use distinct
+        prefixes so N replicas sharing one job store cannot collide).
     """
 
     def __init__(
@@ -133,12 +155,23 @@ class Engine:
         cache: ResultCache | str | bool | None = None,
         progress: Callable[[JobHandle, ProgressEvent], None] | None = None,
         progress_interval: float = 0.0,
+        dedup: bool = False,
+        on_job_done: Callable[[JobHandle], None] | None = None,
+        job_prefix: str = "j",
     ):
         self.workers = workers
         self.seed = seed
         self.backend = backend
         self.progress = progress
         self.progress_interval = progress_interval
+        self.on_job_done = on_job_done
+        self.job_prefix = job_prefix
+        if dedup:
+            from repro.cluster.singleflight import SingleFlight
+
+            self._flights: "SingleFlight | None" = SingleFlight()
+        else:
+            self._flights = None
         if cache is None or cache is False:
             self.cache: ResultCache | None = None
         elif cache is True:
@@ -263,8 +296,22 @@ class Engine:
     def _submit_one(
         self, ts: TaskSpec, backend_name: str, workers: int | None
     ) -> JobHandle:
+        job = self._new_job(ts)
+        job._backend_args = (backend_name, workers)
+        if self._fast_path(job):
+            return job
+        self._dispatch_backend(job, backend_name, workers)
+        return job
+
+    def _new_job(self, ts: TaskSpec, job_id: str | None = None) -> JobHandle:
+        """Register a fresh (undispatched) job in the jobs table."""
         with self._lock:
-            job = JobHandle(f"j{next(self._ids):06d}", ts)
+            if job_id is None:
+                while True:  # skip ids recovered from a shared job store
+                    job_id = f"{self.job_prefix}{next(self._ids):06d}"
+                    if job_id not in self._jobs:
+                        break
+            job = JobHandle(job_id, ts)
             self._jobs[job.id] = job
             if len(self._jobs) > _MAX_JOBS:
                 # evict finished jobs oldest-first; skip (never drop) live
@@ -274,17 +321,81 @@ class Engine:
                         break
                     if old.done():
                         del self._jobs[jid]
+        return job
 
-        key = spec_key(ts) if self.cache is not None else None
-        if key is not None:
+    # -- deferred dispatch (the service scheduler queues, then releases) --
+    def submit_deferred(
+        self, spec: TaskSpec | dict | str, job_id: str | None = None
+    ) -> JobHandle:
+        """Register a job *without* dispatching it.
+
+        The job stays PENDING until :meth:`dispatch` releases it (or
+        :meth:`cancel_undispatched` retires it).  The service layer
+        uses this to apply admission control and fair scheduling
+        before any backend sees the spec; ``job_id`` lets a restarting
+        server re-register journaled jobs under their original ids.
+        """
+        return self._new_job(self._resolve_spec(spec), job_id=job_id)
+
+    def dispatch(
+        self,
+        job: JobHandle,
+        backend: str | None = None,
+        workers: int | None = None,
+    ) -> None:
+        """Release a deferred job (cache and single-flight still apply)."""
+        if job.cancel_requested:
+            self._finish_job(job, _cancelled_report(job.spec), JobState.CANCELLED)
+            return
+        name = backend or self.backend or "thread"
+        job._backend_args = (name, workers)
+        if self._fast_path(job):
+            return
+        self._dispatch_backend(job, name, workers)
+
+    def cancel_undispatched(self, job: JobHandle) -> None:
+        """Retire a deferred job that will never dispatch."""
+        self._finish_job(job, _cancelled_report(job.spec), JobState.CANCELLED)
+
+    def _fast_path(self, job: JobHandle) -> bool:
+        """Serve a job without compute: cache hit or single-flight follow.
+
+        Returns ``True`` if the job needs no dispatch -- it finished
+        from cache, or it attached as a follower of an identical
+        in-flight leader and will land when the leader does.
+        """
+        ts = job.spec
+        want_key = self.cache is not None or self._flights is not None
+        key = spec_key(ts) if want_key else None
+        job._cache_key = key
+        if key is not None and self.cache is not None:
             cached = self.cache.get(key)
             if cached is not None:
                 job.from_cache = True
                 job.backend_name = "cache"
                 self._emit_engine_event(job, "cache-hit")
-                job._finish(cached, JobState.DONE)
-                return job
+                self._finish_job(job, cached, JobState.DONE)
+                return True
+        if key is not None and self._flights is not None:
+            leader = self._flights.lead_or_follow(key, job)
+            if leader is not None:
+                job.backend_name = "single-flight"
+                self._emit_engine_event(job, "follow")
+                # a cancelled follower must detach (and terminate) itself;
+                # nothing else ever finishes it before the leader lands
+                job._on_cancel = lambda: (
+                    self._flights.detach(key, job)
+                    and self._finish_job(
+                        job, _cancelled_report(ts), JobState.CANCELLED
+                    )
+                )
+                return True
+        return False
 
+    def _dispatch_backend(
+        self, job: JobHandle, backend_name: str, workers: int | None
+    ) -> None:
+        ts, key = job.spec, job._cache_key
         backend = self._backend(backend_name, workers)
         payload: str | None = None
         if backend.distributed:
@@ -317,14 +428,54 @@ class Engine:
             # ever starts; make sure the job still reaches a terminal state
             future.add_done_callback(
                 lambda f: f.cancelled()
-                and job._finish(_cancelled_report(ts), JobState.CANCELLED)
+                and self._finish_job(job, _cancelled_report(ts), JobState.CANCELLED)
             )
-        return job
+
+    def _finish_job(
+        self, job: JobHandle, report: AnalysisReport, state: JobState
+    ) -> bool:
+        """Route EVERY terminal transition: land followers, fire the hook.
+
+        Idempotent like :meth:`JobHandle._finish`; only the first
+        finisher lands followers and fires ``on_job_done``.
+        """
+        if not job._finish(report, state):
+            return False
+        key = job._cache_key
+        if self._flights is not None and key is not None:
+            for follower in self._flights.land(key, job):
+                if state is JobState.CANCELLED:
+                    # the LEADER was cancelled, not the followers' work:
+                    # re-run their fast path (one becomes the new leader)
+                    if not self._fast_path(follower):
+                        self._dispatch_backend(follower, *follower._backend_args)
+                else:
+                    copy = AnalysisReport.from_json(report.to_json())
+                    self._finish_job(follower, copy, state)
+        self._fire_done(job)
+        return True
+
+    def _fire_done(self, job: JobHandle) -> None:
+        if self.on_job_done is None:
+            return
+        try:
+            self.on_job_done(job)
+        except Exception as exc:  # a broken hook must not hang waiters
+            warnings.warn(
+                f"on_job_done hook failed for {job.id}: "
+                f"{type(exc).__name__}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def dedup_stats(self) -> dict | None:
+        """Single-flight counters (``None`` when dedup is disabled)."""
+        return None if self._flights is None else self._flights.stats()
 
     def _run_job(self, job: JobHandle, ts: TaskSpec, key: str | None) -> None:
         """Inline/thread worker: progress scope, cache store, job finish."""
         if job.cancel_requested:
-            job._finish(_cancelled_report(ts), JobState.CANCELLED)
+            self._finish_job(job, _cancelled_report(ts), JobState.CANCELLED)
             return
         job._mark_running()
         sink = self._make_sink(job)
@@ -334,10 +485,11 @@ class Engine:
             ):
                 report = _execute(ts, None)
         except JobCancelled:
-            job._finish(_cancelled_report(ts), JobState.CANCELLED)
+            self._finish_job(job, _cancelled_report(ts), JobState.CANCELLED)
             return
         except Exception as exc:  # infrastructure failure, not a task error
-            job._finish(
+            self._finish_job(
+                job,
                 AnalysisReport(
                     ts.task,
                     AnalysisStatus.ERROR,
@@ -348,7 +500,7 @@ class Engine:
             )
             return
         self._store(key, report)
-        job._finish(report, JobState.DONE)
+        self._finish_job(job, report, JobState.DONE)
 
     def _finish_remote(self, job: JobHandle, key: str | None, future) -> None:
         """Done-callback for process-backend futures.
@@ -359,11 +511,12 @@ class Engine:
         """
         try:
             if future.cancelled():
-                job._finish(_cancelled_report(job.spec), JobState.CANCELLED)
+                self._finish_job(job, _cancelled_report(job.spec), JobState.CANCELLED)
                 return
             exc = future.exception()
             if exc is not None:
-                job._finish(
+                self._finish_job(
+                    job,
                     AnalysisReport(
                         job.spec.task,
                         AnalysisStatus.ERROR,
@@ -376,12 +529,13 @@ class Engine:
             report = AnalysisReport.from_json(future.result())
             if job.cancel_requested:
                 # the worker could not be interrupted; honor the request anyway
-                job._finish(_cancelled_report(job.spec), JobState.CANCELLED)
+                self._finish_job(job, _cancelled_report(job.spec), JobState.CANCELLED)
                 return
             self._store(key, report)
-            job._finish(report, JobState.DONE)
+            self._finish_job(job, report, JobState.DONE)
         except Exception as exc:
-            job._finish(
+            self._finish_job(
+                job,
                 AnalysisReport(
                     job.spec.task,
                     AnalysisStatus.ERROR,
@@ -409,10 +563,17 @@ class Engine:
                 )
 
     def _make_sink(self, job: JobHandle) -> Callable[[ProgressEvent], None]:
+        key = job._cache_key
+
         def sink(event: ProgressEvent) -> None:
             job._record(event)
             if self.progress is not None:
                 self.progress(job, event)
+            if self._flights is not None and key is not None:
+                # followers see the leader's progress as their own stream
+                # (copies: _record stamps job_id/seq per handle)
+                for follower in self._flights.followers_of(key, job):
+                    follower._record(dataclasses.replace(event))
 
         return sink
 

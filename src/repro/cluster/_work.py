@@ -1,0 +1,34 @@
+"""Tiny pure work functions for cluster tests and benchmarks.
+
+Work units travel by reference and :func:`~repro.cluster.protocol.resolve_fn`
+only imports ``repro.*`` modules, so even trivial probe functions must
+live inside the package.  Everything here is a pure function of its
+arguments -- the same property the real work units (the sharded
+solver's epoch passes) rely on for transparent re-execution after a
+lost lease.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def echo(*args):
+    """Return the arguments unchanged (round-trip probe)."""
+    return args
+
+
+def add(a, b):
+    """Return ``a + b``."""
+    return a + b
+
+
+def boom(message):
+    """Raise ``ValueError(message)`` (failure-path probe)."""
+    raise ValueError(message)
+
+
+def napping_echo(delay, value):
+    """Sleep ``delay`` seconds, then return ``value`` (lease probe)."""
+    time.sleep(float(delay))
+    return value

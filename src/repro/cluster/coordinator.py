@@ -1,0 +1,369 @@
+"""The lease server of the worker pool.
+
+A :class:`ClusterCoordinator` owns the authoritative work queue.
+Submitters (the :class:`~repro.cluster.backend.ClusterBackend`) enqueue
+*work units* -- a :func:`~repro.cluster.protocol.fn_ref` reference plus
+pickled arguments -- and get a :class:`concurrent.futures.Future` back.
+Workers (``repro worker host:port``) pull units over TCP:
+
+``poll``
+    Long-poll for work.  The reply is a *lease*: the unit travels to
+    exactly one worker with a time-to-live; until the lease expires the
+    unit is that worker's.
+``heartbeat``
+    Renews the lease while the unit is executing, so a unit is only
+    ever declared lost when its worker actually stopped talking
+    (death, network partition), not merely because it is slow.
+``result``
+    Completes the unit and resolves its future.  Stale results (a unit
+    already re-queued *and* completed elsewhere) are ignored, so the
+    at-least-once execution of the lease protocol still yields
+    exactly-once completion.
+
+A janitor thread re-queues units whose lease expired -- at the **front**
+of the queue, so recovered work is not penalized -- and fails a unit's
+future only after ``max_attempts`` leases were lost, which bounds how
+long a poisoned unit (one that kills every worker it touches) can
+stall a run.
+
+Every unit is a pure function of its arguments (the sharded solver's
+epoch passes, the engine's spec runner), so re-execution after a
+worker death is transparent: the lock-step epoch driver above cannot
+distinguish a re-run from a slow first run, and byte-identical results
+follow from the same argument-purity that makes process shards
+deterministic.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import socketserver
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable
+
+from .protocol import ClusterError, fn_ref, recv_msg, send_msg
+
+__all__ = ["ClusterCoordinator"]
+
+
+class _Unit:
+    """One leased work unit."""
+
+    __slots__ = ("id", "ref", "args", "future", "attempts", "worker", "deadline")
+
+    def __init__(self, unit_id: str, ref: str, args: tuple):
+        self.id = unit_id
+        self.ref = ref
+        self.args = args
+        self.future: Future = Future()
+        self.attempts = 0
+        self.worker: str | None = None
+        self.deadline: float | None = None
+
+
+class ClusterCoordinator:
+    """TCP lease server distributing work units to pool workers.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (read
+        :attr:`address` after construction).  Bind a routable host to
+        accept workers from other machines.
+    token:
+        Optional shared secret; when set, every message must carry it.
+    lease_ttl:
+        Seconds a lease stays valid without a heartbeat.  Workers
+        heartbeat at ``lease_ttl / 3``, so only a dead or partitioned
+        worker loses its lease.
+    max_attempts:
+        Leases a unit may lose before its future fails with
+        :class:`ClusterError` (bounds the stall of a poisoned unit).
+    poll_hold:
+        Upper bound on how long a worker ``poll`` blocks server-side
+        waiting for work (long-polling keeps idle latency near zero
+        without hammering the socket).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        token: str | None = None,
+        lease_ttl: float = 10.0,
+        max_attempts: int = 5,
+        poll_hold: float = 2.0,
+    ):
+        self.token = token
+        self.lease_ttl = float(lease_ttl)
+        self.max_attempts = int(max_attempts)
+        self.poll_hold = float(poll_hold)
+
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._pending: collections.deque[str] = collections.deque()
+        self._units: dict[str, _Unit] = {}
+        self._workers: dict[str, dict[str, Any]] = {}
+        self._ids = itertools.count(1)
+        self._stopping = False
+        self.counters = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "requeued": 0,
+            "stale_results": 0,
+        }
+
+        coordinator = self
+
+        class Handler(socketserver.BaseRequestHandler):
+            def handle(self) -> None:
+                try:
+                    msg = recv_msg(self.request)
+                    reply = coordinator._dispatch(msg)
+                except Exception as exc:  # a bad frame must not kill the pool
+                    reply = {"op": "error", "error": f"{type(exc).__name__}: {exc}"}
+                try:
+                    send_msg(self.request, reply)
+                except OSError:
+                    pass  # peer vanished; its lease will expire
+
+        class Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = Server((host, port), Handler)
+        self.host, self.port = self._server.server_address[:2]
+        self._serve_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"repro-cluster-coordinator:{self.port}",
+            daemon=True,
+        )
+        self._janitor_stop = threading.Event()
+        self._janitor = threading.Thread(
+            target=self._janitor_loop, name="repro-cluster-janitor", daemon=True
+        )
+        self._serve_thread.start()
+        self._janitor.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The ``(host, port)`` workers connect to."""
+        return (self.host, self.port)
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any) -> Future:
+        """Enqueue one work unit; returns its future."""
+        ref = fn_ref(fn)
+        with self._lock:
+            if self._stopping:
+                raise ClusterError("coordinator is shut down")
+            unit = _Unit(f"u{next(self._ids)}", ref, args)
+            self._units[unit.id] = unit
+            self._pending.append(unit.id)
+            self.counters["submitted"] += 1
+            self._work.notify()
+        return unit.future
+
+    def status(self) -> dict[str, Any]:
+        """Queue depth, leases, worker registry and counters (JSON-able)."""
+        now = time.monotonic()
+        with self._lock:
+            leased = [u for u in self._units.values() if u.worker is not None]
+            return {
+                "address": f"{self.host}:{self.port}",
+                "pending": len(self._pending),
+                "leased": len(leased),
+                "workers": {
+                    wid: {
+                        "last_seen": round(now - w["last_seen"], 3),
+                        "done": w["done"],
+                    }
+                    for wid, w in sorted(self._workers.items())
+                },
+                "counters": dict(self.counters),
+                "lease_ttl": self.lease_ttl,
+            }
+
+    def stop(self) -> None:
+        """Stop serving; outstanding futures fail, polling workers exit.
+
+        Idempotent.  Workers that poll after the stop receive a
+        ``shutdown`` reply (until the socket closes, after which their
+        connection attempts fail and they back off and exit).
+        """
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+            units = list(self._units.values())
+            self._units.clear()
+            self._pending.clear()
+            self._work.notify_all()
+        for unit in units:
+            if not unit.future.done():
+                unit.future.set_exception(ClusterError("coordinator shut down"))
+        self._janitor_stop.set()
+        self._server.shutdown()
+        self._server.server_close()
+        self._janitor.join(timeout=5.0)
+        self._serve_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Message handling (one call per connection, any worker thread)
+    # ------------------------------------------------------------------
+    def _dispatch(self, msg: dict) -> dict:
+        if self.token is not None and msg.get("token") != self.token:
+            return {"op": "error", "kind": "auth", "error": "bad or missing token"}
+        op = msg.get("op")
+        if op == "poll":
+            return self._op_poll(msg)
+        if op == "heartbeat":
+            return self._op_heartbeat(msg)
+        if op == "result":
+            return self._op_result(msg)
+        if op == "hello":
+            self._touch_worker(str(msg.get("worker", "?")))
+            return {"op": "ok"}
+        if op == "status":
+            return {"op": "status", "status": self.status()}
+        return {"op": "error", "error": f"unknown op {op!r}"}
+
+    def _touch_worker(self, worker: str) -> None:
+        # caller may or may not hold the lock; dict item assignment is
+        # atomic and the registry is advisory (status/monitoring only)
+        entry = self._workers.setdefault(worker, {"last_seen": 0.0, "done": 0})
+        entry["last_seen"] = time.monotonic()
+
+    def _op_poll(self, msg: dict) -> dict:
+        worker = str(msg.get("worker", "?"))
+        hold = min(float(msg.get("hold", 0.0)), self.poll_hold)
+        deadline = time.monotonic() + hold
+        with self._lock:
+            self._touch_worker(worker)
+            while True:
+                if self._stopping:
+                    return {"op": "shutdown"}
+                unit = self._lease_next(worker)
+                if unit is not None:
+                    return {
+                        "op": "work",
+                        "unit": unit.id,
+                        "fn": unit.ref,
+                        "args": unit.args,
+                        "lease_ttl": self.lease_ttl,
+                    }
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return {"op": "idle"}
+                self._work.wait(timeout=remaining)
+
+    def _lease_next(self, worker: str) -> _Unit | None:
+        # caller holds the lock
+        while self._pending:
+            unit_id = self._pending.popleft()
+            unit = self._units.get(unit_id)
+            if unit is None:
+                continue
+            if unit.attempts == 0:
+                # first lease: flip PENDING -> RUNNING (or honor a cancel)
+                if not unit.future.set_running_or_notify_cancel():
+                    del self._units[unit_id]
+                    continue
+            elif unit.future.done():
+                # re-lease of an expired unit; the future is RUNNING
+                # already and must not be transitioned again
+                del self._units[unit_id]
+                continue
+            unit.worker = worker
+            unit.deadline = time.monotonic() + self.lease_ttl
+            unit.attempts += 1
+            return unit
+        return None
+
+    def _op_heartbeat(self, msg: dict) -> dict:
+        worker = str(msg.get("worker", "?"))
+        unit_id = str(msg.get("unit", ""))
+        with self._lock:
+            self._touch_worker(worker)
+            unit = self._units.get(unit_id)
+            if unit is not None and unit.worker == worker:
+                unit.deadline = time.monotonic() + self.lease_ttl
+                return {"op": "ok", "known": True}
+        # the unit was re-queued (lease expired) or completed elsewhere;
+        # the worker may abandon it -- any late result is ignored as stale
+        return {"op": "ok", "known": False}
+
+    def _op_result(self, msg: dict) -> dict:
+        worker = str(msg.get("worker", "?"))
+        unit_id = str(msg.get("unit", ""))
+        with self._lock:
+            self._touch_worker(worker)
+            unit = self._units.pop(unit_id, None)
+            if unit is None:
+                self.counters["stale_results"] += 1
+                return {"op": "ok", "stale": True}
+            entry = self._workers.setdefault(worker, {"last_seen": 0.0, "done": 0})
+            entry["done"] += 1
+            if msg.get("ok", False):
+                self.counters["completed"] += 1
+            else:
+                self.counters["failed"] += 1
+        # resolve outside the lock: future callbacks run synchronously
+        if not unit.future.done():
+            if msg.get("ok", False):
+                unit.future.set_result(msg.get("payload"))
+            else:
+                unit.future.set_exception(
+                    ClusterError(
+                        f"worker {worker} failed unit {unit_id}: "
+                        f"{msg.get('error', 'unknown error')}"
+                    )
+                )
+        return {"op": "ok", "stale": False}
+
+    # ------------------------------------------------------------------
+    # Lease expiry
+    # ------------------------------------------------------------------
+    def _janitor_loop(self) -> None:
+        interval = max(0.05, min(1.0, self.lease_ttl / 4.0))
+        while not self._janitor_stop.wait(interval):
+            self._requeue_expired()
+
+    def _requeue_expired(self) -> None:
+        now = time.monotonic()
+        poisoned: list[_Unit] = []
+        with self._lock:
+            for unit in list(self._units.values()):
+                if unit.worker is None or unit.deadline is None:
+                    continue
+                if unit.deadline > now:
+                    continue
+                if unit.attempts >= self.max_attempts:
+                    del self._units[unit.id]
+                    poisoned.append(unit)
+                    continue
+                unit.worker = None
+                unit.deadline = None
+                self._pending.appendleft(unit.id)  # recovered work goes first
+                self.counters["requeued"] += 1
+                self._work.notify()
+        for unit in poisoned:
+            self.counters["failed"] += 1
+            if not unit.future.done():
+                unit.future.set_exception(
+                    ClusterError(
+                        f"unit {unit.id} lost {unit.attempts} leases "
+                        f"(max_attempts={self.max_attempts}); giving up"
+                    )
+                )

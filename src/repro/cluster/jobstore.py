@@ -1,0 +1,191 @@
+"""Persistent job journal: ``repro serve`` survives restarts.
+
+The :class:`JobStore` is an append-only JSONL journal in the mold of
+:class:`repro.monitor.store.EventStore` -- one record per line, never
+rewritten, torn final line (a crash mid-append) tolerated on replay,
+corruption *elsewhere* refused.  Two record kinds:
+
+``submit``
+    A job entered the service: id, spec dict, tenant, timestamp.
+``done``
+    The job reached a terminal state: id, state, and (for completed
+    work) the full report dict.  The special state ``"interrupted"``
+    marks a graceful drain -- the work was cut short through no fault
+    of its own and must re-run on recovery, unlike a user
+    ``"cancelled"`` which is final.
+
+Recovery (:meth:`recover`) folds the journal into one record per job:
+a ``submit`` without a terminal ``done`` means the server died with the
+job queued or running, so a restarting server re-submits it.  The
+journal is shared-safe for N replicas: every record is one
+``O_APPEND`` write, and replicas use distinct job-id prefixes so ids
+never collide (see ``Engine(job_prefix=...)``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.jobs import JobHandle
+
+__all__ = ["JobStore", "RERUN_STATES"]
+
+#: Recovered states that mean "the work never finished: run it again".
+RERUN_STATES = frozenset({"queued", "interrupted"})
+
+
+class JobStore:
+    """Append-only JSONL journal of job submissions and terminal reports.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created (with parents) if missing, appended to
+        if present -- restarting against an existing store is the
+        recovery path, not an error.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh = open(self.path, "a", encoding="utf-8")
+        # in-memory membership: which ids this PROCESS journaled, so the
+        # engine's done-hook can distinguish service jobs (journal them)
+        # from jobs the store never saw (engine-internal, skip)
+        self._submitted: set[str] = set()
+        self._finished: set[str] = set()
+        self.appended = 0
+
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            if self._fh is None:
+                raise ValueError("job store is closed")
+            self._fh.write(line + "\n")  # one write per record: append-atomic
+            self._fh.flush()
+            self.appended += 1
+
+    def record_submit(
+        self, job_id: str, spec_dict: dict, tenant: str = ""
+    ) -> None:
+        """Journal one accepted job (before any backend sees it)."""
+        self._append(
+            {
+                "kind": "submit",
+                "id": job_id,
+                "spec": spec_dict,
+                "tenant": tenant,
+                "t": time.time(),
+            }
+        )
+        with self._lock:
+            self._submitted.add(job_id)
+
+    def record_done(
+        self, job_id: str, state: str, report_dict: dict | None = None
+    ) -> bool:
+        """Journal a terminal transition; idempotent per process.
+
+        Returns ``False`` (and writes nothing) if this process already
+        journaled a terminal record for ``job_id`` -- the done-hook and
+        the drain path can race without double-writing.
+        """
+        with self._lock:
+            if job_id in self._finished:
+                return False
+            self._finished.add(job_id)
+        record: dict[str, Any] = {
+            "kind": "done",
+            "id": job_id,
+            "state": state,
+            "t": time.time(),
+        }
+        if report_dict is not None:
+            record["report"] = report_dict
+        self._append(record)
+        return True
+
+    def knows(self, job_id: str) -> bool:
+        """Whether this process journaled a ``submit`` for ``job_id``."""
+        with self._lock:
+            return job_id in self._submitted
+
+    def flush(self) -> None:
+        """Flush buffered writes to the OS."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the journal (idempotent)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def recover(self) -> dict[str, dict]:
+        """Fold the journal into one record per job, submission order.
+
+        Returns ``{job_id: {"spec": dict, "tenant": str, "state": str,
+        "report": dict | None}}`` where ``state`` is ``"queued"`` for
+        jobs with no terminal record (the server died holding them) and
+        the journaled terminal state otherwise.  States in
+        :data:`RERUN_STATES` are the ones a restarting server must
+        re-submit.
+
+        A torn final line is skipped (crash mid-append); a corrupt line
+        anywhere else raises ``ValueError`` -- that is damage, not an
+        interrupted write.
+        """
+        self.flush()
+        jobs: dict[str, dict] = {}
+        if not os.path.exists(self.path):
+            return jobs
+        with open(self.path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # torn tail from a crash: recoverable
+                raise ValueError(f"{self.path}: corrupt journal line {i + 1}")
+            job_id = record.get("id")
+            kind = record.get("kind")
+            if kind == "submit":
+                jobs[job_id] = {
+                    "spec": record.get("spec", {}),
+                    "tenant": record.get("tenant", ""),
+                    "state": "queued",
+                    "report": None,
+                }
+            elif kind == "done" and job_id in jobs:
+                jobs[job_id]["state"] = record.get("state", "done")
+                jobs[job_id]["report"] = record.get("report")
+        return jobs
+
+    def record_job(self, job: "JobHandle") -> None:
+        """Convenience: journal a :class:`JobHandle`'s terminal state."""
+        summary = job.summary(with_report=True)
+        self.record_done(
+            job.id, summary.get("state", "done"), summary.get("report")
+        )

@@ -1,0 +1,154 @@
+"""Wire protocol of the cluster worker pool: framed pickle over TCP.
+
+Every exchange is one short-lived connection carrying one request
+message and one reply message.  A message is a plain dict, serialized
+with :mod:`pickle` behind a 4-byte big-endian length prefix -- numpy
+chunk payloads (the sharded solver ships ``(n, dim)`` bound arrays per
+epoch) round-trip natively, and the stdlib is the only dependency.
+
+Security model: the pool is for **trusted networks only**.  Two guards
+bound the blast radius of a stray connection:
+
+- an optional shared ``token`` checked on every message (mismatch is
+  rejected before any payload is acted on), and
+- work-unit callables travel **by reference** (``module:qualname``),
+  never by value, and :func:`resolve_fn` refuses to import anything
+  outside the ``repro`` package -- a coordinator cannot make a worker
+  run arbitrary code, only the framework's own pure work functions.
+
+Pickle is still pickle: deploy coordinators and workers inside one
+trust boundary (same host, private network, or an authenticated
+tunnel), exactly like a redis or dask deployment.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pickle
+import socket
+import struct
+from typing import Any, Callable
+
+__all__ = [
+    "ClusterError",
+    "AuthError",
+    "send_msg",
+    "recv_msg",
+    "request",
+    "fn_ref",
+    "resolve_fn",
+    "parse_address",
+]
+
+#: Upper bound on one frame; an epoch chunk of bounds arrays is a few
+#: MB at the very most, so anything near this is a corrupt length.
+MAX_FRAME = 512 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ClusterError(RuntimeError):
+    """A cluster-level failure (protocol, lease, or worker loss)."""
+
+
+class AuthError(ClusterError):
+    """The message token did not match the pool's shared token."""
+
+
+def send_msg(sock: socket.socket, msg: dict) -> None:
+    """Write one length-prefixed message to the socket."""
+    blob = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LEN.pack(len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    parts = []
+    while n:
+        chunk = sock.recv(min(n, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        parts.append(chunk)
+        n -= len(chunk)
+    return b"".join(parts)
+
+
+def recv_msg(sock: socket.socket) -> dict:
+    """Read one length-prefixed message from the socket."""
+    (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    if length > MAX_FRAME:
+        raise ClusterError(f"frame of {length} bytes exceeds MAX_FRAME")
+    msg = pickle.loads(_recv_exact(sock, length))
+    if not isinstance(msg, dict):
+        raise ClusterError(f"expected a message dict, got {type(msg).__name__}")
+    return msg
+
+
+def request(
+    address: tuple[str, int], msg: dict, timeout: float | None = 30.0
+) -> dict:
+    """One round-trip: connect, send ``msg``, return the reply.
+
+    Raises :class:`OSError` on connection failure and
+    :class:`ClusterError` if the peer replied with an error message.
+    """
+    with socket.create_connection(address, timeout=timeout) as sock:
+        send_msg(sock, msg)
+        reply = recv_msg(sock)
+    if reply.get("op") == "error":
+        kind = reply.get("kind", "")
+        if kind == "auth":
+            raise AuthError(reply.get("error", "authentication failed"))
+        raise ClusterError(reply.get("error", "coordinator error"))
+    return reply
+
+
+# ----------------------------------------------------------------------
+# Work-function references
+# ----------------------------------------------------------------------
+
+
+def fn_ref(fn: Callable[..., Any]) -> str:
+    """The ``module:qualname`` wire reference of a work function.
+
+    Only module-level callables of the ``repro`` package can travel --
+    the restriction :func:`resolve_fn` enforces on the receiving side
+    is asserted on the sending side too, so misuse fails at submit
+    time, not in a worker log.
+    """
+    module = getattr(fn, "__module__", "") or ""
+    qualname = getattr(fn, "__qualname__", "") or ""
+    if not (module == "repro" or module.startswith("repro.")):
+        raise ClusterError(
+            f"cluster work functions must live in the repro package, "
+            f"got {module!r}:{qualname!r}"
+        )
+    if "." in qualname or "<" in qualname:
+        raise ClusterError(
+            f"cluster work functions must be module-level, got {qualname!r}"
+        )
+    return f"{module}:{qualname}"
+
+
+def resolve_fn(ref: str) -> Callable[..., Any]:
+    """Import the callable a :func:`fn_ref` reference names.
+
+    Refuses modules outside the ``repro`` package: a coordinator can
+    only ask a worker to run the framework's own work functions.
+    """
+    module_name, _, qualname = ref.partition(":")
+    if not qualname or not (
+        module_name == "repro" or module_name.startswith("repro.")
+    ):
+        raise ClusterError(f"refusing to resolve work function {ref!r}")
+    fn = getattr(importlib.import_module(module_name), qualname, None)
+    if not callable(fn):
+        raise ClusterError(f"work function {ref!r} does not resolve to a callable")
+    return fn
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """Parse a ``host:port`` pool address string."""
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    return host, int(port)

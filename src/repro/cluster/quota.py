@@ -1,0 +1,226 @@
+"""Per-tenant quotas and fair scheduling for the job service.
+
+Two independent mechanisms, both keyed on the HTTP ``X-Tenant`` header
+(absent header = the ``""`` default tenant):
+
+Admission (:class:`TokenBucket`)
+    A classic token bucket per tenant: sustained ``rate`` requests per
+    second with bursts up to ``burst``.  An over-rate submission is
+    rejected *at the door* with 429 + ``Retry-After`` -- it never
+    touches the engine, the journal, or the queue.
+
+Scheduling (:class:`TenantScheduler`)
+    Admitted jobs enter per-tenant FIFO queues and are released to the
+    engine by weighted fair dequeue: among tenants that have queued
+    work and are under their ``max_running`` ceiling, the next job
+    goes to the tenant with the smallest ``served / weight`` ratio --
+    so a weight-2 tenant drains twice as fast as a weight-1 tenant,
+    and a flood from one tenant cannot starve the others.  A global
+    ``max_running`` bounds total concurrency; ``None`` dispatches
+    everything immediately (queueing disabled, admission still
+    applies).
+
+The scheduler owns no threads: the service calls :meth:`next_job` from
+whatever thread made capacity (a submission, a completion) and
+dispatches what it gets.  Everything is deterministic given the
+arrival order, which keeps the scheduling tests exact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.jobs import JobHandle
+
+__all__ = ["TokenBucket", "TenantPolicy", "TenantScheduler"]
+
+
+class TokenBucket:
+    """Token-bucket rate limiter: ``rate`` tokens/s, capacity ``burst``."""
+
+    def __init__(self, rate: float, burst: float):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, n: float = 1.0) -> float:
+        """Take ``n`` tokens if available.
+
+        Returns ``0.0`` on success, else the seconds until ``n`` tokens
+        will have accumulated (the ``Retry-After`` hint).
+        """
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= n:
+                self._tokens -= n
+                return 0.0
+            if self.rate <= 0:
+                return float("inf")
+            return (n - self._tokens) / self.rate
+
+
+@dataclass
+class TenantPolicy:
+    """Quota and scheduling knobs of one tenant.
+
+    ``rate``/``burst`` bound admission (``rate=None`` admits
+    everything); ``weight`` sets the fair-share ratio; ``max_running``
+    caps the tenant's concurrent jobs (``None`` = only the global cap
+    applies).
+    """
+
+    weight: float = 1.0
+    rate: float | None = None
+    burst: float = 1.0
+    max_running: int | None = None
+
+
+class TenantScheduler:
+    """Admission control + weighted fair dequeue over per-tenant queues."""
+
+    def __init__(
+        self,
+        *,
+        max_running: int | None = None,
+        default: TenantPolicy | None = None,
+        policies: dict[str, TenantPolicy] | None = None,
+    ):
+        self.max_running = max_running
+        self.default = default or TenantPolicy()
+        self.policies = dict(policies or {})
+        self._lock = threading.Lock()
+        self._queues: dict[str, deque] = {}
+        self._served: dict[str, int] = {}
+        self._running: dict[str, int] = {}
+        self._running_jobs: set[str] = set()
+        self._buckets: dict[str, TokenBucket] = {}
+        self.counters = {
+            "admitted": 0,
+            "throttled": 0,
+            "dispatched": 0,
+            "completed": 0,
+        }
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        """The effective policy of ``tenant``."""
+        return self.policies.get(tenant, self.default)
+
+    # ------------------------------------------------------------------
+    def admit(self, tenant: str) -> float:
+        """Rate-limit one submission; ``0.0`` admits, ``> 0`` throttles.
+
+        The positive value is the ``Retry-After`` hint in seconds.
+        """
+        pol = self.policy(tenant)
+        if pol.rate is None:
+            with self._lock:
+                self.counters["admitted"] += 1
+            return 0.0
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(pol.rate, pol.burst)
+        wait = bucket.try_acquire()
+        with self._lock:
+            self.counters["admitted" if wait == 0.0 else "throttled"] += 1
+        return wait
+
+    def enqueue(self, job: "JobHandle") -> None:
+        """Queue one admitted job for fair dispatch."""
+        with self._lock:
+            self._queues.setdefault(job.tenant, deque()).append(job)
+
+    def next_job(self) -> "JobHandle | None":
+        """Release the next job by weighted fair share, if capacity allows.
+
+        Returns ``None`` when every queue is empty or every eligible
+        tenant is at a concurrency ceiling.  The released job is
+        counted as running until :meth:`release`.
+        """
+        with self._lock:
+            while True:
+                if (
+                    self.max_running is not None
+                    and len(self._running_jobs) >= self.max_running
+                ):
+                    return None
+                best: str | None = None
+                best_ratio = float("inf")
+                for tenant, queue in sorted(self._queues.items()):
+                    if not queue:
+                        continue
+                    pol = self.policy(tenant)
+                    if (
+                        pol.max_running is not None
+                        and self._running.get(tenant, 0) >= pol.max_running
+                    ):
+                        continue
+                    weight = max(pol.weight, 1e-9)
+                    ratio = self._served.get(tenant, 0) / weight
+                    if ratio < best_ratio:
+                        best, best_ratio = tenant, ratio
+                if best is None:
+                    return None
+                job = self._queues[best].popleft()
+                if job.done() or job.cancel_requested:
+                    continue  # cancelled while queued; pick again
+                self._served[best] = self._served.get(best, 0) + 1
+                self._running[best] = self._running.get(best, 0) + 1
+                self._running_jobs.add(job.id)
+                self.counters["dispatched"] += 1
+                return job
+
+    def release(self, job: "JobHandle") -> bool:
+        """Return a finished job's slot; ``False`` if it never held one."""
+        with self._lock:
+            if job.id not in self._running_jobs:
+                return False
+            self._running_jobs.discard(job.id)
+            n = self._running.get(job.tenant, 1) - 1
+            if n > 0:
+                self._running[job.tenant] = n
+            else:
+                self._running.pop(job.tenant, None)
+            self.counters["completed"] += 1
+            return True
+
+    def remove(self, job: "JobHandle") -> bool:
+        """Drop a still-queued job (cancellation); ``False`` if gone."""
+        with self._lock:
+            queue = self._queues.get(job.tenant)
+            if queue is None:
+                return False
+            try:
+                queue.remove(job)
+            except ValueError:
+                return False
+            return True
+
+    def queued_jobs(self) -> list:
+        """Snapshot of every queued (not yet released) job."""
+        with self._lock:
+            return [job for queue in self._queues.values() for job in queue]
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able scheduling state for the status surface."""
+        with self._lock:
+            return {
+                "max_running": self.max_running,
+                "running": len(self._running_jobs),
+                "queued": {
+                    t: len(q) for t, q in sorted(self._queues.items()) if q
+                },
+                "served": dict(sorted(self._served.items())),
+                "counters": dict(self.counters),
+            }

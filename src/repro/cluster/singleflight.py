@@ -1,0 +1,106 @@
+"""Single-flight dedup: identical in-flight specs collapse to one solve.
+
+The persistent :class:`~repro.service.cache.ResultCache` already makes
+the *second* submission of a spec free -- but only after the first one
+finished.  Under cohort-scale traffic the expensive case is N identical
+specs arriving *while* the first is still solving: without dedup the
+service performs N solves and caches N identical reports.
+
+:class:`SingleFlight` closes that window.  The first submission of a
+``spec_key`` becomes the **leader**; every identical submission that
+arrives before the leader lands becomes a **follower** and performs no
+work at all.  When the leader finishes, the engine lands every follower
+with a byte-identical copy of the leader's report (and forwards copies
+of the leader's progress events while it runs).
+
+The registry is engine-local state, deliberately not shared across
+replicas: two replicas racing the same spec costs one redundant solve,
+which the shared result cache absorbs -- the coordination-free choice
+matches the torn-tail-tolerant journal philosophy of the job store.
+
+Stdlib-only and import-light on purpose: :mod:`repro.api.engine`
+imports this module without touching the worker-pool stack.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable
+
+__all__ = ["SingleFlight"]
+
+
+class SingleFlight:
+    """Leader/follower registry keyed on content-addressed spec keys.
+
+    All transitions happen under one lock, so a submission is either a
+    follower of a live leader or the new leader of its key -- never a
+    missed wake-up in between.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights: dict[str, dict[str, Any]] = {}
+        self.leaders = 0
+        self.followers = 0
+
+    # ------------------------------------------------------------------
+    def lead_or_follow(self, key: str, job: Any) -> Any | None:
+        """Register ``job`` under ``key``.
+
+        Returns ``None`` if ``job`` became the leader (the caller must
+        dispatch it and eventually call :meth:`land`), or the leader
+        job if ``job`` was attached as a follower (the caller must not
+        dispatch it).
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                self._flights[key] = {"leader": job, "followers": []}
+                self.leaders += 1
+                return None
+            flight["followers"].append(job)
+            self.followers += 1
+            return flight["leader"]
+
+    def land(self, key: str, leader: Any) -> list[Any]:
+        """Close the flight of ``key``; returns the followers to settle.
+
+        A no-op empty list if ``leader`` is not the current leader of
+        ``key`` (a stale landing after the key was re-led).
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None or flight["leader"] is not leader:
+                return []
+            del self._flights[key]
+            return flight["followers"]
+
+    def detach(self, key: str, follower: Any) -> bool:
+        """Remove one follower (it was cancelled); True if removed."""
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                return False
+            try:
+                flight["followers"].remove(follower)
+            except ValueError:
+                return False
+            return True
+
+    def followers_of(self, key: str, leader: Any) -> Iterable[Any]:
+        """Snapshot of the live followers of ``leader`` (event fan-out)."""
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None or flight["leader"] is not leader:
+                return ()
+            return tuple(flight["followers"])
+
+    def stats(self) -> dict[str, int]:
+        """Counters: flights led, follows served, currently in flight."""
+        with self._lock:
+            return {
+                "leaders": self.leaders,
+                "followers": self.followers,
+                "in_flight": len(self._flights),
+            }

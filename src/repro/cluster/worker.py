@@ -1,0 +1,214 @@
+"""The worker side of the pool: poll, execute, heartbeat, report.
+
+:func:`run_worker` is the long-running loop behind ``repro worker
+host:port``.  It long-polls the coordinator for a lease, resolves the
+work function *by reference* (``repro.*`` modules only -- see
+:mod:`repro.cluster.protocol`), executes it, and reports the result.
+While a unit runs, a sidecar thread heartbeats at a third of the lease
+TTL so the coordinator never mistakes a slow unit for a dead worker.
+
+Failure handling is deliberately one-sided: the worker never retries a
+*unit* (the coordinator's lease janitor owns retries); it only retries
+*connections*, with linear backoff, and exits once the coordinator has
+been unreachable for ``max_retries`` consecutive attempts or has
+explicitly replied ``shutdown``.
+
+:func:`spawn_local_workers` launches workers of the current
+interpreter as subprocesses (``python -m repro worker ...``) with the
+in-repo source tree prepended to ``PYTHONPATH``, so uninstalled
+checkouts work the same as installed ones.  This is how
+:class:`~repro.cluster.backend.ClusterBackend` populates a local pool
+and how the tests kill a worker mid-run.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+import traceback
+from typing import Any
+
+from .protocol import AuthError, request, resolve_fn
+
+__all__ = ["run_worker", "spawn_local_workers", "default_worker_id"]
+
+
+def default_worker_id() -> str:
+    """``hostname-pid``, unique across a pool of machines."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _heartbeat_loop(
+    address: tuple[str, int],
+    token: str | None,
+    worker_id: str,
+    unit: str,
+    interval: float,
+    stop: threading.Event,
+) -> None:
+    while not stop.wait(interval):
+        try:
+            reply = request(
+                address,
+                {"op": "heartbeat", "token": token, "worker": worker_id, "unit": unit},
+                timeout=interval,
+            )
+            if not reply.get("known", True):
+                return  # lease lost; result will be reported as stale
+        except OSError:
+            pass  # transient; the next beat may land before the TTL
+
+
+def run_worker(
+    address: tuple[str, int],
+    *,
+    token: str | None = None,
+    worker_id: str | None = None,
+    poll_hold: float = 2.0,
+    max_retries: int = 30,
+    retry_delay: float = 1.0,
+    stop_event: threading.Event | None = None,
+    once: bool = False,
+) -> int:
+    """Join the pool at ``address`` and execute units until shutdown.
+
+    Returns the number of units executed.  ``once=True`` returns after
+    the first executed unit (or the first idle poll) -- used by tests.
+    ``stop_event`` allows an embedding thread to request exit between
+    units.
+    """
+    worker_id = worker_id or default_worker_id()
+    stop_event = stop_event or threading.Event()
+    executed = 0
+    failures = 0
+    try:
+        request(address, {"op": "hello", "token": token, "worker": worker_id})
+    except AuthError:
+        raise
+    except OSError:
+        pass  # coordinator may still be coming up; the poll loop retries
+
+    while not stop_event.is_set():
+        try:
+            reply = request(
+                address,
+                {
+                    "op": "poll",
+                    "token": token,
+                    "worker": worker_id,
+                    "hold": poll_hold,
+                },
+                timeout=poll_hold + 30.0,
+            )
+            failures = 0
+        except AuthError:
+            raise
+        except OSError:
+            failures += 1
+            if failures >= max_retries:
+                return executed
+            stop_event.wait(min(retry_delay * failures, 10.0))
+            continue
+
+        op = reply.get("op")
+        if op == "shutdown":
+            return executed
+        if op != "work":
+            if once:
+                return executed
+            continue
+
+        unit = str(reply["unit"])
+        lease_ttl = float(reply.get("lease_ttl", 10.0))
+        beat_stop = threading.Event()
+        beat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(address, token, worker_id, unit, max(0.1, lease_ttl / 3.0), beat_stop),
+            name=f"repro-worker-heartbeat:{unit}",
+            daemon=True,
+        )
+        beat.start()
+        try:
+            fn = resolve_fn(str(reply["fn"]))
+            payload = fn(*reply.get("args", ()))
+            result = {"op": "result", "token": token, "worker": worker_id,
+                      "unit": unit, "ok": True, "payload": payload}
+        except BaseException as exc:
+            result = {
+                "op": "result", "token": token, "worker": worker_id,
+                "unit": unit, "ok": False,
+                "error": f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+            }
+        finally:
+            beat_stop.set()
+        executed += 1
+        for attempt in range(max_retries):
+            try:
+                request(address, result)
+                break
+            except OSError:
+                if stop_event.wait(min(retry_delay * (attempt + 1), 10.0)):
+                    return executed
+        else:
+            return executed  # coordinator gone for good
+        if once:
+            return executed
+    return executed
+
+
+# ----------------------------------------------------------------------
+# Local subprocess pools
+# ----------------------------------------------------------------------
+
+
+def _src_pythonpath() -> str:
+    """``PYTHONPATH`` that makes ``import repro`` work in a child."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH", "")
+    return f"{src}{os.pathsep}{existing}" if existing else src
+
+
+def spawn_local_workers(
+    address: tuple[str, int],
+    n: int,
+    *,
+    token: str | None = None,
+) -> list[subprocess.Popen]:
+    """Spawn ``n`` worker subprocesses joined to the pool at ``address``."""
+    host, port = address
+    env = dict(os.environ, PYTHONPATH=_src_pythonpath())
+    procs = []
+    for _ in range(max(0, int(n))):
+        cmd = [sys.executable, "-m", "repro", "worker", f"{host}:{port}"]
+        if token:
+            cmd += ["--token", token]
+        procs.append(
+            subprocess.Popen(
+                cmd,
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+        )
+    return procs
+
+
+def stop_local_workers(procs: list[subprocess.Popen], timeout: float = 5.0) -> None:
+    """Terminate (then kill) local worker subprocesses."""
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+    deadline = time.monotonic() + timeout
+    for proc in procs:
+        remaining = max(0.0, deadline - time.monotonic())
+        try:
+            proc.wait(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()

@@ -15,7 +15,13 @@ a *job*:
   protocol with ``inline``, ``thread`` and ``process`` implementations.
 - :mod:`repro.service.server` -- a minimal stdlib ``http.server``-based
   network surface: ``POST /run``, ``GET /jobs``, ``GET /jobs/<id>``,
-  ``POST /jobs/<id>/cancel``.
+  ``POST /jobs/<id>/cancel``, ``GET /cluster``; with optional per-tenant
+  quotas, a persistent job journal, and graceful SIGTERM draining.
+
+The distributed pieces (the ``cluster`` executor backend, the
+persistent :class:`~repro.cluster.jobstore.JobStore`, single-flight
+dedup, tenant quotas) live in :mod:`repro.cluster` and plug into this
+layer through the same protocols.
 
 The user-facing entry point stays :class:`repro.api.Engine`
 (``engine.submit(spec) -> JobHandle``); this package holds the moving

@@ -20,6 +20,13 @@ above this layer, so backends stay tiny:
     parallelism.  True CPU parallelism; work functions and arguments
     must be picklable, and a task already running in a worker cannot
     be interrupted mid-run (cancellation drops the result instead).
+``cluster``
+    The distributed worker pool of :mod:`repro.cluster`: a lease
+    coordinator plus ``repro worker`` processes, possibly on other
+    machines.  ``"cluster"`` spawns a local pool of ``workers``
+    subprocesses; ``"cluster:HOST:PORT"`` binds that address and waits
+    for external workers to join.  Imported lazily so the service
+    layer has no hard dependency on the cluster stack.
 """
 
 from __future__ import annotations
@@ -121,11 +128,24 @@ _BACKENDS: dict[str, type[ExecutorBackend]] = {
     "process": ProcessBackend,
 }
 
-BACKEND_NAMES = tuple(sorted(_BACKENDS))
+BACKEND_NAMES = tuple(sorted(_BACKENDS)) + ("cluster",)
 
 
 def make_backend(name: str, workers: int | None = None) -> ExecutorBackend:
-    """Instantiate a backend by name (``inline`` ignores ``workers``)."""
+    """Instantiate a backend by name (``inline`` ignores ``workers``).
+
+    ``"cluster"`` builds a local worker pool; ``"cluster:HOST:PORT"``
+    binds the given address for external ``repro worker`` joins (and
+    spawns no local workers unless ``workers`` says otherwise).
+    """
+    if name == "cluster" or name.startswith("cluster:"):
+        from repro.cluster.backend import ClusterBackend
+        from repro.cluster.protocol import parse_address
+
+        if name == "cluster":
+            return ClusterBackend(workers)
+        host, port = parse_address(name[len("cluster:"):])
+        return ClusterBackend(0 if workers is None else workers, host=host, port=port)
     try:
         cls = _BACKENDS[name]
     except KeyError:

@@ -61,30 +61,39 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> AnalysisReport | None:
         """Look up a report; counts a hit or a miss.
 
         A corrupt or schema-incompatible stored entry (truncated disk
-        file, report shape from an older version) counts as a miss --
-        the analysis re-runs and overwrites it -- instead of poisoning
-        every future submission of that spec.
+        file from a writer killed mid-``os.replace`` on a non-atomic
+        filesystem, a hand-edited file, a report shape from an older
+        version) counts as a miss -- the analysis re-runs and
+        overwrites it -- instead of poisoning every future submission
+        of that spec.  A corrupt *disk* file is additionally
+        quarantined to ``<key>.corrupt`` so the evidence survives for
+        inspection and the next ``put`` starts clean.
         """
         with self._lock:
             text = self._mem.get(key)
+        from_disk = False
         if text is None and self.cache_dir is not None:
             try:
                 with open(self._path(key), "r", encoding="utf-8") as fh:
                     text = fh.read()
+                from_disk = True
             except OSError:
                 text = None
         report = None
         if text is not None:
             try:
                 report = AnalysisReport.from_json(text)
-            except (ValueError, KeyError, TypeError):
+            except (ValueError, KeyError, TypeError, AttributeError):
                 report = None  # ValueError covers json.JSONDecodeError
+        if report is None and from_disk:
+            self._quarantine(key)
         with self._lock:
             if report is None:
                 self._mem.pop(key, None)
@@ -93,6 +102,19 @@ class ResultCache:
                 self._remember(key, text)  # (re-)insert and bump to MRU
                 self.hits += 1
         return report
+
+    def _quarantine(self, key: str) -> None:
+        """Move an unreadable disk entry aside (mirrors the journal's
+        torn-tail tolerance: damage is preserved, not re-served)."""
+        assert self.cache_dir is not None
+        try:
+            os.replace(
+                self._path(key), os.path.join(self.cache_dir, f"{key}.corrupt")
+            )
+        except OSError:
+            return  # a concurrent writer already replaced or removed it
+        with self._lock:
+            self.quarantined += 1
 
     def put(self, key: str, report: AnalysisReport) -> None:
         """Store a report under its spec hash (memory + disk)."""
@@ -115,6 +137,7 @@ class ResultCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "stores": self.stores,
+                "quarantined": self.quarantined,
                 "entries": len(self._mem),
             }
 

@@ -67,6 +67,7 @@ class JobHandle:
         self.created = time.time()
         self.from_cache = False
         self.backend_name = ""
+        self.tenant = ""  # X-Tenant attribution (service layer)
         self._cond = threading.Condition()
         self._state = JobState.PENDING
         self._report: "AnalysisReport | None" = None
@@ -74,6 +75,9 @@ class JobHandle:
         self._events: deque[ProgressEvent] = deque(maxlen=max_events)
         self._event_count = 0
         self._future: Any = None  # set by the engine for pooled backends
+        self._cache_key: str | None = None  # content address (engine-set)
+        self._backend_args: tuple = ("thread", None)  # re-dispatch info
+        self._on_cancel: Any = None  # engine callback (single-flight detach)
 
     # -- public surface -------------------------------------------------
     @property
@@ -104,8 +108,11 @@ class JobHandle:
                 return False
             self._cancel.set()
             future = self._future
+            on_cancel = self._on_cancel
         if future is not None:
             future.cancel()  # only succeeds while still queued
+        if on_cancel is not None:
+            on_cancel()  # outside the lock: may take engine-level locks
         return True
 
     def result(self, timeout: float | None = None) -> "AnalysisReport":
@@ -157,6 +164,8 @@ class JobHandle:
                 "events": self._event_count,
                 "created": self.created,
             }
+            if self.tenant:
+                d["tenant"] = self.tenant
             report = self._report
             events = list(self._events)[-recent_events:] if recent_events else []
         if report is not None:

@@ -10,6 +10,7 @@ POST     ``/run``              submit a spec; returns ``{"job": id}``
 GET      ``/jobs``             jobs table + cache counters
 GET      ``/jobs/<id>``        one job: state, events, report when done
 POST     ``/jobs/<id>/cancel`` request cooperative cancellation
+GET      ``/cluster``          dedup / scheduler / store / pool status
 GET      ``/health``           liveness + registered task kinds
 =======  ====================  =========================================
 
@@ -19,14 +20,43 @@ Submission is asynchronous -- the response carries the job id, and
 clients poll ``GET /jobs/<id>`` (or a ``wait`` query parameter blocks
 server-side for a bounded time).  Everything is JSON over
 ``ThreadingHTTPServer``; no third-party dependencies.
+
+Service-grade features, all optional:
+
+Tenancy
+    Requests carry an ``X-Tenant`` header (absent = the default
+    tenant).  A :class:`~repro.cluster.quota.TenantScheduler` applies
+    token-bucket admission (over-rate submissions get 429 +
+    ``Retry-After``) and weighted fair dequeue under a global
+    ``max_running`` concurrency cap.
+Durability
+    A :class:`~repro.cluster.jobstore.JobStore` journals every
+    accepted spec and every terminal report.  A restarting server
+    recovers the journal: jobs that never finished (queued, running,
+    or drain-``interrupted``) are re-submitted under their original
+    ids; completed jobs stay readable at ``GET /jobs/<id>``.
+Graceful shutdown
+    :meth:`graceful_shutdown` (wired to SIGTERM/SIGINT by
+    :meth:`serve_until_shutdown`) stops accepting, journals live jobs
+    as ``interrupted``, cooperatively cancels them, flushes the store,
+    and returns within a bounded drain timeout.
+Dedup
+    The default engine enables single-flight dedup: concurrent
+    identical specs collapse onto one solve (see
+    :mod:`repro.cluster.singleflight`).
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.jobstore import JobStore
+    from repro.cluster.quota import TenantScheduler
 
 __all__ = ["ServiceServer"]
 
@@ -38,14 +68,27 @@ class ServiceServer:
     ----------
     engine:
         The engine jobs are submitted to; by default a fresh
-        ``Engine(cache=True)`` so repeated scenarios are served from
-        the result cache.
+        ``Engine(cache=True, dedup=True)`` so repeated scenarios are
+        served from the result cache and concurrent identical specs
+        collapse to one solve.
     host / port:
         Bind address; ``port=0`` picks an ephemeral port (exposed as
         :attr:`port` after construction).
     backend:
         Default executor backend for submitted jobs (overridable per
         request).
+    job_store:
+        Optional :class:`~repro.cluster.jobstore.JobStore` (or a path
+        string) journaling submissions and terminal reports; on
+        construction the journal is recovered -- unfinished jobs
+        re-submit under their original ids.
+    scheduler:
+        Optional :class:`~repro.cluster.quota.TenantScheduler`; by
+        default an unbounded one (no admission limits, no concurrency
+        cap) so tenancy accounting is always available.
+    drain_timeout:
+        Bound (seconds) on how long :meth:`graceful_shutdown` waits
+        for cancelled jobs to reach a terminal state.
     """
 
     def __init__(
@@ -54,15 +97,46 @@ class ServiceServer:
         host: str = "127.0.0.1",
         port: int = 8080,
         backend: str = "thread",
+        *,
+        job_store: "JobStore | str | None" = None,
+        scheduler: "TenantScheduler | None" = None,
+        drain_timeout: float = 10.0,
     ):
         if engine is None:
             from repro.api.engine import Engine  # deferred: api imports service
 
             # rate-limit recorded events: a serve engine handles many
             # concurrent jobs, and per-sample recording is hot-loop cost
-            engine = Engine(cache=True, progress_interval=0.5)
+            engine = Engine(cache=True, progress_interval=0.5, dedup=True)
         self.engine = engine
         self.backend = backend
+        self.drain_timeout = float(drain_timeout)
+
+        if isinstance(job_store, str):
+            from repro.cluster.jobstore import JobStore as _JobStore
+
+            job_store = _JobStore(job_store)
+        self.job_store = job_store
+        if scheduler is None:
+            from repro.cluster.quota import TenantScheduler as _TenantScheduler
+
+            scheduler = _TenantScheduler()
+        self.scheduler = scheduler
+
+        self._draining = False
+        self._drained = threading.Event()
+        self._drain_lock = threading.Lock()
+        self._pump_mutex = threading.Lock()
+        self._pump_active = False
+        self._pump_pending = False
+        #: terminal jobs recovered from the journal (readable by id)
+        self._recovered: dict[str, dict] = {}
+
+        # chain the terminal hook: release scheduler slots, journal the
+        # report, then whatever hook the caller had installed
+        self._prev_done_hook = getattr(engine, "on_job_done", None)
+        engine.on_job_done = self._job_done
+
         service = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -71,11 +145,15 @@ class ServiceServer:
             def log_message(self, fmt: str, *args: Any) -> None:
                 pass  # keep the server quiet; clients see JSON errors
 
-            def _reply(self, code: int, payload: dict) -> None:
+            def _reply(
+                self, code: int, payload: dict, headers: dict | None = None
+            ) -> None:
                 body = json.dumps(payload).encode("utf-8")
                 self.send_response(code)
                 self.send_header("Content-Type", "application/json")
                 self.send_header("Content-Length", str(len(body)))
+                for key, value in (headers or {}).items():
+                    self.send_header(key, value)
                 self.end_headers()
                 self.wfile.write(body)
 
@@ -100,6 +178,9 @@ class ServiceServer:
         self.host, self.port = self.httpd.server_address[:2]
         self._thread: threading.Thread | None = None
 
+        if self.job_store is not None:
+            self._recover()
+
     # -- lifecycle ------------------------------------------------------
     @property
     def url(self) -> str:
@@ -107,6 +188,34 @@ class ServiceServer:
 
     def serve_forever(self) -> None:
         self.httpd.serve_forever()
+
+    def serve_until_shutdown(self) -> None:
+        """Serve in this thread until SIGTERM/SIGINT, then drain and return."""
+        self.install_signal_handlers()
+        try:
+            self.httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        self.graceful_shutdown()
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT into :meth:`graceful_shutdown`.
+
+        Must run in the main thread (a CPython signal constraint); the
+        handler only nudges a drain thread, so it is safe inside the
+        signal context.
+        """
+        import signal
+
+        def _handle(signum: int, frame: Any) -> None:
+            threading.Thread(
+                target=self.graceful_shutdown,
+                name="repro-serve-drain",
+                daemon=True,
+            ).start()
+
+        signal.signal(signal.SIGTERM, _handle)
+        signal.signal(signal.SIGINT, _handle)
 
     def start(self) -> "ServiceServer":
         """Serve on a background thread (for tests and embedding)."""
@@ -117,17 +226,138 @@ class ServiceServer:
         return self
 
     def shutdown(self) -> None:
+        """Stop serving immediately (no drain; tests and embedding)."""
         self.httpd.shutdown()
         self.httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
 
+    def graceful_shutdown(self, timeout: float | None = None) -> None:
+        """Drain and stop: the SIGTERM path.  Idempotent and blocking.
+
+        Stops accepting requests, journals every unfinished job as
+        ``interrupted`` (so a restart re-runs it), requests cooperative
+        cancellation, waits up to ``timeout`` (default
+        ``drain_timeout``) for the jobs to settle, flushes and closes
+        the job store, and shuts the engine's pools down.  Concurrent
+        callers block until the first caller finishes the drain.
+        """
+        timeout = self.drain_timeout if timeout is None else float(timeout)
+        with self._drain_lock:
+            if self._draining:
+                drain_leader = False
+            else:
+                self._draining = True
+                drain_leader = True
+        if not drain_leader:
+            self._drained.wait(timeout=timeout + 10.0)
+            return
+
+        self.httpd.shutdown()  # stop accepting; in-flight handlers finish
+
+        live = [j for j in self.engine.jobs() if not j.done()]
+        if self.job_store is not None:
+            for job in live:
+                if self.job_store.knows(job.id):
+                    # journal FIRST: "interrupted" must beat the hook's
+                    # "cancelled" (record_done is first-write-wins), so a
+                    # restart re-runs drained work instead of dropping it
+                    self.job_store.record_done(job.id, "interrupted")
+        for job in live:
+            if not self.scheduler.remove(job):
+                job.cancel()
+                continue
+            # still queued: retire it without ever dispatching
+            self.engine.cancel_undispatched(job)
+
+        deadline = time.monotonic() + timeout
+        for job in live:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                job.result(timeout=remaining)
+            except TimeoutError:
+                pass  # bounded drain: a stuck job must not block exit
+
+        if self.job_store is not None:
+            self.job_store.close()
+        self.engine.close(wait=False)
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._drained.set()
+
     def __enter__(self) -> "ServiceServer":
         return self.start()
 
     def __exit__(self, *exc_info: Any) -> None:
         self.shutdown()
+
+    # -- scheduling -----------------------------------------------------
+    def _offer(self, job: Any) -> None:
+        """Queue one accepted job and pump the scheduler."""
+        self.scheduler.enqueue(job)
+        self._pump()
+
+    def _pump(self) -> None:
+        """Dispatch released jobs until the scheduler withholds.
+
+        Re-entrancy-safe without recursion: a dispatch that completes
+        synchronously (cache hit, inline backend) fires the done-hook,
+        which calls ``_pump`` again -- the nested call just flags more
+        work for the active loop instead of growing the stack.
+        """
+        with self._pump_mutex:
+            self._pump_pending = True
+            if self._pump_active:
+                return
+            self._pump_active = True
+        while True:
+            with self._pump_mutex:
+                if not self._pump_pending:
+                    self._pump_active = False
+                    return
+                self._pump_pending = False
+            while True:
+                job = self.scheduler.next_job()
+                if job is None:
+                    break
+                self.engine.dispatch(job, *job._backend_args)
+
+    def _job_done(self, job: Any) -> None:
+        """Engine terminal hook: free the slot, journal, chain."""
+        released = self.scheduler.release(job)
+        if self.job_store is not None and self.job_store.knows(job.id):
+            self.job_store.record_job(job)
+        if released and not self._draining:
+            self._pump()
+        if self._prev_done_hook is not None:
+            self._prev_done_hook(job)
+
+    def _recover(self) -> None:
+        """Replay the job store: re-submit unfinished work, index the rest."""
+        from repro.cluster.jobstore import RERUN_STATES
+
+        for job_id, record in self.job_store.recover().items():
+            if record["state"] in RERUN_STATES:
+                try:
+                    job = self.engine.submit_deferred(
+                        record["spec"], job_id=job_id
+                    )
+                except (ValueError, KeyError, TypeError):
+                    continue  # a spec this build cannot parse anymore
+                job.tenant = record["tenant"]
+                job._backend_args = (self.backend, None)
+                # re-journal so THIS process's done-hook owns the id
+                self.job_store.record_submit(
+                    job.id, record["spec"], record["tenant"]
+                )
+                self._offer(job)
+            else:
+                self._recovered[job_id] = record
 
     # -- request handling ----------------------------------------------
     def _get(self, req: Any) -> None:
@@ -136,7 +366,8 @@ class ServiceServer:
         if parts == ["health"]:
             from repro.api.tasks import task_names  # deferred: api imports service
 
-            req._reply(200, {"ok": True, "tasks": task_names()})
+            req._reply(200, {"ok": True, "tasks": task_names(),
+                             "draining": self._draining})
             return
         if parts == ["jobs"]:
             req._reply(
@@ -147,9 +378,16 @@ class ServiceServer:
                 },
             )
             return
+        if parts == ["cluster"]:
+            req._reply(200, self.cluster_status())
+            return
         if len(parts) == 2 and parts[0] == "jobs":
             job = self.engine.job(parts[1])
             if job is None:
+                record = self._recovered.get(parts[1])
+                if record is not None:
+                    req._reply(200, _recovered_summary(parts[1], record))
+                    return
                 req._error(404, f"no such job: {parts[1]}")
                 return
             wait = _query_float(query, "wait")
@@ -169,6 +407,9 @@ class ServiceServer:
         body = req.rfile.read(length) if length else b""
         parts = [p for p in req.path.split("/") if p]
         if parts == ["run"]:
+            if self._draining:
+                req._error(503, "server is draining")
+                return
             try:
                 payload = json.loads(body or b"{}")
             except json.JSONDecodeError as exc:
@@ -183,12 +424,29 @@ class ServiceServer:
                 # clients must not be able to read server-local paths
                 req._error(400, "spec must be a JSON object, not a path")
                 return
+            tenant = str(req.headers.get("X-Tenant") or "")
+            retry_after = self.scheduler.admit(tenant)
+            if retry_after > 0.0:
+                req._reply(
+                    429,
+                    {"error": f"tenant {tenant or 'default'!r} over rate limit",
+                     "retry_after": round(retry_after, 3)},
+                    headers={"Retry-After": str(max(1, int(retry_after + 0.999)))},
+                )
+                return
             backend = str(payload.get("backend") or self.backend)
             try:
-                job = self.engine.submit(spec, backend=backend)
+                job = self.engine.submit_deferred(spec)
             except (ValueError, KeyError, TypeError) as exc:
                 req._error(400, f"bad spec: {exc}")
                 return
+            job.tenant = tenant
+            job._backend_args = (backend, None)
+            if self.job_store is not None:
+                self.job_store.record_submit(
+                    job.id, job.spec.to_dict(), tenant
+                )
+            self._offer(job)
             req._reply(202, {"job": job.id, "state": job.status.value})
             return
         if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
@@ -196,10 +454,61 @@ class ServiceServer:
             if job is None:
                 req._error(404, f"no such job: {parts[1]}")
                 return
-            job.cancel()
+            if self.scheduler.remove(job):
+                # never dispatched: retire it here (no backend will)
+                self.engine.cancel_undispatched(job)
+            else:
+                job.cancel()
             req._reply(200, job.summary())
             return
         req._error(404, f"no such resource: {req.path}")
+
+    # ------------------------------------------------------------------
+    def cluster_status(self) -> dict[str, Any]:
+        """The ``GET /cluster`` payload: every scale-out subsystem at once."""
+        status: dict[str, Any] = {
+            "draining": self._draining,
+            "dedup": self.engine.dedup_stats(),
+            "scheduler": self.scheduler.snapshot(),
+            "store": None,
+            "pool": None,
+        }
+        if self.job_store is not None:
+            status["store"] = {
+                "path": self.job_store.path,
+                "appended": self.job_store.appended,
+                "recovered_terminal": len(self._recovered),
+            }
+        for backend in list(getattr(self.engine, "_backends", {}).values()):
+            if backend.name == "cluster":
+                try:
+                    status["pool"] = backend.status()
+                except Exception:  # pool may be mid-shutdown
+                    pass
+        return status
+
+
+def _recovered_summary(job_id: str, record: dict) -> dict:
+    """A ``GET /jobs/<id>`` payload for a journal-recovered job."""
+    report = record.get("report")
+    d: dict[str, Any] = {
+        "id": job_id,
+        "name": (record.get("spec") or {}).get("name"),
+        "task": (record.get("spec") or {}).get("task"),
+        "state": record["state"],
+        "backend": "journal",
+        "from_cache": False,
+        "events": 0,
+        "recovered": True,
+    }
+    if record.get("tenant"):
+        d["tenant"] = record["tenant"]
+    if report is not None:
+        d["status"] = report.get("status")
+        d["detail"] = report.get("detail")
+        d["wall_time"] = report.get("wall_time")
+        d["report"] = report
+    return d
 
 
 def _query_float(query: str, name: str) -> float | None:

@@ -19,8 +19,10 @@ deterministic.  The driver here guarantees both:
 * every **epoch** each shard's widest pending boxes are shipped to a
   worker through the pluggable :class:`~repro.service.backends.ExecutorBackend`
   protocol (``process`` for true parallelism, ``thread``/``inline`` for
-  tests), where one vectorized contract/judge/certify/split pass of the
-  compiled tape runs over the whole chunk;
+  tests, ``cluster``/``cluster:HOST:PORT`` to lease epochs to
+  ``repro worker`` processes on other machines -- see
+  :mod:`repro.cluster`), where one vectorized contract/judge/certify/split
+  pass of the compiled tape runs over the whole chunk;
 * epochs are **lock-step**: the coordinator waits for every in-flight
   chunk before acting on any result, so all scheduling decisions are
   pure functions of epoch-complete state and two sharded runs are

@@ -97,17 +97,28 @@ def projection_digest(projection: Mapping[str, Any]) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def _mode_spec(spec, mode: str):
-    overrides = MODES[mode]
-    return spec.replace(solver=_dataclass_replace(spec.solver, **overrides))
+def _mode_spec(spec, mode: str, overrides: Mapping[str, Any] | None = None):
+    merged = dict(MODES[mode])
+    if overrides:
+        merged.update(overrides)
+    return spec.replace(solver=_dataclass_replace(spec.solver, **merged))
 
 
-def scenario_projection(name: str, mode: str) -> dict[str, Any]:
-    """Run one catalog scenario through one solver path and project it."""
+def scenario_projection(
+    name: str, mode: str, overrides: Mapping[str, Any] | None = None
+) -> dict[str, Any]:
+    """Run one catalog scenario through one solver path and project it.
+
+    ``overrides`` layers extra solver-option replacements on top of the
+    mode's own -- the cluster conformance tests use it to swap
+    ``shard_backend`` for a live
+    :class:`~repro.cluster.backend.ClusterBackend` while keeping every
+    other knob identical to the golden ``sharded`` path.
+    """
     from repro.api import Engine
     from repro.scenarios import get_scenario
 
-    spec = _mode_spec(get_scenario(name).spec(), mode)
+    spec = _mode_spec(get_scenario(name).spec(), mode, overrides)
     with Engine(seed=0) as engine:
         return project_report(engine.run(spec))
 
@@ -159,7 +170,9 @@ PAVING_PROBLEMS = {
 }
 
 
-def paving_digest(problem: str, mode: str) -> dict[str, Any]:
+def paving_digest(
+    problem: str, mode: str, overrides: Mapping[str, Any] | None = None
+) -> dict[str, Any]:
     """Pave one conformance problem through one solver path.
 
     Returns the box counts plus a SHA-256 over the bounds of every
@@ -168,14 +181,19 @@ def paving_digest(problem: str, mode: str) -> dict[str, Any]:
     vectorized fixpoint loops agree bound-for-bound only up to
     single-ulp contraction differences (see
     ``benchmarks/icp_throughput.py``), and the digest must pin the
-    partition, not that noise.
+    partition, not that noise.  ``overrides`` layers extra solver
+    attributes on top of the mode's (the cluster conformance tests pass
+    a live ``shard_backend`` here).
     """
     from repro.solver import DeltaSolver
 
     factory, min_width = PAVING_PROBLEMS[problem]
     phi, box = factory()
     solver = DeltaSolver(delta=1e-3, max_boxes=1_000_000)
-    for k, v in MODES[mode].items():
+    merged = dict(MODES[mode])
+    if overrides:
+        merged.update(overrides)
+    for k, v in merged.items():
         setattr(solver, k, v)
     sat, unsat, undecided = solver.pave(phi, box, min_width=min_width)
     h = hashlib.sha256()

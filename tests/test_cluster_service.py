@@ -1,0 +1,374 @@
+"""Cluster service plumbing: job journal, single-flight dedup, quotas,
+cache quarantine.
+
+Everything here runs without sockets or subprocesses: the JobStore is
+exercised on temp files, the single-flight layer through an engine
+whose ``_execute`` is patched with a gated probe, and the scheduler
+with bare fake jobs -- so the semantics (recovery folding, exactly-one
+solve, weighted fairness) are pinned deterministically.
+"""
+
+import json
+import threading
+
+import pytest
+
+import repro.api.engine as engine_mod
+from repro.api import Engine
+from repro.api.report import AnalysisReport
+from repro.cluster import JobStore, SingleFlight, TenantPolicy, TenantScheduler, TokenBucket
+from repro.cluster.jobstore import RERUN_STATES
+from repro.service import JobState, ResultCache, spec_key
+from repro.status import AnalysisStatus
+
+
+def probe_spec(name="probe", knob=0):
+    return {
+        "task": "smc",
+        "name": name,
+        "model": {"builtin": "logistic"},
+        "query": {
+            "phi": {"op": "F", "bound": 6.0, "arg": "x >= 5.0"},
+            "init": {"x": [0.3, 0.7]},
+            "horizon": 6.0,
+            "method": "probability",
+            "epsilon": 0.25 + knob * 1e-6,
+            "alpha": 0.2,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# JobStore: append-only journal + recovery folding
+# ----------------------------------------------------------------------
+
+
+class TestJobStore:
+    def test_submit_done_recover_roundtrip(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        with JobStore(path) as store:
+            store.record_submit("j1", {"task": "smc"}, tenant="acme")
+            store.record_done("j1", "done", {"status": "delta-sat"})
+            store.record_submit("j2", {"task": "reach"})
+        recovered = JobStore(path).recover()
+        assert recovered["j1"]["state"] == "done"
+        assert recovered["j1"]["tenant"] == "acme"
+        assert recovered["j1"]["report"] == {"status": "delta-sat"}
+        assert recovered["j2"]["state"] == "queued"  # died holding it
+        assert recovered["j2"]["report"] is None
+
+    def test_rerun_states(self):
+        assert "queued" in RERUN_STATES
+        assert "interrupted" in RERUN_STATES  # graceful drain: run again
+        assert "cancelled" not in RERUN_STATES  # user intent: final
+        assert "done" not in RERUN_STATES
+
+    def test_record_done_is_idempotent_per_process(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.jsonl")
+        store.record_submit("j1", {})
+        assert store.record_done("j1", "interrupted") is True
+        # the drain path and the done-hook race; only the first wins
+        assert store.record_done("j1", "cancelled") is False
+        assert JobStore(store.path).recover()["j1"]["state"] == "interrupted"
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        with JobStore(path) as store:
+            store.record_submit("j1", {"task": "smc"})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "done", "id": "j1", "sta')  # crash mid-append
+        recovered = JobStore(path).recover()
+        assert recovered["j1"]["state"] == "queued"  # tail dropped
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        path.write_text('not json at all\n{"kind":"submit","id":"j1"}\n')
+        with pytest.raises(ValueError, match="corrupt journal line 1"):
+            JobStore(path).recover()
+
+    def test_closed_store_refuses_appends(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.jsonl")
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            store.record_submit("j1", {})
+
+
+# ----------------------------------------------------------------------
+# SingleFlight registry
+# ----------------------------------------------------------------------
+
+
+class TestSingleFlight:
+    def test_leader_then_followers(self):
+        sf = SingleFlight()
+        assert sf.lead_or_follow("k", "L") is None
+        assert sf.lead_or_follow("k", "f1") == "L"
+        assert sf.lead_or_follow("k", "f2") == "L"
+        assert sf.followers_of("k", "L") == ("f1", "f2")
+        assert sf.land("k", "L") == ["f1", "f2"]
+        assert sf.stats() == {"leaders": 1, "followers": 2, "in_flight": 0}
+
+    def test_stale_landing_is_a_noop(self):
+        sf = SingleFlight()
+        sf.lead_or_follow("k", "L1")
+        sf.land("k", "L1")
+        sf.lead_or_follow("k", "L2")  # key re-led
+        assert sf.land("k", "L1") == []  # stale leader cannot land it
+        assert sf.land("k", "L2") == []
+
+    def test_detach_removes_one_follower(self):
+        sf = SingleFlight()
+        sf.lead_or_follow("k", "L")
+        sf.lead_or_follow("k", "f1")
+        assert sf.detach("k", "f1") is True
+        assert sf.detach("k", "f1") is False
+        assert sf.detach("nope", "f1") is False
+        assert sf.land("k", "L") == []
+
+
+# ----------------------------------------------------------------------
+# Engine-level dedup: N identical in-flight submissions, one solve
+# ----------------------------------------------------------------------
+
+
+class _GatedExecute:
+    """A patched ``_execute``: counts calls, blocks until released."""
+
+    def __init__(self):
+        self.calls = 0
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self._lock = threading.Lock()
+
+    def __call__(self, spec, seed_default):
+        from repro.progress import emit
+
+        with self._lock:
+            self.calls += 1
+        emit("probe", "start")  # cancellation checkpoint + follower fan-out
+        self.started.set()
+        self.release.wait(timeout=30.0)
+        emit("probe", "finish")  # post-release checkpoint: honors cancel
+        return AnalysisReport(
+            spec.task, AnalysisStatus.DELTA_SAT, name=spec.name, seed=spec.seed
+        )
+
+
+@pytest.fixture
+def gated(monkeypatch):
+    gate = _GatedExecute()
+    monkeypatch.setattr(engine_mod, "_execute", gate)
+    return gate
+
+
+class TestEngineSingleFlight:
+    def test_eight_identical_submissions_one_solve(self, gated):
+        with Engine(seed=0, dedup=True) as engine:
+            leader = engine.submit(probe_spec(), backend="thread")
+            assert gated.started.wait(timeout=10)
+            followers = [
+                engine.submit(probe_spec(), backend="thread") for _ in range(7)
+            ]
+            stats = engine.dedup_stats()
+            assert stats == {"leaders": 1, "followers": 7, "in_flight": 1}
+            assert all(f.backend_name == "single-flight" for f in followers)
+            gated.release.set()
+            reports = [j.result(timeout=30) for j in [leader] + followers]
+            assert gated.calls == 1  # exactly one solve for all eight
+            assert len({r.to_json() for r in reports}) == 1
+            assert all(j.status is JobState.DONE for j in followers)
+            # the leader's progress events were fanned out as copies
+            for f in followers:
+                sources = [e.source for e in f.events()]
+                assert "probe" in sources
+
+    def test_different_specs_do_not_collapse(self, gated):
+        gated.release.set()
+        with Engine(seed=0, dedup=True) as engine:
+            a = engine.submit(probe_spec(knob=1), backend="thread")
+            b = engine.submit(probe_spec(knob=2), backend="thread")
+            a.result(timeout=30), b.result(timeout=30)
+            assert gated.calls == 2
+            assert engine.dedup_stats()["followers"] == 0
+
+    def test_cancelled_follower_detaches_and_terminates(self, gated):
+        with Engine(seed=0, dedup=True) as engine:
+            leader = engine.submit(probe_spec(), backend="thread")
+            assert gated.started.wait(timeout=10)
+            follower = engine.submit(probe_spec(), backend="thread")
+            assert follower.cancel() is True
+            # terminal immediately: nothing else ever finishes a follower
+            assert follower.status is JobState.CANCELLED
+            assert follower.result().status is AnalysisStatus.CANCELLED
+            gated.release.set()
+            assert leader.result(timeout=30).status is AnalysisStatus.DELTA_SAT
+            assert gated.calls == 1
+
+    def test_cancelled_leader_promotes_a_follower(self, gated):
+        with Engine(seed=0, dedup=True) as engine:
+            leader = engine.submit(probe_spec(), backend="thread")
+            assert gated.started.wait(timeout=10)
+            follower = engine.submit(probe_spec(), backend="thread")
+            leader.cancel()
+            gated.release.set()  # leader hits the post-release checkpoint
+            assert leader.result(timeout=30).status is AnalysisStatus.CANCELLED
+            # the follower's work was NOT cancelled: it re-runs as the
+            # new leader and completes
+            assert follower.result(timeout=30).status is AnalysisStatus.DELTA_SAT
+            assert gated.calls == 2
+
+    def test_dedup_disabled_reports_none(self):
+        with Engine(seed=0) as engine:
+            assert engine.dedup_stats() is None
+
+
+# ----------------------------------------------------------------------
+# ResultCache quarantine (regression: corrupt disk entry poisoned reads)
+# ----------------------------------------------------------------------
+
+
+class TestCacheQuarantine:
+    def _key(self):
+        from repro.api.spec import TaskSpec
+
+        return spec_key(TaskSpec.from_dict(probe_spec()))
+
+    def test_truncated_disk_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        key = self._key()
+        entry = tmp_path / f"{key}.json"
+        entry.write_text('{"task": "smc", "status": "delt')  # torn write
+        assert cache.get(key) is None  # a miss, not an exception
+        assert not entry.exists()
+        corrupt = tmp_path / f"{key}.corrupt"
+        assert corrupt.exists()  # evidence preserved for inspection
+        assert corrupt.read_text().startswith('{"task"')
+        stats = cache.stats()
+        assert stats["quarantined"] == 1 and stats["misses"] == 1
+
+    def test_schema_garbage_is_quarantined_too(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        key = self._key()
+        (tmp_path / f"{key}.json").write_text('{"bogus": []}')  # valid JSON
+        assert cache.get(key) is None
+        assert (tmp_path / f"{key}.corrupt").exists()
+
+    def test_put_after_quarantine_serves_again(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        key = self._key()
+        (tmp_path / f"{key}.json").write_text("garbage")
+        assert cache.get(key) is None
+        report = AnalysisReport("smc", AnalysisStatus.DELTA_SAT, name="probe")
+        cache.put(key, report)
+        cache.clear()  # force the disk path
+        again = cache.get(key)
+        assert again is not None and again.status is AnalysisStatus.DELTA_SAT
+
+    def test_memory_only_corruption_never_quarantines(self):
+        cache = ResultCache()  # no cache_dir
+        assert cache.get("deadbeef") is None
+        assert cache.stats()["quarantined"] == 0
+
+
+# ----------------------------------------------------------------------
+# Tenant quotas and weighted fair scheduling
+# ----------------------------------------------------------------------
+
+
+class FakeJob:
+    def __init__(self, jid, tenant=""):
+        self.id = jid
+        self.tenant = tenant
+        self.cancel_requested = False
+
+    def done(self):
+        return False
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        bucket = TokenBucket(rate=0.5, burst=2)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        wait = bucket.try_acquire()
+        assert 0.0 < wait <= 2.0  # ~1 token / 0.5 per s
+
+    def test_zero_rate_never_refills(self):
+        bucket = TokenBucket(rate=0.0, burst=1)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == float("inf")
+
+
+class TestTenantScheduler:
+    def test_weighted_fair_dequeue_order(self):
+        sched = TenantScheduler(
+            policies={"a": TenantPolicy(weight=2.0), "b": TenantPolicy(weight=1.0)}
+        )
+        for jid in ("a1", "a2", "a3"):
+            sched.enqueue(FakeJob(jid, "a"))
+        for jid in ("b1", "b2", "b3"):
+            sched.enqueue(FakeJob(jid, "b"))
+        order = [sched.next_job().id for _ in range(6)]
+        # weight 2 drains twice as fast: a gets 2 of every 3 slots
+        assert order == ["a1", "b1", "a2", "a3", "b2", "b3"]
+        assert sched.next_job() is None
+
+    def test_global_cap_blocks_until_release(self):
+        sched = TenantScheduler(max_running=1)
+        a, b = FakeJob("a1", "a"), FakeJob("b1", "b")
+        sched.enqueue(a), sched.enqueue(b)
+        assert sched.next_job() is a
+        assert sched.next_job() is None  # at the global ceiling
+        assert sched.release(a) is True
+        assert sched.release(a) is False  # slot given back once
+        assert sched.next_job() is b
+
+    def test_per_tenant_cap_only_blocks_that_tenant(self):
+        sched = TenantScheduler(
+            policies={"a": TenantPolicy(max_running=1)}
+        )
+        a1, a2, b1 = FakeJob("a1", "a"), FakeJob("a2", "a"), FakeJob("b1", "b")
+        for job in (a1, a2, b1):
+            sched.enqueue(job)
+        assert sched.next_job() is a1
+        assert sched.next_job() is b1  # a is capped; b flows freely
+        assert sched.next_job() is None
+        sched.release(a1)
+        assert sched.next_job() is a2
+
+    def test_cancelled_queued_jobs_are_skipped(self):
+        sched = TenantScheduler()
+        doomed, live = FakeJob("d1"), FakeJob("l1")
+        doomed.cancel_requested = True
+        sched.enqueue(doomed), sched.enqueue(live)
+        assert sched.next_job() is live
+        assert sched.next_job() is None
+
+    def test_remove_drops_a_queued_job(self):
+        sched = TenantScheduler()
+        job = FakeJob("j1")
+        sched.enqueue(job)
+        assert sched.remove(job) is True
+        assert sched.remove(job) is False
+        assert sched.next_job() is None
+
+    def test_admission_counters_and_snapshot(self):
+        sched = TenantScheduler(
+            policies={"ratty": TenantPolicy(rate=1000.0, burst=1.0)}
+        )
+        assert sched.admit("ratty") == 0.0
+        assert sched.admit("ratty") > 0.0  # burst of one exhausted
+        assert sched.admit("calm") == 0.0  # default policy: unlimited
+        sched.enqueue(FakeJob("j1", "calm"))
+        snap = sched.snapshot()
+        assert snap["counters"]["admitted"] == 2
+        assert snap["counters"]["throttled"] == 1
+        assert snap["queued"] == {"calm": 1}
+
+    def test_unlimited_scheduler_dispatches_everything(self):
+        sched = TenantScheduler()  # max_running=None: no queueing caps
+        jobs = [FakeJob(f"j{i}") for i in range(5)]
+        for job in jobs:
+            sched.enqueue(job)
+        assert [sched.next_job() for _ in range(5)] == jobs

@@ -367,6 +367,7 @@ class TestBackendsAndBatches:
             first = par_eng.run_batch(specs, backend="process")
             assert par_eng.cache.stats() == {
                 "hits": 0, "misses": 4, "stores": 4, "entries": 4,
+                "quarantined": 0,
             }
 
             handles = par_eng.submit_batch(specs, backend="process")
