@@ -343,15 +343,39 @@ class Engine:
         backend: str | None = None,
         workers: int | None = None,
     ) -> None:
-        """Release a deferred job (cache and single-flight still apply)."""
+        """Release a deferred job (cache and single-flight still apply).
+
+        Never raises: a failure to dispatch (an unknown backend name, a
+        backend that cannot start) finishes the job with an ERROR
+        report via :meth:`fail_dispatch` instead, so scheduler loops
+        above can rely on every released job reaching a terminal state
+        -- an exception escaping here would leak the job's concurrency
+        slot and strand its waiters.
+        """
         if job.cancel_requested:
             self._finish_job(job, _cancelled_report(job.spec), JobState.CANCELLED)
             return
         name = backend or self.backend or "thread"
         job._backend_args = (name, workers)
-        if self._fast_path(job):
-            return
-        self._dispatch_backend(job, name, workers)
+        try:
+            if self._fast_path(job):
+                return
+            self._dispatch_backend(job, name, workers)
+        except Exception as exc:
+            self.fail_dispatch(job, exc)
+
+    def fail_dispatch(self, job: JobHandle, exc: BaseException) -> None:
+        """Finish a job whose dispatch failed with an ERROR report."""
+        self._finish_job(
+            job,
+            AnalysisReport(
+                job.spec.task,
+                AnalysisStatus.ERROR,
+                detail=f"dispatch failed: {type(exc).__name__}: {exc}",
+                name=job.spec.name,
+            ),
+            JobState.FAILED,
+        )
 
     def cancel_undispatched(self, job: JobHandle) -> None:
         """Retire a deferred job that will never dispatch."""

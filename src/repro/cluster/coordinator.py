@@ -44,7 +44,7 @@ import time
 from concurrent.futures import Future
 from typing import Any, Callable
 
-from .protocol import ClusterError, fn_ref, recv_msg, send_msg
+from .protocol import AuthError, ClusterError, fn_ref, recv_msg, send_msg
 
 __all__ = ["ClusterCoordinator"]
 
@@ -86,6 +86,12 @@ class ClusterCoordinator:
         Upper bound on how long a worker ``poll`` blocks server-side
         waiting for work (long-polling keeps idle latency near zero
         without hammering the socket).
+    io_timeout:
+        Bound (seconds) on every socket read/write of one connection.
+        A peer that sends a partial frame -- or nothing -- is dropped
+        when it expires, so stalled connections cannot pin handler
+        threads (the long-poll *hold* is a condition wait, not socket
+        I/O, and is bounded separately by ``poll_hold``).
     """
 
     def __init__(
@@ -97,11 +103,13 @@ class ClusterCoordinator:
         lease_ttl: float = 10.0,
         max_attempts: int = 5,
         poll_hold: float = 2.0,
+        io_timeout: float = 10.0,
     ):
         self.token = token
         self.lease_ttl = float(lease_ttl)
         self.max_attempts = int(max_attempts)
         self.poll_hold = float(poll_hold)
+        self.io_timeout = float(io_timeout)
 
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
@@ -122,14 +130,28 @@ class ClusterCoordinator:
 
         class Handler(socketserver.BaseRequestHandler):
             def handle(self) -> None:
+                # bound every read/write: a partial frame must time out
+                # instead of pinning this handler thread forever
+                self.request.settimeout(coordinator.io_timeout)
                 try:
-                    msg = recv_msg(self.request)
-                    reply = coordinator._dispatch(msg)
+                    msg = recv_msg(self.request, coordinator.token)
+                except TimeoutError:
+                    return  # stalled/slowloris peer: drop the connection
+                except AuthError as exc:
+                    reply = {"op": "error", "kind": "auth", "error": str(exc)}
                 except Exception as exc:  # a bad frame must not kill the pool
                     reply = {"op": "error", "error": f"{type(exc).__name__}: {exc}"}
+                else:
+                    try:
+                        reply = coordinator._dispatch(msg)
+                    except Exception as exc:
+                        reply = {
+                            "op": "error",
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }
                 try:
-                    send_msg(self.request, reply)
-                except OSError:
+                    send_msg(self.request, reply, coordinator.token)
+                except OSError:  # incl. a timed-out write
                     pass  # peer vanished; its lease will expire
 
         class Server(socketserver.ThreadingTCPServer):

@@ -19,7 +19,11 @@ a ``submit`` without a terminal ``done`` means the server died with the
 job queued or running, so a restarting server re-submits it.  The
 journal is shared-safe for N replicas: every record is one
 ``O_APPEND`` write, and replicas use distinct job-id prefixes so ids
-never collide (see ``Engine(job_prefix=...)``).
+never collide (see ``Engine(job_prefix=...)``).  The prefixes also
+scope recovery -- a restarting replica re-runs only *its own*
+unfinished jobs, never work still queued or running on a live sibling
+(:meth:`repro.service.server.ServiceServer._recover` filters on the
+engine's prefix).
 """
 
 from __future__ import annotations

@@ -2,27 +2,39 @@
 
 Every exchange is one short-lived connection carrying one request
 message and one reply message.  A message is a plain dict, serialized
-with :mod:`pickle` behind a 4-byte big-endian length prefix -- numpy
-chunk payloads (the sharded solver ships ``(n, dim)`` bound arrays per
-epoch) round-trip natively, and the stdlib is the only dependency.
+with :mod:`pickle` behind a 4-byte big-endian length prefix and a
+32-byte HMAC-SHA256 of the payload -- numpy chunk payloads (the
+sharded solver ships ``(n, dim)`` bound arrays per epoch) round-trip
+natively, and the stdlib is the only dependency.
 
-Security model: the pool is for **trusted networks only**.  Two guards
-bound the blast radius of a stray connection:
+Security model: the pool is for **trusted networks only**.  Three
+guards bound the blast radius of a stray connection:
 
-- an optional shared ``token`` checked on every message (mismatch is
-  rejected before any payload is acted on), and
+- every frame is HMAC-authenticated with the pool's shared ``token``
+  (absent token = the empty key) and :func:`recv_msg` verifies the MAC
+  **before** unpickling, so a peer that does not hold the token cannot
+  reach the deserializer at all -- crafted pickles from strangers are
+  dropped pre-auth;
+- the ``token`` also travels inside each message and is re-checked by
+  the coordinator before the operation is acted on; and
 - work-unit callables travel **by reference** (``module:qualname``),
   never by value, and :func:`resolve_fn` refuses to import anything
   outside the ``repro`` package -- a coordinator cannot make a worker
   run arbitrary code, only the framework's own pure work functions.
 
-Pickle is still pickle: deploy coordinators and workers inside one
-trust boundary (same host, private network, or an authenticated
-tunnel), exactly like a redis or dask deployment.
+These are accident- and stray-connection guards, not a full security
+boundary: anyone who holds the token can feed pickle to the
+deserializer, and the transport is neither encrypted nor
+replay-protected.  Deploy coordinators and workers inside one trust
+boundary (same host, private network, or an authenticated tunnel),
+exactly like a redis or dask deployment, and treat the token like a
+password when binding routable interfaces (``cluster:HOST:PORT``).
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import importlib
 import pickle
 import socket
@@ -46,19 +58,27 @@ MAX_FRAME = 512 * 1024 * 1024
 
 _LEN = struct.Struct(">I")
 
+#: Fixed size of the per-frame HMAC-SHA256 digest.
+_MAC_LEN = hashlib.sha256().digest_size
+
+
+def _frame_mac(token: str | None, blob: bytes) -> bytes:
+    """The HMAC of one frame, keyed by the pool token ("" when unset)."""
+    return hmac.new((token or "").encode("utf-8"), blob, hashlib.sha256).digest()
+
 
 class ClusterError(RuntimeError):
     """A cluster-level failure (protocol, lease, or worker loss)."""
 
 
 class AuthError(ClusterError):
-    """The message token did not match the pool's shared token."""
+    """The frame MAC or message token did not match the pool's token."""
 
 
-def send_msg(sock: socket.socket, msg: dict) -> None:
-    """Write one length-prefixed message to the socket."""
+def send_msg(sock: socket.socket, msg: dict, token: str | None = None) -> None:
+    """Write one length-prefixed, HMAC-authenticated message."""
     blob = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_LEN.pack(len(blob)) + blob)
+    sock.sendall(_LEN.pack(len(blob)) + _frame_mac(token, blob) + blob)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -72,28 +92,50 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(parts)
 
 
-def recv_msg(sock: socket.socket) -> dict:
-    """Read one length-prefixed message from the socket."""
+def recv_msg(sock: socket.socket, token: str | None = None) -> dict:
+    """Read one message, verifying its HMAC **before** unpickling.
+
+    A MAC mismatch raises :class:`AuthError` without the payload ever
+    reaching :func:`pickle.loads` -- the deserializer is behind the
+    authentication check, not in front of it.
+    """
     (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
     if length > MAX_FRAME:
         raise ClusterError(f"frame of {length} bytes exceeds MAX_FRAME")
-    msg = pickle.loads(_recv_exact(sock, length))
+    mac = _recv_exact(sock, _MAC_LEN)
+    blob = _recv_exact(sock, length)
+    if not hmac.compare_digest(mac, _frame_mac(token, blob)):
+        raise AuthError(
+            "frame failed HMAC authentication (pool token mismatch); "
+            "payload discarded undeserialized"
+        )
+    msg = pickle.loads(blob)
     if not isinstance(msg, dict):
         raise ClusterError(f"expected a message dict, got {type(msg).__name__}")
     return msg
 
 
 def request(
-    address: tuple[str, int], msg: dict, timeout: float | None = 30.0
+    address: tuple[str, int],
+    msg: dict,
+    timeout: float | None = 30.0,
+    token: str | None = None,
 ) -> dict:
     """One round-trip: connect, send ``msg``, return the reply.
+
+    Frames are authenticated with ``token``, defaulting to the
+    ``"token"`` field of ``msg`` itself (every pool message carries
+    it), so callers configure the secret exactly once.
 
     Raises :class:`OSError` on connection failure and
     :class:`ClusterError` if the peer replied with an error message.
     """
+    if token is None:
+        value = msg.get("token")
+        token = value if isinstance(value, str) else None
     with socket.create_connection(address, timeout=timeout) as sock:
-        send_msg(sock, msg)
-        reply = recv_msg(sock)
+        send_msg(sock, msg, token)
+        reply = recv_msg(sock, token)
     if reply.get("op") == "error":
         kind = reply.get("kind", "")
         if kind == "auth":

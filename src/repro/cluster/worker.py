@@ -11,7 +11,11 @@ Failure handling is deliberately one-sided: the worker never retries a
 *unit* (the coordinator's lease janitor owns retries); it only retries
 *connections*, with linear backoff, and exits once the coordinator has
 been unreachable for ``max_retries`` consecutive attempts or has
-explicitly replied ``shutdown``.
+explicitly replied ``shutdown``.  An error *reply* (the coordinator is
+alive but refused the message) never kills the worker either: polls
+back off and retry, and an undeliverable result is abandoned to the
+lease janitor.  Only :class:`~repro.cluster.protocol.AuthError` is
+fatal -- a wrong token is a configuration error no retry can fix.
 
 :func:`spawn_local_workers` launches workers of the current
 interpreter as subprocesses (``python -m repro worker ...``) with the
@@ -32,7 +36,7 @@ import time
 import traceback
 from typing import Any
 
-from .protocol import AuthError, request, resolve_fn
+from .protocol import AuthError, ClusterError, request, resolve_fn
 
 __all__ = ["run_worker", "spawn_local_workers", "default_worker_id"]
 
@@ -59,7 +63,7 @@ def _heartbeat_loop(
             )
             if not reply.get("known", True):
                 return  # lease lost; result will be reported as stale
-        except OSError:
+        except (OSError, ClusterError):
             pass  # transient; the next beat may land before the TTL
 
 
@@ -107,7 +111,10 @@ def run_worker(
             failures = 0
         except AuthError:
             raise
-        except OSError:
+        except (OSError, ClusterError):
+            # connection failure OR an error reply (e.g. a transient
+            # dispatch hiccup) -- both are retried, neither may kill
+            # the worker and silently shrink the pool
             failures += 1
             if failures >= max_retries:
                 return executed
@@ -149,6 +156,13 @@ def run_worker(
         for attempt in range(max_retries):
             try:
                 request(address, result)
+                break
+            except AuthError:
+                raise  # misconfigured token: retrying cannot fix it
+            except ClusterError:
+                # the coordinator is alive but rejected the delivery:
+                # the result is lost, the lease janitor re-queues the
+                # unit -- stay in the pool instead of dying
                 break
             except OSError:
                 if stop_event.wait(min(retry_delay * (attempt + 1), 10.0)):

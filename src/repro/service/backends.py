@@ -41,6 +41,7 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "make_backend",
+    "validate_backend_name",
     "BACKEND_NAMES",
 ]
 
@@ -131,6 +132,27 @@ _BACKENDS: dict[str, type[ExecutorBackend]] = {
 BACKEND_NAMES = tuple(sorted(_BACKENDS)) + ("cluster",)
 
 
+def validate_backend_name(name: str) -> None:
+    """Raise ``ValueError`` unless ``name`` names a dispatchable backend.
+
+    Cheap (no pools, no sockets, no imports beyond address parsing), so
+    callers that accept backend names from untrusted input -- the HTTP
+    ``/run`` handler foremost -- can reject a bad name at the door
+    instead of discovering it when a scheduler releases the job.
+    """
+    if name == "cluster":
+        return
+    if name.startswith("cluster:"):
+        from repro.cluster.protocol import parse_address
+
+        parse_address(name[len("cluster:"):])  # ValueError on a bad address
+        return
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(BACKEND_NAMES)}"
+        )
+
+
 def make_backend(name: str, workers: int | None = None) -> ExecutorBackend:
     """Instantiate a backend by name (``inline`` ignores ``workers``).
 
@@ -138,6 +160,7 @@ def make_backend(name: str, workers: int | None = None) -> ExecutorBackend:
     binds the given address for external ``repro worker`` joins (and
     spawns no local workers unless ``workers`` says otherwise).
     """
+    validate_backend_name(name)
     if name == "cluster" or name.startswith("cluster:"):
         from repro.cluster.backend import ClusterBackend
         from repro.cluster.protocol import parse_address
@@ -146,12 +169,7 @@ def make_backend(name: str, workers: int | None = None) -> ExecutorBackend:
             return ClusterBackend(workers)
         host, port = parse_address(name[len("cluster:"):])
         return ClusterBackend(0 if workers is None else workers, host=host, port=port)
-    try:
-        cls = _BACKENDS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown backend {name!r}; available: {', '.join(BACKEND_NAMES)}"
-        ) from None
+    cls = _BACKENDS[name]
     if cls is InlineBackend:
         return cls()
     return cls(workers)

@@ -34,7 +34,10 @@ Durability
     accepted spec and every terminal report.  A restarting server
     recovers the journal: jobs that never finished (queued, running,
     or drain-``interrupted``) are re-submitted under their original
-    ids; completed jobs stay readable at ``GET /jobs/<id>``.
+    ids; completed jobs stay readable at ``GET /jobs/<id>``.  On a
+    journal shared by N replicas, recovery only re-runs jobs minted
+    under this replica's own job-id prefix -- another replica's
+    unfinished jobs are (most likely) still live over there.
 Graceful shutdown
     :meth:`graceful_shutdown` (wired to SIGTERM/SIGINT by
     :meth:`serve_until_shutdown`) stops accepting, journals live jobs
@@ -53,6 +56,8 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any
+
+from repro.service.backends import validate_backend_name
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.jobstore import JobStore
@@ -325,7 +330,15 @@ class ServiceServer:
                 job = self.scheduler.next_job()
                 if job is None:
                     break
-                self.engine.dispatch(job, *job._backend_args)
+                try:
+                    self.engine.dispatch(job, *job._backend_args)
+                except Exception as exc:
+                    # Engine.dispatch never raises by contract; if that
+                    # contract ever breaks, the job must still reach a
+                    # terminal state (its done-hook frees the scheduler
+                    # slot) or _pump_active stays True forever and the
+                    # server stops dispatching for every tenant.
+                    self.engine.fail_dispatch(job, exc)
 
     def _job_done(self, job: Any) -> None:
         """Engine terminal hook: free the slot, journal, chain."""
@@ -338,11 +351,19 @@ class ServiceServer:
             self._prev_done_hook(job)
 
     def _recover(self) -> None:
-        """Replay the job store: re-submit unfinished work, index the rest."""
+        """Replay the job store: re-submit unfinished work, index the rest.
+
+        Recovery is scoped to this replica's job-id prefix: with N
+        replicas sharing one journal, an unfinished job whose id was
+        minted by another replica is very likely still queued/running
+        over there -- re-submitting it here would duplicate-execute it.
+        Foreign records (finished or not) stay readable by id.
+        """
         from repro.cluster.jobstore import RERUN_STATES
 
+        prefix = getattr(self.engine, "job_prefix", "")
         for job_id, record in self.job_store.recover().items():
-            if record["state"] in RERUN_STATES:
+            if record["state"] in RERUN_STATES and job_id.startswith(prefix):
                 try:
                     job = self.engine.submit_deferred(
                         record["spec"], job_id=job_id
@@ -424,6 +445,15 @@ class ServiceServer:
                 # clients must not be able to read server-local paths
                 req._error(400, "spec must be a JSON object, not a path")
                 return
+            backend = str(payload.get("backend") or self.backend)
+            try:
+                # reject a bad backend name at the door (and before
+                # admission, so it never burns quota): once enqueued,
+                # dispatch happens long after this response is gone
+                validate_backend_name(backend)
+            except ValueError as exc:
+                req._error(400, f"bad backend: {exc}")
+                return
             tenant = str(req.headers.get("X-Tenant") or "")
             retry_after = self.scheduler.admit(tenant)
             if retry_after > 0.0:
@@ -434,7 +464,6 @@ class ServiceServer:
                     headers={"Retry-After": str(max(1, int(retry_after + 0.999)))},
                 )
                 return
-            backend = str(payload.get("backend") or self.backend)
             try:
                 job = self.engine.submit_deferred(spec)
             except (ValueError, KeyError, TypeError) as exc:

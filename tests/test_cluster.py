@@ -13,6 +13,8 @@ and its lease is re-queued onto the survivor.
 """
 
 import json
+import pickle
+import socket
 import threading
 import time
 
@@ -21,11 +23,15 @@ import pytest
 from repro.cluster import ClusterBackend, ClusterCoordinator, ClusterError
 from repro.cluster._work import add, boom, echo
 from repro.cluster.protocol import (
+    _LEN,
+    _MAC_LEN,
     AuthError,
     fn_ref,
     parse_address,
+    recv_msg,
     request,
     resolve_fn,
+    send_msg,
 )
 from repro.cluster.worker import run_worker
 from repro.scenarios import scenario_names
@@ -64,6 +70,22 @@ def _wait_until(predicate, timeout=10.0, interval=0.02):
     return False
 
 
+#: Set by :func:`_trip` -- proof a hostile pickle reached the deserializer.
+TRIPPED = []
+
+
+def _trip():
+    TRIPPED.append(True)
+    return {"op": "pwn"}
+
+
+class _Canary:
+    """Pickles to a call of :func:`_trip` on deserialization."""
+
+    def __reduce__(self):
+        return (_trip, ())
+
+
 # ----------------------------------------------------------------------
 # Protocol guards
 # ----------------------------------------------------------------------
@@ -96,6 +118,35 @@ class TestProtocol:
                     "repro.cluster._work:MAX_FRAME"):
             with pytest.raises(ClusterError):
                 resolve_fn(ref)
+
+    def test_hmac_frames_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            send_msg(a, {"op": "ok", "n": 1}, token="s3cret")
+            assert recv_msg(b, token="s3cret")["n"] == 1
+            send_msg(a, {"op": "ok"})  # tokenless pools use the empty key
+            assert recv_msg(b)["op"] == "ok"
+            send_msg(a, {"op": "ok"}, token="left")
+            with pytest.raises(AuthError):
+                recv_msg(b, token="right")
+        finally:
+            a.close()
+            b.close()
+
+    def test_bad_mac_is_rejected_before_unpickling(self):
+        # a crafted pickle from a peer without the token must never
+        # reach pickle.loads -- the MAC check is the pre-auth gate
+        TRIPPED.clear()
+        blob = pickle.dumps(_Canary())
+        a, b = socket.socketpair()
+        try:
+            a.sendall(_LEN.pack(len(blob)) + bytes(_MAC_LEN) + blob)
+            with pytest.raises(AuthError):
+                recv_msg(b, token="s3cret")
+        finally:
+            a.close()
+            b.close()
+        assert TRIPPED == []  # payload discarded undeserialized
 
 
 # ----------------------------------------------------------------------
@@ -211,6 +262,47 @@ class TestCoordinator:
             future.result(timeout=5)
         with pytest.raises(ClusterError):
             coord.submit(echo, "late")
+
+    def test_partial_frame_times_out_without_pinning_the_pool(self):
+        with ClusterCoordinator(io_timeout=0.3) as coord:
+            with socket.create_connection(coord.address, timeout=5) as sock:
+                sock.sendall(b"\x00\x00")  # half a length prefix, then stall
+                sock.settimeout(5.0)
+                try:
+                    leftovers = sock.recv(1)
+                except OSError:
+                    leftovers = b""
+                assert leftovers == b""  # coordinator dropped the connection
+            # the handler thread was freed, not pinned: the pool still works
+            future = coord.submit(add, 1, 1)
+            assert run_worker(coord.address, once=True, poll_hold=2.0) == 1
+            assert future.result(timeout=10) == 2
+
+    def test_worker_survives_error_reply_on_result_delivery(self, monkeypatch):
+        from repro.cluster import worker as worker_mod
+
+        with ClusterCoordinator(lease_ttl=0.3) as coord:
+            future = coord.submit(add, 2, 2)
+            real_request = worker_mod.request
+            rejected = []
+
+            def flaky(address, msg, timeout=30.0, token=None):
+                if msg.get("op") == "result" and not rejected:
+                    rejected.append(msg["unit"])
+                    raise ClusterError("transient dispatch failure")
+                return real_request(address, msg, timeout=timeout, token=token)
+
+            monkeypatch.setattr(worker_mod, "request", flaky)
+            # pre-fix the ClusterError propagated out of run_worker and
+            # silently killed the worker process
+            assert run_worker(coord.address, once=True, poll_hold=2.0) == 1
+            assert rejected and not future.done()  # result lost, worker alive
+            # the abandoned lease expires; the janitor re-queues the unit
+            assert _wait_until(
+                lambda: coord.counters["requeued"] >= 1, timeout=5.0
+            )
+            assert run_worker(coord.address, once=True, poll_hold=2.0) == 1
+            assert future.result(timeout=10) == 4
 
 
 # ----------------------------------------------------------------------

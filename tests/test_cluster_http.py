@@ -210,6 +210,29 @@ class TestHttpRaces:
 
 
 # ----------------------------------------------------------------------
+# Scheduler pump resilience
+# ----------------------------------------------------------------------
+
+
+class TestPumpResilience:
+    def test_undispatchable_job_fails_without_wedging_the_pump(self, gate):
+        gate.release.set()
+        with serve(Engine(seed=0)) as server:
+            # bypass the door validation: simulate a dispatch blowing up
+            # inside the pump loop itself (the review's wedge scenario)
+            job = server.engine.submit_deferred(spec("bad-backend"))
+            job._backend_args = ("gpu", None)
+            server._offer(job)
+            report = job.result(timeout=10)
+            assert report.status is AnalysisStatus.ERROR
+            assert "gpu" in report.detail
+            # the pump survived: a normal submission still dispatches
+            _, sub, _ = _post(f"{server.url}/run", spec("after-bad"))
+            _, done = _get(f"{server.url}/jobs/{sub['job']}?wait=30")
+            assert done["state"] == "done"
+
+
+# ----------------------------------------------------------------------
 # Tenant quotas over HTTP
 # ----------------------------------------------------------------------
 
@@ -331,6 +354,24 @@ class TestDurability:
         # the queued job never computed in the first server's life
         assert gate.calls.count("tail-queued") == 1
         assert gate.calls.count("block-interrupted") == 2
+
+    def test_recovery_is_scoped_to_this_replicas_prefix(self, gate, tmp_path):
+        gate.release.set()
+        store_path = str(tmp_path / "shared.jsonl")
+        with JobStore(store_path) as store:
+            # replica b is still alive and holds b-j000001; only this
+            # replica's own unfinished job may re-run here
+            store.record_submit("b-j000001", spec("foreign-live"))
+            store.record_submit("a-j000001", spec("mine-unfinished"))
+        engine = Engine(seed=0, job_prefix="a-j")
+        with serve(engine, job_store=store_path) as server:
+            _, mine = _get(f"{server.url}/jobs/a-j000001?wait=30")
+            assert mine["state"] == "done"
+            _, foreign = _get(f"{server.url}/jobs/b-j000001")
+            assert foreign["recovered"] is True
+            assert foreign["state"] == "queued"  # readable, never re-run
+        assert "mine-unfinished" in gate.calls
+        assert "foreign-live" not in gate.calls  # no duplicate execution
 
 
 # ----------------------------------------------------------------------

@@ -95,6 +95,32 @@ class TestJobStore:
 
 
 # ----------------------------------------------------------------------
+# Dispatch hardening: a bad backend fails the job, never the caller
+# ----------------------------------------------------------------------
+
+
+class TestDispatchNeverRaises:
+    def test_bad_backend_fails_the_job_instead_of_raising(self):
+        with Engine(seed=0) as engine:
+            job = engine.submit_deferred(probe_spec("bad-backend"))
+            engine.dispatch(job, "gpu")  # scheduler loops rely on no-raise
+            report = job.result(timeout=10)
+            assert report.status is AnalysisStatus.ERROR
+            assert "gpu" in report.detail
+            assert job.status is JobState.FAILED
+
+    def test_done_hook_fires_on_dispatch_failure(self):
+        # the service frees a job's scheduler slot in on_job_done: a
+        # dispatch failure that skipped the hook would leak the slot
+        seen = []
+        with Engine(seed=0, on_job_done=seen.append) as engine:
+            job = engine.submit_deferred(probe_spec("hooked"))
+            engine.dispatch(job, "no-such-backend")
+            assert job.result(timeout=10).status is AnalysisStatus.ERROR
+            assert seen == [job]
+
+
+# ----------------------------------------------------------------------
 # SingleFlight registry
 # ----------------------------------------------------------------------
 

@@ -125,6 +125,27 @@ class TestServe:
         assert err.value.code == 400
         assert "path" in json.loads(err.value.read())["error"]
 
+    def test_unknown_backend_rejected_at_the_door(self, server):
+        # must 400 at submit time: pre-validation the bad name raised
+        # later inside the scheduler pump and wedged dispatching
+        with pytest.raises(HTTPError) as err:
+            _post(
+                f"{server.url}/run",
+                {"spec": smc_spec("gpu-job"), "backend": "gpu"},
+            )
+        assert err.value.code == 400
+        assert "backend" in json.loads(err.value.read())["error"]
+        with pytest.raises(HTTPError) as err:
+            _post(
+                f"{server.url}/run",
+                {"spec": smc_spec("bad-addr"), "backend": "cluster:nope"},
+            )
+        assert err.value.code == 400
+        # the service still dispatches afterwards
+        _, sub = _post(f"{server.url}/run", smc_spec("after-bad-backend"))
+        _, job = _get(f"{server.url}/jobs/{sub['job']}?wait=60")
+        assert job["state"] == "done"
+
     def test_backend_override_per_request(self, server):
         _, sub = _post(
             f"{server.url}/run",
