@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import os
 import threading
 import time
 import traceback
@@ -144,6 +145,12 @@ class Engine:
     job_prefix:
         Prefix of generated job ids (service replicas use distinct
         prefixes so N replicas sharing one job store cannot collide).
+    paving_store:
+        Directory of persistent solve/pave artifacts for warm-started
+        re-solves (:mod:`repro.solver.incremental`); injected into the
+        solver options of every spec that leaves ``paving_store``
+        unset, so near-identical re-submissions reuse stored pavings
+        even when the result cache misses.  ``None`` disables.
     """
 
     def __init__(
@@ -158,6 +165,7 @@ class Engine:
         dedup: bool = False,
         on_job_done: Callable[[JobHandle], None] | None = None,
         job_prefix: str = "j",
+        paving_store: str | None = None,
     ):
         self.workers = workers
         self.seed = seed
@@ -166,6 +174,7 @@ class Engine:
         self.progress_interval = progress_interval
         self.on_job_done = on_job_done
         self.job_prefix = job_prefix
+        self.paving_store = os.fspath(paving_store) if paving_store is not None else None
         if dedup:
             from repro.cluster.singleflight import SingleFlight
 
@@ -291,6 +300,10 @@ class Engine:
         ts = self._coerce(spec)
         if ts.seed is None and self.seed is not None:
             ts = ts.replace(seed=self.seed)
+        if self.paving_store is not None and ts.solver.paving_store is None:
+            ts = ts.replace(
+                solver=dataclasses.replace(ts.solver, paving_store=self.paving_store)
+            )
         return ts
 
     def _submit_one(
@@ -495,6 +508,21 @@ class Engine:
     def dedup_stats(self) -> dict | None:
         """Single-flight counters (``None`` when dedup is disabled)."""
         return None if self._flights is None else self._flights.stats()
+
+    def paving_store_stats(self) -> dict | None:
+        """Paving-store reuse counters (``None`` when no store is set).
+
+        Counters aggregate per store path per process; sharded solves on
+        the process backend run in worker processes whose counters are
+        not visible here (the default thread/inline paths are).
+        """
+        if self.paving_store is None:
+            return None
+        from repro.solver.incremental import get_store
+
+        stats = get_store(self.paving_store).stats()
+        stats["path"] = self.paving_store
+        return stats
 
     def _run_job(self, job: JobHandle, ts: TaskSpec, key: str | None) -> None:
         """Inline/thread worker: progress scope, cache store, job finish."""

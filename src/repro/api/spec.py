@@ -54,6 +54,18 @@ class SolverOptions:
     # enclosure_step); lets reach/therapy scenarios search coarsely but
     # confirm witnesses precisely.
     verify_step: float | None = None
+    # Directory of persistent solve/pave artifacts for warm-started
+    # re-solves (repro.solver.incremental); None disables recording and
+    # reuse.  Engines inject their own store here when the spec leaves
+    # it unset.
+    paving_store: str | None = None
+    # Consult the paving store before searching; False still records
+    # artifacts but always solves cold (the CLI --cold flag).
+    warm_start: bool = True
+    # Stream coarse verdict-so-far snapshots through the ProgressEvent
+    # hookpoint (stage "anytime"): first answer in milliseconds,
+    # monotone refinements after.
+    anytime: bool = False
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any] | None) -> "SolverOptions":

@@ -271,6 +271,9 @@ class FalsifyTask(Task):
                 frontier_size=o.frontier_size,
                 shards=o.shards,
                 shard_backend=o.shard_backend,
+                paving_store=o.paving_store,
+                warm_start=o.warm_start,
+                anytime=o.anytime,
             )
         else:
             raise ValueError(f"unknown falsify method {method!r}")
@@ -471,6 +474,8 @@ class LyapunovTask(Task):
             frontier_size=spec.solver.frontier_size,
             shards=spec.solver.shards,
             shard_backend=spec.solver.shard_backend,
+            paving_store=spec.solver.paving_store,
+            warm_start=spec.solver.warm_start,
         )
         mode = str(q.get("mode", "synthesize"))
         if mode == "synthesize":

@@ -227,6 +227,9 @@ def _falsify_ascent_impl(
     frontier_size: int = 64,
     shards: int = 1,
     shard_backend: object = "process",
+    paving_store: object = None,
+    warm_start: bool = True,
+    anytime: bool = False,
 ) -> FalsificationVerdict:
     if variable not in system.state_names:
         raise ValueError(f"unknown state variable {variable!r}")
@@ -256,6 +259,7 @@ def _falsify_ascent_impl(
     result = DeltaSolver(
         delta=delta, max_boxes=max_boxes, frontier_size=frontier_size,
         shards=shards, shard_backend=shard_backend,
+        paving_store=paving_store, warm_start=warm_start, anytime=anytime,
     )._solve_impl(query, box)
     direction = "ascent" if to_level >= from_level else "descent"
     if result.status is Status.UNSAT:

@@ -92,6 +92,8 @@ class LyapunovAnalyzer:
         frontier_size: int = 64,
         shards: int = 1,
         shard_backend: object = "process",
+        paving_store: object = None,
+        warm_start: bool = True,
     ):
         # inline default parameter values: the exists-forall conditions
         # must mention only states and template coefficients
@@ -105,6 +107,8 @@ class LyapunovAnalyzer:
         self.frontier_size = int(frontier_size)
         self.shards = int(shards)
         self.shard_backend = shard_backend
+        self.paving_store = paving_store
+        self.warm_start = warm_start
 
         residual = system.eval_field(self.equilibrium)
         worst = max(abs(v) for v in residual.values())
@@ -153,6 +157,7 @@ class LyapunovAnalyzer:
             delta=self.delta, max_iterations=max_iterations, seed=seed,
             frontier_size=self.frontier_size,
             shards=self.shards, shard_backend=self.shard_backend,
+            paving_store=self.paving_store, warm_start=self.warm_start,
         )
         res = ef.solve(phi, param_box, self.region)
         if res.status is Status.DELTA_SAT:
@@ -176,6 +181,7 @@ class LyapunovAnalyzer:
             delta=self.delta, max_boxes=max_boxes,
             frontier_size=self.frontier_size,
             shards=self.shards, shard_backend=self.shard_backend,
+            paving_store=self.paving_store, warm_start=self.warm_start,
         )
         res = solver._solve_impl(self.violation(V), self.region)
         if res.status is Status.UNSAT:
@@ -218,6 +224,7 @@ class LyapunovAnalyzer:
             delta=self.delta, max_boxes=max_boxes,
             frontier_size=self.frontier_size,
             shards=self.shards, shard_backend=backend,
+            paving_store=self.paving_store, warm_start=self.warm_start,
         )
 
         def boundary_touch(c: float) -> Formula:

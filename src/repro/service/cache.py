@@ -21,6 +21,7 @@ import hashlib
 import json
 import os
 import threading
+import warnings
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
@@ -32,11 +33,37 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["spec_key", "ResultCache"]
 
 
+#: Task kinds already warned about for non-JSON-able specs (once each:
+#: a sweep of a thousand uncacheable specs should not emit a thousand
+#: warnings).
+_UNCACHEABLE_WARNED: set[str] = set()
+_WARNED_LOCK = threading.Lock()
+
+
 def spec_key(spec: "TaskSpec") -> str | None:
-    """The content hash of a spec, or ``None`` if it is not JSON-able."""
+    """The content hash of a spec, or ``None`` if it is not JSON-able.
+
+    A ``None`` key silently disabled caching *and* single-flight dedup
+    for the spec; that is sometimes intended (live domain objects in the
+    query) but more often an accidentally non-serializable value, so the
+    first occurrence per task kind raises a :class:`RuntimeWarning`.
+    """
     try:
         text = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
     except (TypeError, ValueError):
+        task = getattr(spec, "task", "<unknown>")
+        with _WARNED_LOCK:
+            first = task not in _UNCACHEABLE_WARNED
+            if first:
+                _UNCACHEABLE_WARNED.add(task)
+        if first:
+            warnings.warn(
+                f"spec for task {task!r} is not JSON-serializable; result "
+                "caching and single-flight dedup are disabled for it "
+                "(pass JSON-able values in the query to re-enable)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return None
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 

@@ -498,6 +498,7 @@ class ServiceServer:
         status: dict[str, Any] = {
             "draining": self._draining,
             "dedup": self.engine.dedup_stats(),
+            "paving_store": self.engine.paving_store_stats(),
             "scheduler": self.scheduler.snapshot(),
             "store": None,
             "pool": None,

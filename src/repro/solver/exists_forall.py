@@ -67,6 +67,12 @@ class ExistsForallSolver:
     frontier_size: int = 64
     shards: int = 1
     shard_backend: object = "process"
+    # Paving-artifact store for warm-started re-solves (see
+    # repro.solver.incremental): CEGIS re-verifies near-identical
+    # queries every round, so stored witnesses/covers short-circuit
+    # whole propose/verify solves.
+    paving_store: object = None
+    warm_start: bool = True
 
     def solve(self, phi: Formula, param_box: Box, state_box: Box) -> EFResult:
         """Solve ``exists param_box . forall state_box . phi``.
@@ -100,11 +106,13 @@ class ExistsForallSolver:
             delta=self.delta, max_boxes=self.propose_budget,
             frontier_size=self.frontier_size,
             shards=self.shards, shard_backend=backend,
+            paving_store=self.paving_store, warm_start=self.warm_start,
         )
         verifier = DeltaSolver(
             delta=self.delta, max_boxes=self.verify_budget,
             frontier_size=self.frontier_size,
             shards=self.shards, shard_backend=backend,
+            paving_store=self.paving_store, warm_start=self.warm_start,
         )
         try:
             return self._cegis(

@@ -42,6 +42,15 @@ from repro.progress import emit as _progress
 
 from .contractor import fixpoint_contract
 from .eval3 import Certainty, _certainly_delta_sat_impl, _eval_formula_impl
+from .incremental import (
+    CoverRecorder,
+    formula_fingerprint,
+    get_store,
+    record_pave,
+    record_solve,
+    try_warm_pave,
+    try_warm_solve,
+)
 from .shard import box_sort_key, lex_key, pave_sharded, solve_sharded
 from .tape import CERTAIN_FALSE, CERTAIN_TRUE, compile_formula
 
@@ -168,6 +177,24 @@ class DeltaSolver:
         for reuse -- its lifecycle stays with the caller.
     shard_workers:
         Worker-pool size of the sharded driver (default: ``shards``).
+    paving_store:
+        Where completed solve/pave artifacts persist for warm-started
+        re-solves (:mod:`repro.solver.incremental`): a directory path
+        (one shared :class:`~repro.solver.incremental.PavingStore` per
+        path per process) or a live store instance.  ``None`` (the
+        default) disables artifact recording and reuse entirely.
+    warm_start:
+        Whether to *consult* the paving store before searching.  With a
+        store configured and ``warm_start=False`` the solver still
+        records artifacts but always solves cold (the CLI ``--cold``
+        flag; useful for repopulating a store or benchmarking).
+    anytime:
+        Stream coarse verdict-so-far snapshots through the
+        :mod:`repro.progress` hookpoint (``stage="anytime"``): one event
+        immediately on entry, one per frontier iteration, and a final
+        event carrying the terminal verdict.  Snapshots are monotone --
+        settled-box counters never decrease and the verdict only moves
+        from ``unknown`` to a terminal answer.
     """
 
     delta: float = 1e-3
@@ -178,6 +205,9 @@ class DeltaSolver:
     shards: int = 1
     shard_backend: object = "process"
     shard_workers: int | None = None
+    paving_store: object = None
+    warm_start: bool = True
+    anytime: bool = False
 
     def solve(self, phi: Formula, box: Box) -> Result:
         """Decide ``exists box. phi`` in the delta-relaxed sense.
@@ -198,11 +228,55 @@ class DeltaSolver:
     # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
+    def _resolved_store(self):
+        if self.paving_store is None:
+            return None
+        return get_store(self.paving_store)
+
     def _solve_impl(self, phi: Formula, box: Box) -> Result:
         phi, box = _hoist_existentials(phi, box)
         missing = phi.variables() - set(box.names)
         if missing:
             raise ValueError(f"free variables without bounds: {sorted(missing)}")
+        if self.anytime:
+            # first coarse snapshot before any search work
+            _progress("icp", "anytime", message=Status.UNKNOWN.value,
+                      settled=0, pruned=0, final=0)
+        store = self._resolved_store()
+        recorder = None
+        if store is not None:
+            fp = formula_fingerprint(phi)
+            if self.warm_start:
+                reused = try_warm_solve(
+                    store, phi, fp, box,
+                    delta=self.delta, contract_tol=self.contract_tol,
+                    min_width=self.min_width, max_boxes=self.max_boxes,
+                )
+                if reused is not None:
+                    return self._finish_solve(reused)
+            recorder = CoverRecorder()
+        result = self._dispatch_solve(phi, box, recorder)
+        if store is not None:
+            record_solve(
+                store, fp, box,
+                delta=self.delta, contract_tol=self.contract_tol,
+                min_width=self.min_width, max_boxes=self.max_boxes,
+                result=result, recorder=recorder,
+            )
+        return self._finish_solve(result)
+
+    def _finish_solve(self, result: Result) -> Result:
+        if self.anytime:
+            _progress(
+                "icp", "anytime", message=result.status.value,
+                settled=result.stats.boxes_processed,
+                pruned=result.stats.boxes_pruned, final=1,
+            )
+        return result
+
+    def _dispatch_solve(
+        self, phi: Formula, box: Box, recorder: CoverRecorder | None
+    ) -> Result:
         if self.shards > 1:
             return solve_sharded(
                 phi, box,
@@ -210,10 +284,11 @@ class DeltaSolver:
                 contract_tol=self.contract_tol, min_width=self.min_width,
                 frontier_size=self.frontier_size, shards=self.shards,
                 backend=self.shard_backend, workers=self.shard_workers,
+                recorder=recorder, anytime=self.anytime,
             )
         if self.frontier_size <= 1:
-            return self._solve_scalar(phi, box)
-        return self._solve_batched(phi, box)
+            return self._solve_scalar(phi, box, recorder)
+        return self._solve_batched(phi, box, recorder)
 
     def pave(
         self, phi: Formula, box: Box, min_width: float = 1e-2
@@ -228,7 +303,69 @@ class DeltaSolver:
         Each returned list is sorted by the total lexicographic box
         order, so pavings are byte-identical across ``frontier_size``
         and ``shards`` settings of equal classification.
+
+        With a ``paving_store`` configured, completed pavings persist as
+        reusable artifacts and a re-pave under an equal or tightened
+        ``delta`` / ``min_width`` resumes from the stored leaves instead
+        of re-paving from scratch (unsat leaves carry over verbatim;
+        stored sat/undecided leaves are re-judged or width-checked and
+        only the boxes whose classification can flip re-enter the
+        frontier).
         """
+        if self.anytime:
+            _progress("icp", "anytime", message="paving",
+                      sat=0, unsat=0, undecided=0, final=0)
+        store = self._resolved_store()
+        if store is None:
+            sat, unsat, und, _, _ = self._dispatch_pave(phi, box, min_width, None)
+            return self._finish_pave(sat, unsat, und)
+        fp = formula_fingerprint(phi)
+        if self.warm_start:
+            plan = try_warm_pave(
+                store, phi, fp, box,
+                delta=self.delta, contract_tol=self.contract_tol,
+                min_width=min_width, max_boxes=self.max_boxes,
+            )
+            if plan is not None:
+                if not plan.seeds:
+                    return self._finish_pave(plan.sat, plan.unsat, plan.undecided)
+                n_sat, n_unsat, n_und, _, _ = self._dispatch_pave(
+                    phi, box, min_width, plan.seeds
+                )
+                sat, unsat, und = _sorted_paving(
+                    plan.sat + n_sat, plan.unsat + n_unsat, plan.undecided + n_und
+                )
+                return self._finish_pave(sat, unsat, und)
+        sat, unsat, und, processed, truncated = self._dispatch_pave(
+            phi, box, min_width, None
+        )
+        record_pave(
+            store, fp, box,
+            delta=self.delta, contract_tol=self.contract_tol,
+            min_width=min_width, max_boxes=self.max_boxes,
+            sat=sat, unsat=unsat, undecided=und,
+            processed=processed, truncated=truncated,
+        )
+        return self._finish_pave(sat, unsat, und)
+
+    def _finish_pave(
+        self, sat: list[Box], unsat: list[Box], undecided: list[Box]
+    ) -> tuple[list[Box], list[Box], list[Box]]:
+        if self.anytime:
+            _progress(
+                "icp", "anytime", message="paved",
+                sat=len(sat), unsat=len(unsat), undecided=len(undecided),
+                final=1,
+            )
+        return sat, unsat, undecided
+
+    def _dispatch_pave(
+        self,
+        phi: Formula,
+        box: Box,
+        min_width: float,
+        seeds: list[Box] | None,
+    ) -> tuple[list[Box], list[Box], list[Box], int, bool]:
         if self.shards > 1:
             return pave_sharded(
                 phi, box,
@@ -236,15 +373,18 @@ class DeltaSolver:
                 contract_tol=self.contract_tol, min_width=min_width,
                 frontier_size=self.frontier_size, shards=self.shards,
                 backend=self.shard_backend, workers=self.shard_workers,
+                seeds=seeds, anytime=self.anytime,
             )
         if self.frontier_size <= 1:
-            return self._pave_scalar(phi, box, min_width)
-        return self._pave_batched(phi, box, min_width)
+            return self._pave_scalar(phi, box, min_width, seeds)
+        return self._pave_batched(phi, box, min_width, seeds)
 
     # ------------------------------------------------------------------
     # Batched frontier search
     # ------------------------------------------------------------------
-    def _solve_batched(self, phi: Formula, box: Box) -> Result:
+    def _solve_batched(
+        self, phi: Formula, box: Box, recorder: CoverRecorder | None = None
+    ) -> Result:
         t0 = time.perf_counter()
         stats = SolverStats()
         names = tuple(box.names)
@@ -290,11 +430,24 @@ class DeltaSolver:
                 depth=int(depths.max()), splits=stats.splits,
                 frontier=k,
             )
+            if self.anytime:
+                _progress(
+                    "icp", "anytime", message=Status.UNKNOWN.value,
+                    settled=stats.boxes_processed, pruned=stats.boxes_pruned,
+                    final=0,
+                )
 
             contracted = compiled.fixpoint_contract(frontier, tol=self.contract_tol)
             judgment = compiled.judge(contracted, 0.0)
             dead = contracted.is_empty | (judgment == CERTAIN_FALSE)
             stats.boxes_pruned += int(dead.sum())
+            if recorder is not None:
+                for i in np.flatnonzero(dead):
+                    recorder.add_pruned(
+                        frontier.lo[i], frontier.hi[i],
+                        contracted.lo[i], contracted.hi[i],
+                        bool(contracted.is_empty[i]),
+                    )
             if dead.all():
                 continue
             live_idx = np.flatnonzero(~dead)
@@ -318,6 +471,16 @@ class DeltaSolver:
                 unresolved = live.row(int(np.flatnonzero(narrow)[0]))
             splittable = np.flatnonzero(~narrow)
             if splittable.size:
+                if recorder is not None:
+                    # shells contracted away at split nodes belong to the
+                    # UNSAT cover too (their children only tile the
+                    # contracted box)
+                    for j in splittable:
+                        g = int(live_idx[j])
+                        recorder.add_shells(
+                            frontier.lo[g], frontier.hi[g],
+                            contracted.lo[g], contracted.hi[g],
+                        )
                 parents = live.take(splittable)
                 children = parents.split_widest()
                 stats.splits += int(splittable.size)
@@ -329,19 +492,25 @@ class DeltaSolver:
         return Result(Status.UNSAT, None, self.delta, stats)
 
     def _pave_batched(
-        self, phi: Formula, box: Box, min_width: float
-    ) -> tuple[list[Box], list[Box], list[Box]]:
+        self,
+        phi: Formula,
+        box: Box,
+        min_width: float,
+        seeds: list[Box] | None = None,
+    ) -> tuple[list[Box], list[Box], list[Box], int, bool]:
         names = tuple(box.names)
         compiled = compile_formula(phi)
         sat_boxes: list[Box] = []
         unsat_boxes: list[Box] = []
         undecided: list[Box] = []
-        work: list[Box] = [box]
+        work: list[Box] = list(seeds) if seeds is not None else [box]
         processed = 0
+        truncated = False
         while work:
             remaining = self.max_boxes - processed
             if remaining <= 0:
                 undecided.extend(work)
+                truncated = True
                 break
             k = min(self.frontier_size, remaining, len(work))
             frontier_boxes = [work.pop() for _ in range(k)]
@@ -351,6 +520,12 @@ class DeltaSolver:
                 boxes=processed, queue=len(work),
                 sat=len(sat_boxes), unsat=len(unsat_boxes),
             )
+            if self.anytime:
+                _progress(
+                    "icp", "anytime", message="paving",
+                    sat=len(sat_boxes), unsat=len(unsat_boxes),
+                    undecided=len(undecided), final=0,
+                )
             frontier = BoxArray.from_boxes(frontier_boxes, names)
             contracted = compiled.fixpoint_contract(frontier, tol=self.contract_tol)
             judgment = compiled.judge(contracted, 0.0)
@@ -369,13 +544,25 @@ class DeltaSolver:
                     left, right = contracted.row(i).split()
                     work.append(left)
                     work.append(right)
-        return _sorted_paving(sat_boxes, unsat_boxes, undecided)
+        sat_boxes, unsat_boxes, undecided = _sorted_paving(
+            sat_boxes, unsat_boxes, undecided
+        )
+        return sat_boxes, unsat_boxes, undecided, processed, truncated
 
     # ------------------------------------------------------------------
     # Legacy scalar loop (frontier_size=1; benchmark baseline)
     # ------------------------------------------------------------------
-    def _solve_scalar(self, phi: Formula, box: Box) -> Result:
+    def _solve_scalar(
+        self, phi: Formula, box: Box, recorder: CoverRecorder | None = None
+    ) -> Result:
         t0 = time.perf_counter()
+        names = tuple(box.names)
+
+        def bounds(b: Box) -> tuple[np.ndarray, np.ndarray]:
+            return (
+                np.array([b[k].lo for k in names], dtype=float),
+                np.array([b[k].hi for k in names], dtype=float),
+            )
         stats = SolverStats()
 
         # Priority queue: explore widest boxes first (fair coverage),
@@ -404,15 +591,26 @@ class DeltaSolver:
                 boxes=stats.boxes_processed, queue=len(heap),
                 depth=depth, splits=stats.splits,
             )
+            if self.anytime:
+                _progress(
+                    "icp", "anytime", message=Status.UNKNOWN.value,
+                    settled=stats.boxes_processed, pruned=stats.boxes_pruned,
+                    final=0,
+                )
 
             contracted = fixpoint_contract(phi, current, tol=self.contract_tol)
             if contracted.is_empty:
                 stats.boxes_pruned += 1
+                if recorder is not None:
+                    recorder.add(*bounds(current))
                 continue
 
             judgment = _eval_formula_impl(phi, contracted, delta=0.0)
             if judgment is Certainty.CERTAIN_FALSE:
                 stats.boxes_pruned += 1
+                if recorder is not None:
+                    recorder.add(*bounds(contracted))
+                    recorder.add_shells(*bounds(current), *bounds(contracted))
                 continue
 
             # Try to certify delta-sat on this box directly.
@@ -426,6 +624,8 @@ class DeltaSolver:
                     unresolved = contracted
                 continue
 
+            if recorder is not None:
+                recorder.add_shells(*bounds(current), *bounds(contracted))
             left, right = contracted.split()
             stats.splits += 1
             push(left, depth + 1)
@@ -437,17 +637,24 @@ class DeltaSolver:
         return Result(Status.UNSAT, None, self.delta, stats)
 
     def _pave_scalar(
-        self, phi: Formula, box: Box, min_width: float
-    ) -> tuple[list[Box], list[Box], list[Box]]:
+        self,
+        phi: Formula,
+        box: Box,
+        min_width: float,
+        seeds: list[Box] | None = None,
+    ) -> tuple[list[Box], list[Box], list[Box], int, bool]:
         sat_boxes: list[Box] = []
         unsat_boxes: list[Box] = []
         undecided: list[Box] = []
-        work = [box]
+        work = list(seeds) if seeds is not None else [box]
         processed = 0
+        truncated = False
         while work:
             processed += 1
             if processed > self.max_boxes:
+                processed -= 1
                 undecided.extend(work)
+                truncated = True
                 break
             current = work.pop()
             _progress(
@@ -455,6 +662,12 @@ class DeltaSolver:
                 boxes=processed, queue=len(work),
                 sat=len(sat_boxes), unsat=len(unsat_boxes),
             )
+            if self.anytime:
+                _progress(
+                    "icp", "anytime", message="paving",
+                    sat=len(sat_boxes), unsat=len(unsat_boxes),
+                    undecided=len(undecided), final=0,
+                )
             contracted = fixpoint_contract(phi, current, tol=self.contract_tol)
             if contracted.is_empty:
                 unsat_boxes.append(current)
@@ -473,7 +686,10 @@ class DeltaSolver:
             left, right = contracted.split()
             work.append(left)
             work.append(right)
-        return _sorted_paving(sat_boxes, unsat_boxes, undecided)
+        sat_boxes, unsat_boxes, undecided = _sorted_paving(
+            sat_boxes, unsat_boxes, undecided
+        )
+        return sat_boxes, unsat_boxes, undecided, processed, truncated
 
 
 def _sorted_paving(

@@ -57,6 +57,7 @@ from repro.logic import Formula
 from repro.progress import emit as _progress
 from repro.service.backends import ExecutorBackend, make_backend
 
+from .incremental import shell_slabs
 from .tape import CERTAIN_FALSE, CERTAIN_TRUE, CompiledFormula, compile_formula
 
 __all__ = ["ShardPlan", "split_into_shards", "lex_key", "solve_sharded", "pave_sharded"]
@@ -147,6 +148,7 @@ def _solve_epoch(
     delta: float,
     contract_tol: float,
     min_width: float,
+    record_cover: bool = False,
 ) -> dict:
     """One branch-and-prune pass over a chunk of a shard's frontier.
 
@@ -154,12 +156,26 @@ def _solve_epoch(
     split children that go back on the shard's queue, and counters.
     Pure function of its arguments -- the coordinator's determinism
     rests on that.
+
+    With ``record_cover`` the chunk's contribution to the UNSAT cover
+    (:mod:`repro.solver.incremental`) ships back too: pruned boxes plus
+    the shells contraction peeled off pruned and split nodes.
     """
     compiled = _compiled(phi_blob)
     frontier = BoxArray(names, lo, hi)
     contracted = compiled.fixpoint_contract(frontier, tol=contract_tol)
     judgment = compiled.judge(contracted, 0.0)
     dead = contracted.is_empty | (judgment == CERTAIN_FALSE)
+    cover: list | None = [] if record_cover else None
+    if record_cover:
+        for i in np.flatnonzero(dead):
+            if contracted.is_empty[i]:
+                cover.append((lo[i].copy(), hi[i].copy()))
+            else:
+                cover.append((contracted.lo[i].copy(), contracted.hi[i].copy()))
+                cover.extend(
+                    shell_slabs(lo[i], hi[i], contracted.lo[i], contracted.hi[i])
+                )
     out = {
         "processed": int(len(frontier)),
         "pruned": int(dead.sum()),
@@ -168,6 +184,7 @@ def _solve_epoch(
         "unresolved": [],
         "children": None,
         "max_depth": int(depths.max(initial=0)),
+        "cover": cover,
     }
     live_idx = np.flatnonzero(~dead)
     if not live_idx.size:
@@ -183,6 +200,12 @@ def _solve_epoch(
         out["unresolved"].append((live.lo[i].copy(), live.hi[i].copy()))
     splittable = np.flatnonzero(~narrow)
     if splittable.size:
+        if record_cover:
+            for j in splittable:
+                g = int(live_idx[j])
+                cover.extend(
+                    shell_slabs(lo[g], hi[g], contracted.lo[g], contracted.hi[g])
+                )
         parents = live.take(splittable)
         children = parents.split_widest()
         out["splits"] = int(splittable.size)
@@ -391,6 +414,8 @@ def solve_sharded(
     shards: int,
     backend: str | ExecutorBackend = "process",
     workers: int | None = None,
+    recorder=None,
+    anytime: bool = False,
 ):
     """Decide ``exists box . phi`` across ``shards`` parallel pavers.
 
@@ -398,6 +423,10 @@ def solve_sharded(
     pure function of the arguments (byte-identical results regardless of
     backend or scheduling).  ``phi`` must already be existential-hoisted
     (the :class:`~repro.solver.icp.DeltaSolver` entry point does this).
+
+    ``recorder`` (a :class:`~repro.solver.incremental.CoverRecorder`)
+    collects the UNSAT cover shipped back from the worker epochs;
+    ``anytime`` streams per-epoch verdict-so-far snapshots.
     """
     from .icp import Result, SolverStats, Status  # local: avoid import cycle
 
@@ -408,6 +437,7 @@ def solve_sharded(
     names = tuple(box.names)
     phi_blob = pickle.dumps(phi)
     frontier_size = max(2, int(frontier_size))
+    record_cover = recorder is not None
 
     unresolved: tuple[tuple, np.ndarray, np.ndarray] | None = None
     epoch = 0
@@ -423,6 +453,8 @@ def solve_sharded(
         stats.boxes_pruned += res["pruned"]
         stats.splits += res["splits"]
         stats.max_depth = max(stats.max_depth, res["max_depth"])
+        if record_cover and res.get("cover"):
+            recorder.extend_pairs(res["cover"])
         for lo_r, hi_r in res["unresolved"]:
             cand = (lex_key(lo_r, hi_r), lo_r, hi_r)
             if unresolved is None or cand[0] < unresolved[0]:
@@ -451,7 +483,7 @@ def solve_sharded(
                 phi_blob, names,
                 np.array([e[3] for e in chunk]), np.array([e[4] for e in chunk]),
                 np.array([e[5] for e in chunk], dtype=int),
-                delta, contract_tol, min_width,
+                delta, contract_tol, min_width, record_cover,
             ),
             boot,
         )
@@ -485,6 +517,12 @@ def solve_sharded(
 
             # progress checkpoints fire BEFORE any submit: a cancel can
             # then only unwind between epochs, with no future in flight
+            if anytime:
+                _progress(
+                    "icp", "anytime", message=Status.UNKNOWN.value,
+                    settled=stats.boxes_processed, pruned=stats.boxes_pruned,
+                    final=0,
+                )
             for i, chunk in chunks:
                 _progress(
                     "shard", "branch-and-prune",
@@ -498,7 +536,7 @@ def solve_sharded(
                     np.array([e[3] for e in chunk]),
                     np.array([e[4] for e in chunk]),
                     np.array([e[5] for e in chunk], dtype=int),
-                    delta, contract_tol, min_width,
+                    delta, contract_tol, min_width, record_cover,
                 )
                 for i, chunk in chunks
             ]
@@ -536,13 +574,21 @@ def pave_sharded(
     shards: int,
     backend: str | ExecutorBackend = "process",
     workers: int | None = None,
-) -> tuple[list[Box], list[Box], list[Box]]:
+    seeds: list[Box] | None = None,
+    anytime: bool = False,
+) -> tuple[list[Box], list[Box], list[Box], int, bool]:
     """Partition ``box`` into (delta-sat, unsat, undecided) sub-boxes
     across ``shards`` parallel pavers.
 
     Shard pavings merge under the total lexicographic order of
     :func:`box_sort_key`, so two sharded runs (any backend, any
     scheduling) return byte-identical lists.
+
+    ``seeds`` replaces the root box with an explicit frontier (the
+    warm-start resume path of :mod:`repro.solver.incremental` paves only
+    the boxes whose stored classification can flip).  Also returns the
+    processed-box count and whether the ``max_boxes`` budget truncated
+    the paving.
     """
     names = tuple(box.names)
     phi_blob = pickle.dumps(phi)
@@ -552,6 +598,7 @@ def pave_sharded(
     unsat: list[Box] = []
     undecided: list[Box] = []
     processed = 0
+    truncated = False
     epoch = 0
     steals = 0
 
@@ -571,7 +618,11 @@ def pave_sharded(
     # Bootstrap (see solve_sharded): same tree, hence same classified
     # leaves as the non-sharded paving, regardless of the shard count.
     boot = _ShardQueue()
-    boot.push(*_root_arrays(box, names), 0)
+    if seeds is None:
+        boot.push(*_root_arrays(box, names), 0)
+    else:
+        for seed in seeds:
+            boot.push(*_root_arrays(seed, names), 0)
     while boot and len(boot) < shards and processed < max_boxes:
         chunk = boot.take_chunk(
             min(frontier_size, len(boot), max_boxes - processed)
@@ -598,6 +649,7 @@ def pave_sharded(
                 undecided.extend(
                     _rebox(names, e[3], e[4]) for q in queues for e in q.entries
                 )
+                truncated = True
                 break
 
             epoch += 1
@@ -611,6 +663,12 @@ def pave_sharded(
 
             # see solve_sharded: checkpoints precede submits so a cancel
             # never strands an in-flight future
+            if anytime:
+                _progress(
+                    "icp", "anytime", message="paving",
+                    sat=len(sat), unsat=len(unsat),
+                    undecided=len(undecided), final=0,
+                )
             for i, chunk in chunks:
                 _progress(
                     "shard", "paving",
@@ -639,4 +697,4 @@ def pave_sharded(
     sat.sort(key=box_sort_key)
     unsat.sort(key=box_sort_key)
     undecided.sort(key=box_sort_key)
-    return sat, unsat, undecided
+    return sat, unsat, undecided, processed, truncated

@@ -91,15 +91,21 @@ class TestRun:
         unsharded = json.loads(capsys.readouterr().out)
         assert unsharded["status"] == report["status"]
 
-    def test_apply_shards_helper(self):
-        from repro.api.cli import _apply_shards
+    def test_apply_solver_overrides_helper(self):
+        from repro.api.cli import _apply_solver_overrides
         from repro.api.spec import TaskSpec
 
         spec = TaskSpec.from_dict(CALIBRATE_SCENARIO)
-        assert _apply_shards([spec], None)[0].solver.shards == 1
-        overridden = _apply_shards([spec], 4)[0]
+        assert _apply_solver_overrides([spec], None)[0].solver.shards == 1
+        overridden = _apply_solver_overrides([spec], 4)[0]
         assert overridden.solver.shards == 4
         assert spec.solver.shards == 1  # original untouched
+        warmed = _apply_solver_overrides(
+            [spec], None, paving_store="/tmp/store", cold=True
+        )[0]
+        assert warmed.solver.paving_store == "/tmp/store"
+        assert warmed.solver.warm_start is False
+        assert spec.solver.warm_start is True  # original untouched
 
     def test_run_bad_scenario_exits_nonzero(self, tmp_path, capsys):
         path = tmp_path / "bad.json"

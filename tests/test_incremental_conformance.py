@@ -1,0 +1,177 @@
+"""Warm-vs-cold conformance over the full scenario catalog.
+
+The golden corpus (``tests/test_golden_corpus.py``) pins every
+scenario's verdict across the three solver paths; this module pins the
+*incremental* axis: for every catalog scenario, a warm-started re-solve
+of a perturbed variant (delta tightened, or one query bound nudged)
+must project to exactly the report a cold solve of that variant
+produces.  The store may only ever change *how fast* an answer
+arrives, never *which* answer.
+
+Also covered here: the ``--paving-store`` / ``--cold`` CLI flags and
+the store counters surfaced on ``GET /cluster``.
+"""
+
+import dataclasses
+import json
+from urllib.request import urlopen
+
+import pytest
+
+from repro.api import Engine
+from repro.scenarios import get_scenario, scenario_names
+from repro.tools.golden import project_report
+
+#: Scenarios whose repeated runs are expensive (policy search over SMC
+#: scoring); exercised only in the full (non-PR) workflow.
+SLOW_SCENARIOS = {"ias-policy"}
+
+#: Relative nudge applied to the first float query leaf: exactly
+#: representable (2^-10), large enough to change the compiled tape,
+#: small enough to keep every catalog query well-posed.
+PERTURB = 1.0 + 2.0 ** -10
+
+
+def _perturb_first_float(obj):
+    """A deep copy of ``obj`` with its first float leaf scaled, plus
+    whether one was found (bools and ints are left alone)."""
+    if isinstance(obj, float):
+        return obj * PERTURB, True
+    if isinstance(obj, dict):
+        out, done = {}, False
+        for k, v in obj.items():
+            if done:
+                out[k] = v
+            else:
+                out[k], done = _perturb_first_float(v)
+        return out, done
+    if isinstance(obj, list):
+        out, done = [], False
+        for v in obj:
+            if done:
+                out.append(v)
+            else:
+                nv, done = _perturb_first_float(v)
+                out.append(nv)
+        return out, done
+    return obj, False
+
+
+def _variants(spec):
+    """The perturbed re-solve variants of one scenario spec."""
+    tightened = spec.replace(
+        solver=dataclasses.replace(spec.solver, delta=spec.solver.delta * 0.5)
+    )
+    out = [("tightened-delta", tightened)]
+    query, found = _perturb_first_float(dict(spec.query))
+    if found:
+        out.append(("perturbed-bound", spec.replace(query=query)))
+    return out
+
+
+def _run(spec):
+    with Engine(seed=0) as engine:
+        return project_report(engine.run(spec))
+
+
+def _scenario_params():
+    for name in scenario_names():
+        marks = [pytest.mark.slow] if name in SLOW_SCENARIOS else []
+        yield pytest.param(name, marks=marks, id=name)
+
+
+@pytest.mark.parametrize("name", _scenario_params())
+def test_warm_resolve_matches_cold_resolve(name, tmp_path):
+    """Store-assisted re-solves of every catalog scenario variant
+    project identically to cold solves of the same variant."""
+    base = get_scenario(name).spec()
+    store = str(tmp_path / "store")
+    warmed = lambda s: s.replace(  # noqa: E731
+        solver=dataclasses.replace(s.solver, paving_store=store)
+    )
+    _run(warmed(base))  # populate the store from the base solve
+    for label, variant in _variants(base):
+        warm = _run(warmed(variant))
+        cold = _run(variant)
+        assert warm == cold, (
+            f"{name}/{label}: warm-started projection diverged from cold"
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI flags
+# ----------------------------------------------------------------------
+
+
+class TestCli:
+    def _scenario_file(self, tmp_path):
+        spec = get_scenario("cardiac-fk-dome").spec()
+        path = tmp_path / "scenario.json"
+        path.write_text(spec.to_json())
+        return str(path)
+
+    def test_run_with_paving_store_warm_equals_cold(self, tmp_path, capsys):
+        from repro.api.cli import main
+
+        scenario = self._scenario_file(tmp_path)
+        store = str(tmp_path / "store")
+        assert main(["run", scenario, "--paving-store", store, "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["run", scenario, "--paving-store", store, "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["status"] == first["status"]
+        # artifacts really landed on disk
+        assert any((tmp_path / "store").rglob("*.json"))
+
+    def test_cold_flag_disables_warm_start(self, tmp_path, capsys):
+        from repro.api.cli import main
+
+        scenario = self._scenario_file(tmp_path)
+        store = str(tmp_path / "store")
+        assert main([
+            "run", scenario, "--paving-store", store, "--cold", "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"]  # ran to completion, recorded cold
+
+
+# ----------------------------------------------------------------------
+# Service counters
+# ----------------------------------------------------------------------
+
+
+class TestServiceCounters:
+    def test_engine_reports_store_stats(self, tmp_path):
+        store = str(tmp_path / "store")
+        spec = get_scenario("cardiac-fk-dome").spec()
+        with Engine(seed=0, paving_store=store) as engine:
+            assert engine.paving_store_stats()["stores"] == 0
+            first = engine.run(spec)
+            stats = engine.paving_store_stats()
+            assert stats["stores"] >= 1 and stats["path"] == store
+            second = engine.run(spec)
+            assert engine.paving_store_stats()["hits"] >= 1
+        assert second.status == first.status
+
+    def test_engine_without_store_reports_none(self):
+        with Engine(seed=0) as engine:
+            assert engine.paving_store_stats() is None
+
+    def test_cluster_route_exposes_store_counters(self, tmp_path):
+        from repro.api import ServiceServer
+
+        store = str(tmp_path / "store")
+        spec = get_scenario("cardiac-fk-dome").spec()
+        engine = Engine(seed=0, paving_store=store)
+        server = ServiceServer(engine, port=0).start()
+        try:
+            engine.run(spec)
+            engine.run(spec)
+            with urlopen(f"{server.url}/cluster", timeout=30) as resp:
+                cluster = json.load(resp)
+            counters = cluster["paving_store"]
+            assert counters["path"] == store
+            assert counters["stores"] >= 1 and counters["hits"] >= 1
+        finally:
+            server.shutdown()
+            engine.close(wait=False)
