@@ -1,0 +1,100 @@
+"""End-to-end throughput of the scenario corpus pipeline.
+
+Times the three corpus stages on real workloads:
+
+* **generate** — procedurally build every family at its default size
+  (pure Python, no solving);
+* **ingest** — bulk-import the committed SBML file corpus
+  (``src/repro/scenarios/data/sbml/``) including bounds inference and
+  template instantiation;
+* **solve** — push a seed-deterministic slice of registered corpus
+  entries through one engine batch and report entries/sec.
+
+CI runs this in ``--quick`` mode and uploads the JSON as the
+``BENCH_corpus_throughput.json`` artifact::
+
+    python benchmarks/corpus_throughput.py --quick --out BENCH_corpus_throughput.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+
+def corpus_slice(per_family: int) -> list:
+    """The first N sorted entries of every registered family."""
+    from repro.scenarios import corpus_families, find_scenarios
+
+    specs = []
+    for family in sorted(corpus_families()):
+        members = sorted(find_scenarios(family=family), key=lambda s: s.name)
+        specs.extend(entry.spec() for entry in members[:per_family])
+    return specs
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="solve a 2-per-family slice (CI smoke mode)")
+    parser.add_argument("--per-family", type=int, default=None,
+                        help="solved entries per family (default 6, quick: 2)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--out", default="BENCH_corpus_throughput.json")
+    args = parser.parse_args(argv)
+
+    from repro.api import Engine
+    from repro.scenarios import corpus_families, generate_corpus
+    from repro.scenarios.corpus import SBML_DIR
+    from repro.scenarios.ingest import ingest_dir
+
+    t0 = time.perf_counter()
+    generated = generate_corpus()
+    generate_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    ingested = ingest_dir(SBML_DIR)
+    ingest_s = time.perf_counter() - t0
+
+    per_family = args.per_family or (2 if args.quick else 6)
+    specs = corpus_slice(per_family)
+    with Engine(workers=args.workers, seed=0) as engine:
+        t0 = time.perf_counter()
+        reports = engine.run_batch(specs)
+        solve_s = time.perf_counter() - t0
+
+    verdicts: dict[str, int] = {}
+    for report in reports:
+        verdicts[report.status.value] = verdicts.get(report.status.value, 0) + 1
+
+    result = {
+        "benchmark": "corpus_throughput",
+        "mode": "quick" if args.quick else "full",
+        "families": corpus_families(),
+        "generated_entries": len(generated),
+        "generate_seconds": round(generate_s, 4),
+        "generate_entries_per_s": round(len(generated) / generate_s, 1),
+        "ingested_entries": len(ingested.entries),
+        "ingested_files": ingested.files,
+        "ingest_skipped": len(ingested.skipped),
+        "ingest_seconds": round(ingest_s, 4),
+        "ingest_entries_per_s": round(len(ingested.entries) / ingest_s, 1),
+        "solved_entries": len(specs),
+        "solve_seconds": round(solve_s, 4),
+        "solve_entries_per_s": round(len(specs) / solve_s, 3),
+        "verdicts": dict(sorted(verdicts.items())),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+    print(json.dumps(result, indent=2))
+
+    solved_ok = all(r.status.value != "error" for r in reports)
+    if not (generated and ingested.entries and solved_ok):
+        print("FAIL: corpus pipeline produced errors or no entries")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,7 @@ be worse than refusing it.
 
 from __future__ import annotations
 
+import math
 import xml.etree.ElementTree as ET
 from dataclasses import dataclass, field
 
@@ -39,6 +40,17 @@ class SBMLError(ValueError):
 def _strip(tag: str) -> str:
     """Drop the XML namespace from a tag."""
     return tag.rsplit("}", 1)[-1]
+
+
+def _finite(raw: str, what: str) -> float:
+    """Parse ``raw`` as a finite float, or raise :class:`SBMLError`."""
+    try:
+        value = float(raw)
+    except (TypeError, ValueError) as exc:
+        raise SBMLError(f"{what} is not a number: {raw!r}") from exc
+    if not math.isfinite(value):
+        raise SBMLError(f"{what} is not finite: {raw!r}")
+    return value
 
 
 @dataclass
@@ -155,7 +167,10 @@ def parse_sbml(text: str) -> SBMLModel:
     for el in section("listOfCompartments"):
         cid = el.attrib.get("id")
         if cid:
-            compartments[cid] = float(el.attrib.get("size", 1.0))
+            size = _finite(el.attrib.get("size", 1.0), f"compartment {cid!r} size")
+            if size <= 0.0:
+                raise SBMLError(f"compartment {cid!r} has non-positive size {size!r}")
+            compartments[cid] = size
 
     species_init: dict[str, float] = {}
     species_compartment: dict[str, str] = {}
@@ -164,8 +179,22 @@ def parse_sbml(text: str) -> SBMLModel:
         sid = el.attrib.get("id")
         if not sid:
             raise SBMLError("species without id")
-        conc = el.attrib.get("initialConcentration", el.attrib.get("initialAmount", "0"))
-        species_init[sid] = float(conc)
+        conc_attr = el.attrib.get("initialConcentration")
+        amount_attr = el.attrib.get("initialAmount")
+        if conc_attr is not None and amount_attr is not None:
+            # both units declared at once: refusing beats guessing which
+            # one the author meant (they disagree whenever size != 1)
+            raise SBMLError(
+                f"species {sid!r} declares both initialConcentration and "
+                "initialAmount; units are ambiguous"
+            )
+        conc = _finite(
+            conc_attr if conc_attr is not None else (amount_attr or "0"),
+            f"species {sid!r} initial value",
+        )
+        if conc < 0.0:
+            raise SBMLError(f"species {sid!r} has negative initial value {conc!r}")
+        species_init[sid] = conc
         species_compartment[sid] = el.attrib.get("compartment", "")
         if el.attrib.get("boundaryCondition", "false").lower() == "true":
             boundary.add(sid)
@@ -174,7 +203,9 @@ def parse_sbml(text: str) -> SBMLModel:
     for el in section("listOfParameters"):
         pid = el.attrib.get("id")
         if pid:
-            params[pid] = float(el.attrib.get("value", 0.0))
+            params[pid] = _finite(
+                el.attrib.get("value", 0.0), f"parameter {pid!r} value"
+            )
 
     # accumulate dS/dt
     derivs: dict[str, Expr] = {s: Const(0.0) for s in species_init if s not in boundary}
@@ -189,14 +220,16 @@ def parse_sbml(text: str) -> SBMLModel:
             ptag = _strip(part.tag)
             if ptag == "listOfReactants":
                 for sr in part:
-                    reactants.append(
-                        (sr.attrib["species"], float(sr.attrib.get("stoichiometry", 1)))
-                    )
+                    reactants.append((
+                        sr.attrib["species"],
+                        _finite(sr.attrib.get("stoichiometry", 1), f"{rid!r} stoichiometry"),
+                    ))
             elif ptag == "listOfProducts":
                 for sr in part:
-                    products.append(
-                        (sr.attrib["species"], float(sr.attrib.get("stoichiometry", 1)))
-                    )
+                    products.append((
+                        sr.attrib["species"],
+                        _finite(sr.attrib.get("stoichiometry", 1), f"{rid!r} stoichiometry"),
+                    ))
             elif ptag == "kineticLaw":
                 for kchild in part:
                     ktag = _strip(kchild.tag)
@@ -207,7 +240,13 @@ def parse_sbml(text: str) -> SBMLModel:
                             lid = lp.attrib.get("id")
                             if lid:
                                 # prefix to avoid collisions with globals
-                                params.setdefault(lid, float(lp.attrib.get("value", 0.0)))
+                                params.setdefault(
+                                    lid,
+                                    _finite(
+                                        lp.attrib.get("value", 0.0),
+                                        f"local parameter {lid!r} value",
+                                    ),
+                                )
         if kinetic is None:
             raise SBMLError(f"reaction {rid!r} has no kinetic law")
         __ = reversible  # reversibility is encoded in the rate sign

@@ -31,6 +31,8 @@ __all__ = [
     "scenario_names",
     "all_scenarios",
     "find_scenarios",
+    "core_scenario_names",
+    "corpus_families",
     "scenario_table",
 ]
 
@@ -100,6 +102,11 @@ class Scenario:
         parameterization is expected to report, or ``None``.
     description:
         Longer prose for ``repro scenarios show`` and the docs gallery.
+    family:
+        Corpus family the entry belongs to (``"sbml"``,
+        ``"mass-action"``, ...).  Hand-written core entries leave it
+        empty; ingested/generated entries set it so tooling can scope
+        to the core catalog or group the corpus by provenance.
     """
 
     name: str
@@ -115,6 +122,7 @@ class Scenario:
     paper_section: str = ""
     expected: str | None = None
     description: str = ""
+    family: str = ""
 
     def __post_init__(self):
         """Normalize JSON-sourced field shapes (lists, numeric seeds)."""
@@ -176,6 +184,7 @@ class Scenario:
             "paper_section": self.paper_section,
             "expected": self.expected,
             "description": self.description,
+            "family": self.family,
         }
 
     @classmethod
@@ -198,6 +207,7 @@ class Scenario:
             paper_section=str(d.get("paper_section", "")),
             expected=None if d.get("expected") is None else str(d["expected"]),
             description=str(d.get("description", "")),
+            family=str(d.get("family", "")),
         )
 
     def to_json(self, indent: int | None = None) -> str:
@@ -263,16 +273,39 @@ def all_scenarios() -> Iterator[Scenario]:
         yield _REGISTRY[name]
 
 
-def find_scenarios(tag: str | None = None, task: str | None = None) -> list[Scenario]:
-    """Filter the catalog by tag and/or task kind."""
+def find_scenarios(
+    tag: str | None = None,
+    task: str | None = None,
+    family: str | None = None,
+) -> list[Scenario]:
+    """Filter the catalog by tag, task kind and/or corpus family.
+
+    ``family=""`` selects the hand-written core entries (no family).
+    """
     out = []
     for s in all_scenarios():
         if tag is not None and tag not in s.tags:
             continue
         if task is not None and s.task != task:
             continue
+        if family is not None and s.family != family:
+            continue
         out.append(s)
     return out
+
+
+def core_scenario_names() -> list[str]:
+    """Names of the hand-written core entries (no corpus family)."""
+    return [s.name for s in all_scenarios() if not s.family]
+
+
+def corpus_families() -> dict[str, int]:
+    """Registered corpus families mapped to their entry counts."""
+    counts: dict[str, int] = {}
+    for s in all_scenarios():
+        if s.family:
+            counts[s.family] = counts.get(s.family, 0) + 1
+    return counts
 
 
 def scenario_table() -> list[tuple[str, str, str]]:

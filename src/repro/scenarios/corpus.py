@@ -1,0 +1,54 @@
+"""The committed scenario corpus: pre-triaged ingested + generated entries.
+
+``data/corpus.json`` is produced by ``python -m repro.tools.regen_corpus``
+— it ingests the committed SBML files (``data/sbml/*.xml``, written by
+:func:`repro.scenarios.generate.write_sbml_corpus`), generates every
+procedural family at its default size and seed, triages the expected
+verdict of each entry with a budget-bound solve, and writes the result
+as one deterministic JSON array.  Loading it back is therefore a pure
+data operation: importing ``repro.scenarios`` registers ~150 corpus
+entries without solving anything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .catalog import Scenario, _REGISTRY, register_scenario
+
+__all__ = ["DATA_DIR", "CORPUS_FILE", "SBML_DIR", "load_corpus", "register_corpus"]
+
+#: Package data directory holding the committed corpus.
+DATA_DIR = Path(__file__).resolve().parent / "data"
+
+#: The pre-triaged corpus entries (one JSON array).
+CORPUS_FILE = DATA_DIR / "corpus.json"
+
+#: The committed SBML file corpus the ``sbml`` family is ingested from.
+SBML_DIR = DATA_DIR / "sbml"
+
+
+def load_corpus(path: str | Path | None = None) -> list[Scenario]:
+    """Read the committed corpus entries (without registering them)."""
+    file = CORPUS_FILE if path is None else Path(path)
+    if not file.exists():
+        return []
+    with open(file, "r", encoding="utf-8") as fh:
+        raw = json.load(fh)
+    return [Scenario.from_dict(d) for d in raw]
+
+
+def register_corpus(path: str | Path | None = None) -> int:
+    """Register the committed corpus; returns how many entries landed.
+
+    Idempotent: entries already present (e.g. on repeated import) are
+    left alone rather than tripping the duplicate-name guard.
+    """
+    count = 0
+    for entry in load_corpus(path):
+        if entry.name in _REGISTRY:
+            continue
+        register_scenario(entry)
+        count += 1
+    return count

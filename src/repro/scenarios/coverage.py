@@ -1,0 +1,165 @@
+"""Corpus coverage: task kind × model class × verdict × solve path.
+
+A 150-entry corpus is only useful if its *spread* is known: which task
+kinds exercise which model classes, what verdicts they pin, and which
+solver paths (serial / vectorized / sharded / warm) each cell drives.
+:func:`coverage_report` computes that cross-tabulation over the
+registered catalog, :func:`render_table` prints it, and
+:func:`check_coverage` enforces the CI floor — no supported
+task-kind × model-class cell may be empty, so corpus regressions are
+visible instead of assumed away.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .catalog import Scenario, all_scenarios
+
+__all__ = [
+    "model_class",
+    "solve_paths",
+    "coverage_report",
+    "render_table",
+    "check_coverage",
+    "SUPPORTED_CELLS",
+]
+
+#: Builtin model factories that produce hybrid automata.
+_HYBRID_BUILTINS = frozenset({
+    "thermostat", "bouncing_ball", "fenton_karma_hybrid", "fenton_karma_rest",
+    "bcf_hybrid", "ias_model", "tbi_model",
+})
+
+#: Solve paths each task kind drives.  Box-paving tasks honor the
+#: frontier/shard/warm-start solver options and are exercised on all
+#: four differential paths; enclosure/BMC tasks run one deterministic
+#: interval pipeline; sampling tasks are Monte-Carlo.
+_TASK_PATHS: dict[str, tuple[str, ...]] = {
+    "falsify": ("serial", "vectorized", "sharded", "warm"),
+    "lyapunov": ("serial", "vectorized", "sharded", "warm"),
+    "calibrate": ("serial", "vectorized"),
+    "pipeline": ("serial", "vectorized"),
+    "reach": ("enclosure",),
+    "robustness": ("enclosure",),
+    "therapy": ("enclosure",),
+    "smc": ("sampled",),
+}
+
+#: The (task kind, model class) cells the shipped task registry
+#: supports and the corpus must populate.  Hybrid-only tasks (reach,
+#: robustness, therapy) never pair with plain ODE classes; data-driven
+#: tasks (calibrate, pipeline) need banded samples, which only the
+#: hand-written ODE entries carry today.
+SUPPORTED_CELLS: tuple[tuple[str, str], ...] = (
+    ("calibrate", "ode"),
+    ("falsify", "ode"),
+    ("falsify", "massaction"),
+    ("smc", "ode"),
+    ("smc", "massaction"),
+    ("smc", "hybrid"),
+    ("reach", "hybrid"),
+    ("robustness", "hybrid"),
+    ("therapy", "hybrid"),
+    ("lyapunov", "ode"),
+    ("lyapunov", "massaction"),
+    ("pipeline", "ode"),
+)
+
+
+def model_class(scenario: Scenario) -> str:
+    """Classify a scenario's model: ``hybrid``, ``massaction`` or ``ode``."""
+    model = scenario.model
+    if model.get("type") == "hybrid":
+        return "hybrid"
+    if model.get("builtin") in _HYBRID_BUILTINS:
+        return "hybrid"
+    if "massaction" in scenario.tags:
+        return "massaction"
+    return "ode"
+
+
+def solve_paths(task: str) -> tuple[str, ...]:
+    """The solver paths a task kind drives (see ``_TASK_PATHS``)."""
+    return _TASK_PATHS.get(task, ("serial",))
+
+
+def coverage_report(entries: Iterable[Scenario] | None = None) -> dict:
+    """Cross-tabulate the catalog (or ``entries``) into a coverage report.
+
+    The report is plain JSON-able data: totals, per-family counts, one
+    row per populated (task, model class) cell with its verdict
+    histogram and solve paths, and the list of supported cells that
+    are empty (the CI floor violation set).
+    """
+    scenarios = list(all_scenarios() if entries is None else entries)
+    cells: dict[tuple[str, str], dict] = {}
+    families: dict[str, int] = {}
+    for s in scenarios:
+        cls = model_class(s)
+        key = (s.task, cls)
+        cell = cells.setdefault(key, {
+            "task": s.task,
+            "model_class": cls,
+            "entries": 0,
+            "verdicts": {},
+            "paths": list(solve_paths(s.task)),
+        })
+        cell["entries"] += 1
+        verdict = s.expected or "untriaged"
+        cell["verdicts"][verdict] = cell["verdicts"].get(verdict, 0) + 1
+        families[s.family or "core"] = families.get(s.family or "core", 0) + 1
+    empty = sorted(
+        f"{task}/{cls}" for task, cls in SUPPORTED_CELLS if (task, cls) not in cells
+    )
+    return {
+        "total": len(scenarios),
+        "families": dict(sorted(families.items())),
+        "cells": [
+            {**cells[key], "verdicts": dict(sorted(cells[key]["verdicts"].items()))}
+            for key in sorted(cells)
+        ],
+        "supported": [f"{t}/{c}" for t, c in SUPPORTED_CELLS],
+        "empty_supported": empty,
+    }
+
+
+def render_table(report: dict) -> str:
+    """Human-readable rendering of a :func:`coverage_report` dict."""
+    lines = [f"corpus: {report['total']} entries"]
+    fams = ", ".join(f"{k}={v}" for k, v in report["families"].items())
+    lines.append(f"families: {fams}")
+    lines.append("")
+    header = f"{'task':<12} {'model class':<12} {'entries':>7}  verdicts (paths)"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cell in report["cells"]:
+        verdicts = ", ".join(f"{k}:{v}" for k, v in cell["verdicts"].items())
+        paths = "/".join(cell["paths"])
+        lines.append(
+            f"{cell['task']:<12} {cell['model_class']:<12} "
+            f"{cell['entries']:>7}  {verdicts} ({paths})"
+        )
+    if report["empty_supported"]:
+        lines.append("")
+        lines.append(
+            "EMPTY supported cells: " + ", ".join(report["empty_supported"])
+        )
+    else:
+        lines.append("")
+        lines.append(
+            f"all {len(report['supported'])} supported task/model-class "
+            "cells are populated"
+        )
+    return "\n".join(lines)
+
+
+def check_coverage(report: dict) -> list[str]:
+    """The coverage-floor violations (empty supported cells), if any."""
+    return list(report["empty_supported"])
+
+
+def coverage_json(report: dict) -> str:
+    """Deterministic JSON rendering of a coverage report."""
+    return json.dumps(report, indent=1) + "\n"

@@ -1,0 +1,689 @@
+"""Procedural scenario families: seed-deterministic corpus growth.
+
+Hand-written catalog entries are a gallery; this module turns them into
+a *population*.  Each family is a pure function of ``(seed, count)``
+that returns fully-formed, JSON-able :class:`~repro.scenarios.catalog.
+Scenario` entries — byte-deterministic under a fixed seed, so the
+committed corpus (``data/corpus.json``) can be regenerated and diffed.
+
+Families
+--------
+``mass-action``
+    Random conservative reaction networks (conversion chains and
+    cycles) rendered as inline native ODE models, with
+    conservation-law-aware state bounds ``[0, total mass]``.  Chain
+    networks drain their head species (ascent impossible → falsified);
+    cycle networks feed it back (ascent feasible → delta-sat).
+``switched``
+    Thermostat variants of the hybrid zoo: jittered switch thresholds
+    and heater gains, alternating reach-synthesis and robustness
+    queries.
+``cardiac-perturbed``
+    Perturbed-parameter cohorts of the Fenton-Karma / Bueno-Cherry-
+    Fenton dome queries (the paper's cardiac case study).
+``ias-perturbed``
+    Perturbed burden caps and initial tumor loads for the prostate IAS
+    cohort, scored with small Bayesian SMC runs.
+
+The module also hosts :class:`ReactionNetwork` — a writable reaction-
+network description whose :meth:`ReactionNetwork.to_sbml` /
+:meth:`ReactionNetwork.to_ode` pair mirrors ``repro.io.sbml`` exactly,
+which is what makes the SBML round-trip property tests possible — and
+:func:`write_sbml_corpus`, which emits the committed SBML file corpus
+consumed by ``repro.scenarios.ingest``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.expr import Binary, Const, Expr, Unary, Var, parse_expr
+from repro.io.native import ode_to_dict
+from repro.odes import ODESystem
+
+from .catalog import Scenario
+
+__all__ = [
+    "Reaction",
+    "ReactionNetwork",
+    "FAMILIES",
+    "DEFAULT_SEED",
+    "family_names",
+    "generate_family",
+    "generate_corpus",
+    "random_network",
+    "write_sbml_corpus",
+]
+
+#: Seed used for the committed corpus (``data/corpus.json``).
+DEFAULT_SEED = 2020
+
+
+# ----------------------------------------------------------------------
+# reaction networks and the SBML writer
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Reaction:
+    """One reaction: stoichiometric reactants/products plus a rate law.
+
+    The rate is an infix expression string over species and parameter
+    names (``"k0 * s0"``), parsed with the repro expression grammar.
+    """
+
+    rid: str
+    reactants: dict[str, float]
+    products: dict[str, float]
+    rate: str
+
+
+@dataclass
+class ReactionNetwork:
+    """A writable reaction-network model (the inverse of ``parse_sbml``).
+
+    Attributes
+    ----------
+    name:
+        Model id, used as the SBML ``<model id>`` and the ODE name.
+    species:
+        Ordered species ids; order fixes the state order of the ODE.
+    initial:
+        Initial concentration per species (must cover every species).
+    params:
+        Rate-law parameter values.
+    reactions:
+        The reaction list, applied in order.
+    rate_rules:
+        Extra ``rateRule`` contributions per species (infix strings).
+    boundary:
+        Species held constant (SBML ``boundaryCondition="true"``);
+        substituted by their initial values, like the reader does.
+    compartment_size:
+        Size of the single ``cell`` compartment; rates are divided by
+        it when it is not 1.0, mirroring the reader's scaling.
+    """
+
+    name: str
+    species: list[str]
+    initial: dict[str, float]
+    params: dict[str, float] = field(default_factory=dict)
+    reactions: list[Reaction] = field(default_factory=list)
+    rate_rules: dict[str, str] = field(default_factory=dict)
+    boundary: frozenset[str] = frozenset()
+    compartment_size: float = 1.0
+
+    # -- native form ---------------------------------------------------
+    def to_ode(self) -> tuple[ODESystem, dict[str, float]]:
+        """Build the ODE system + initial conditions.
+
+        Accumulation, scaling, boundary substitution and simplification
+        happen in exactly the order ``repro.io.sbml.parse_sbml`` uses,
+        so ``parse_sbml(net.to_sbml())`` reproduces this system
+        expression-for-expression.
+        """
+        derivs: dict[str, Expr] = {
+            s: Const(0.0) for s in self.species if s not in self.boundary
+        }
+        for rx in self.reactions:
+            kinetic = parse_expr(rx.rate)
+            for sid, stoich in rx.reactants.items():
+                if sid in derivs:
+                    derivs[sid] = derivs[sid] - Const(float(stoich)) * kinetic
+            for sid, stoich in rx.products.items():
+                if sid in derivs:
+                    derivs[sid] = derivs[sid] + Const(float(stoich)) * kinetic
+        for sid, text in self.rate_rules.items():
+            derivs[sid] = derivs[sid] + parse_expr(text)
+        size = float(self.compartment_size)
+        scaled = {
+            sid: (e if size == 1.0 else e / Const(size)) for sid, e in derivs.items()
+        }
+        if self.boundary:
+            bsubs = {b: self.initial[b] for b in self.boundary}
+            scaled = {k: e.subs(bsubs) for k, e in scaled.items()}
+        system = ODESystem(
+            {k: e.simplify() for k, e in scaled.items()},
+            dict(self.params),
+            name=self.name,
+        )
+        init = {s: self.initial[s] for s in system.state_names}
+        return system, init
+
+    # -- SBML form -----------------------------------------------------
+    def to_sbml(self) -> str:
+        """Serialize to SBML text that ``parse_sbml`` reads back."""
+        lines = [
+            '<?xml version="1.0" encoding="UTF-8"?>',
+            '<sbml xmlns="http://www.sbml.org/sbml/level2/version4" '
+            'level="2" version="4">',
+            f'  <model id="{self.name}">',
+            "    <listOfCompartments>",
+            f'      <compartment id="cell" size="{self.compartment_size!r}"/>',
+            "    </listOfCompartments>",
+            "    <listOfSpecies>",
+        ]
+        for sid in self.species:
+            bnd = ' boundaryCondition="true"' if sid in self.boundary else ""
+            lines.append(
+                f'      <species id="{sid}" compartment="cell" '
+                f'initialConcentration="{self.initial[sid]!r}"{bnd}/>'
+            )
+        lines.append("    </listOfSpecies>")
+        if self.params:
+            lines.append("    <listOfParameters>")
+            for pid, value in self.params.items():
+                lines.append(f'      <parameter id="{pid}" value="{value!r}"/>')
+            lines.append("    </listOfParameters>")
+        if self.reactions:
+            lines.append("    <listOfReactions>")
+            for rx in self.reactions:
+                lines.append(f'      <reaction id="{rx.rid}" reversible="false">')
+                for section, side in (
+                    ("listOfReactants", rx.reactants),
+                    ("listOfProducts", rx.products),
+                ):
+                    if side:
+                        lines.append(f"        <{section}>")
+                        for sid, stoich in side.items():
+                            lines.append(
+                                f'          <speciesReference species="{sid}" '
+                                f'stoichiometry="{float(stoich)!r}"/>'
+                            )
+                        lines.append(f"        </{section}>")
+                lines.append("        <kineticLaw>")
+                lines.append(_mathml_block(parse_expr(rx.rate), indent=10))
+                lines.append("        </kineticLaw>")
+                lines.append("      </reaction>")
+            lines.append("    </listOfReactions>")
+        if self.rate_rules:
+            lines.append("    <listOfRules>")
+            for sid, text in self.rate_rules.items():
+                lines.append(f'      <rateRule variable="{sid}">')
+                lines.append(_mathml_block(parse_expr(text), indent=8))
+                lines.append("      </rateRule>")
+            lines.append("    </listOfRules>")
+        lines.append("  </model>")
+        lines.append("</sbml>")
+        return "\n".join(lines) + "\n"
+
+
+_BINARY_TO_MATHML = {"add": "plus", "sub": "minus", "mul": "times",
+                     "div": "divide", "pow": "power"}
+_UNARY_TO_MATHML = {"exp": "exp", "log": "ln", "abs": "abs", "sin": "sin",
+                    "cos": "cos", "tan": "tan", "tanh": "tanh"}
+
+
+def _mathml(expr: Expr, pad: str) -> list[str]:
+    """Render an expression tree as MathML lines (reader subset)."""
+    if isinstance(expr, Var):
+        return [f"{pad}<ci> {expr.name} </ci>"]
+    if isinstance(expr, Const):
+        return [f"{pad}<cn> {expr.value!r} </cn>"]
+    if isinstance(expr, Unary):
+        if expr.op == "neg":
+            head = "minus"
+        elif expr.op == "sqrt":
+            head = "root"
+        elif expr.op in _UNARY_TO_MATHML:
+            head = _UNARY_TO_MATHML[expr.op]
+        else:
+            raise ValueError(f"no MathML rendering for unary op {expr.op!r}")
+        return [f"{pad}<apply>", f"{pad}  <{head}/>",
+                *_mathml(expr.arg, pad + "  "), f"{pad}</apply>"]
+    if isinstance(expr, Binary):
+        if expr.op not in _BINARY_TO_MATHML:
+            raise ValueError(f"no MathML rendering for binary op {expr.op!r}")
+        return [
+            f"{pad}<apply>",
+            f"{pad}  <{_BINARY_TO_MATHML[expr.op]}/>",
+            *_mathml(expr.left, pad + "  "),
+            *_mathml(expr.right, pad + "  "),
+            f"{pad}</apply>",
+        ]
+    raise ValueError(f"no MathML rendering for {type(expr).__name__}")
+
+
+def _mathml_block(expr: Expr, indent: int) -> str:
+    """A full ``<math>`` element at the given indentation."""
+    pad = " " * indent
+    inner = _mathml(expr, pad + "  ")
+    return "\n".join([
+        f'{pad}<math xmlns="http://www.w3.org/1998/Math/MathML">',
+        *inner,
+        f"{pad}</math>",
+    ])
+
+
+# ----------------------------------------------------------------------
+# random network construction
+# ----------------------------------------------------------------------
+
+
+def random_network(rng: random.Random, name: str, *, cycle: bool) -> ReactionNetwork:
+    """A random conservative conversion network.
+
+    Species form a chain ``s0 -> s1 -> ... -> s(n-1)`` of unit
+    conversions (every reaction conserves total mass).  With
+    ``cycle=True`` a closing reaction ``s(n-1) -> s0`` is added, so the
+    head species can be replenished; without it the head only drains.
+    One random cross-conversion and an optional catalyzed step add
+    structural variety.
+    """
+    n = rng.randint(3, 5)
+    species = [f"s{i}" for i in range(n)]
+    initial = {s: round(rng.uniform(0.2, 1.5), 4) for s in species}
+    params: dict[str, float] = {}
+    reactions: list[Reaction] = []
+
+    def add(rid: str, src: str, dst: str, rate: str) -> None:
+        reactions.append(Reaction(rid, {src: 1.0}, {dst: 1.0}, rate))
+
+    for i in range(n - 1):
+        k = f"k{i}"
+        params[k] = round(rng.uniform(0.2, 1.5), 4)
+        add(f"r{i}", species[i], species[i + 1], f"{k} * {species[i]}")
+    if cycle:
+        params["kc"] = round(rng.uniform(0.2, 1.5), 4)
+        add("rc", species[-1], species[0], f"kc * {species[-1]}")
+    # one random cross conversion (never out of the head when draining,
+    # so chain networks keep their head monotone)
+    lo = 0 if cycle else 1
+    src = rng.randrange(lo, n)
+    dst = rng.randrange(0, n)
+    if dst == src:
+        dst = (src + 1) % n
+    params["kx"] = round(rng.uniform(0.1, 0.8), 4)
+    add("rx", species[src], species[dst], f"kx * {species[src]}")
+    if rng.random() < 0.5 and n >= 4:
+        # catalyzed conversion: still a 1-to-1 exchange, rate scaled by
+        # a third species that is neither consumed nor produced
+        cat = species[-1]
+        params["ke"] = round(rng.uniform(0.1, 0.6), 4)
+        add("re", species[1], species[2], f"ke * {cat} * {species[1]}")
+    return ReactionNetwork(
+        name=name, species=species, initial=initial,
+        params=params, reactions=reactions,
+    )
+
+
+# ----------------------------------------------------------------------
+# the SBML file corpus
+# ----------------------------------------------------------------------
+
+
+def _mm_enzyme_network(rng: random.Random, name: str) -> ReactionNetwork:
+    """A Michaelis-Menten substrate→product model with a boundary enzyme."""
+    vmax = round(rng.uniform(0.5, 2.0), 4)
+    km = round(rng.uniform(0.3, 1.2), 4)
+    kdeg = round(rng.uniform(0.05, 0.3), 4)
+    return ReactionNetwork(
+        name=name,
+        species=["sub", "prod", "enz"],
+        initial={
+            "sub": round(rng.uniform(0.8, 2.0), 4),
+            "prod": 0.0,
+            "enz": round(rng.uniform(0.5, 1.5), 4),
+        },
+        params={"vmax": vmax, "km": km, "kdeg": kdeg},
+        reactions=[
+            Reaction("conv", {"sub": 1.0}, {"prod": 1.0},
+                     "vmax * enz * sub / (km + sub)"),
+            Reaction("deg", {"prod": 1.0}, {}, "kdeg * prod"),
+        ],
+        boundary=frozenset({"enz"}),
+        compartment_size=2.0 if rng.random() < 0.5 else 1.0,
+    )
+
+
+def _rate_rule_network(rng: random.Random, name: str) -> ReactionNetwork:
+    """A logistic-drive model: growth via rateRule, decay via reaction."""
+    r = round(rng.uniform(0.3, 1.0), 4)
+    cap = round(rng.uniform(2.0, 6.0), 4)
+    d = round(rng.uniform(0.05, 0.25), 4)
+    return ReactionNetwork(
+        name=name,
+        species=["z", "w"],
+        initial={"z": round(rng.uniform(0.2, 1.0), 4), "w": 0.0},
+        params={"r": r, "kcap": cap, "d": d},
+        reactions=[Reaction("decay", {"z": 1.0}, {"w": 1.0}, "d * z")],
+        rate_rules={"z": "r * z * (1 - z / kcap)"},
+    )
+
+
+def write_sbml_corpus(directory: str | Path, seed: int = DEFAULT_SEED) -> list[Path]:
+    """Write the committed SBML file corpus (24 models) to ``directory``.
+
+    Three shapes: 10 random conservative networks (``net*``), 8
+    Michaelis-Menten enzyme models with a boundary species
+    (``enzyme*``), 6 rate-rule logistic-drive models (``drive*``).
+    Byte-deterministic under a fixed seed.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    out: list[Path] = []
+
+    def emit(net: ReactionNetwork) -> None:
+        path = directory / f"{net.name}.xml"
+        path.write_text(net.to_sbml(), encoding="utf-8")
+        out.append(path)
+
+    for i in range(10):
+        rng = random.Random(f"sbml-net:{seed}:{i}")
+        net = random_network(rng, f"net{i:02d}", cycle=i % 2 == 0)
+        if i % 3 == 2:
+            net.compartment_size = 2.0
+        emit(net)
+    for i in range(8):
+        emit(_mm_enzyme_network(random.Random(f"sbml-enzyme:{seed}:{i}"), f"enzyme{i:02d}"))
+    for i in range(6):
+        emit(_rate_rule_network(random.Random(f"sbml-drive:{seed}:{i}"), f"drive{i:02d}"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# scenario families
+# ----------------------------------------------------------------------
+
+
+def _inline_model(net: ReactionNetwork) -> tuple[dict, dict[str, float], float]:
+    """(inline model dict, initial conditions, total initial mass)."""
+    system, init = net.to_ode()
+    return ode_to_dict(system), init, round(sum(init.values()), 6)
+
+
+def _mass_action(seed: int, count: int) -> list[Scenario]:
+    """Random conservative networks: drain barriers + SMC reach probes."""
+    entries: list[Scenario] = []
+    for i in range(count):
+        net_index = i // 2
+        cycle = net_index % 2 == 0
+        rng = random.Random(f"mass-action:{seed}:{net_index}")
+        net = random_network(rng, f"manet{net_index:02d}", cycle=cycle)
+        model, init, total = _inline_model(net)
+        bounds = {s: [0.0, round(total * 1.05, 6)] for s in net.species}
+        shape = "cycle" if cycle else "chain"
+        if i % 2 == 0:
+            head = net.species[0]
+            level = round(total * 0.5, 6)
+            entries.append(Scenario(
+                name=f"ma-s{seed}-{net_index:02d}-drain",
+                summary=f"can the head species of a random {shape} network ascend?",
+                task="falsify",
+                model=model,
+                query={
+                    "method": "ascent",
+                    "variable": head,
+                    "from_level": round(level * 0.8, 6),
+                    "to_level": level,
+                    "state_bounds": bounds,
+                    "param_ranges": {
+                        k: [round(v * 0.5, 6), round(v * 1.5, 6)]
+                        for k, v in sorted(net.params.items())[:2]
+                    },
+                },
+                tags=("corpus", "massaction", "falsification"),
+                family="mass-action",
+                description=(
+                    f"Generated conservative {shape} network "
+                    f"({len(net.species)} species, {len(net.reactions)} "
+                    f"reactions, seed {seed}): a barrier query asking whether "
+                    f"{head} can rise through the mid-mass band. Chain "
+                    "networks only drain their head (UNSAT); cycles feed it "
+                    "back (delta-sat)."
+                ),
+            ))
+        else:
+            tail = net.species[-1]
+            level = round(init[tail] + 0.25 * (total - init[tail]), 6)
+            entries.append(Scenario(
+                name=f"ma-s{seed}-{net_index:02d}-smc",
+                summary=f"P(tail species of a random {shape} network exceeds a mass level)",
+                task="smc",
+                model=model,
+                query={
+                    "phi": {"op": "F", "bound": 8.0, "arg": f"{tail} >= {level}"},
+                    "init": dict(init),
+                    "horizon": 8.0,
+                    "method": "bayesian",
+                    "n": 20,
+                },
+                seed=net_index,
+                tags=("corpus", "massaction", "smc"),
+                family="mass-action",
+                description=(
+                    f"Generated conservative {shape} network "
+                    f"({len(net.species)} species, seed {seed}): a small "
+                    f"Bayesian SMC run scoring whether {tail} accumulates a "
+                    "quarter of the remaining mass within the horizon."
+                ),
+            ))
+    return entries
+
+
+def _switched(seed: int, count: int) -> list[Scenario]:
+    """Thermostat variants: jittered thresholds, reach + robustness."""
+    entries: list[Scenario] = []
+    for i in range(count):
+        rng = random.Random(f"switched:{seed}:{i}")
+        heat = round(rng.uniform(26.0, 34.0), 4)
+        if i % 2 == 0:
+            goal = round(rng.uniform(18.5, 20.0), 4)
+            lo = round(rng.uniform(14.0, 16.0), 4)
+            entries.append(Scenario(
+                name=f"sw-s{seed}-{i:02d}-reach",
+                summary=f"synthesize a switch-on threshold (heat={heat})",
+                task="reach",
+                model={"builtin": "thermostat", "args": {"heat": heat}},
+                query={
+                    "goal": f"x >= {goal}",
+                    "goal_mode": "on",
+                    "max_jumps": 1,
+                    "time_bound": 3.0,
+                    "param_ranges": {"theta_on": [lo, 21.0]},
+                },
+                solver={"enclosure_step": 0.1, "max_boxes": 120},
+                tags=("corpus", "hybrid", "bmc"),
+                family="switched",
+                description=(
+                    f"Generated thermostat variant (heater gain {heat}, seed "
+                    f"{seed}): dReach-style threshold synthesis asking for a "
+                    f"switch-on point under which the heating band x >= {goal} "
+                    "is revisited within one jump."
+                ),
+            ))
+        else:
+            bad = round(heat + rng.uniform(3.0, 6.0), 4)
+            entries.append(Scenario(
+                name=f"sw-s{seed}-{i:02d}-safe",
+                summary=f"heater gain {heat} provably cannot overshoot {bad}",
+                task="robustness",
+                model={"builtin": "thermostat", "args": {"heat": heat}},
+                query={
+                    "bad": f"x >= {bad}",
+                    "disturbance": {"x": [19.5, 21.5]},
+                    "time_bound": 2.0,
+                    "max_jumps": 1,
+                },
+                solver={"enclosure_step": 0.25, "max_boxes": 80},
+                tags=("corpus", "hybrid", "robustness"),
+                family="switched",
+                description=(
+                    f"Generated thermostat variant (heater gain {heat}, seed "
+                    f"{seed}): the on-mode dynamics x' = heat - x contract "
+                    f"toward {heat}, so the overshoot region x >= {bad} is "
+                    "unreachable from the disturbed band — UNSAT validates "
+                    "the safety margin."
+                ),
+            ))
+    return entries
+
+
+def _cardiac_perturbed(seed: int, count: int) -> list[Scenario]:
+    """Perturbed-parameter cohorts of the FK / BCF dome barriers."""
+    entries: list[Scenario] = []
+    for i in range(count):
+        rng = random.Random(f"cardiac:{seed}:{i}")
+        jitter = lambda v: round(v * rng.uniform(0.9, 1.1), 4)  # noqa: E731
+        if i % 5 != 4:
+            entries.append(Scenario(
+                name=f"fk-s{seed}-{i:02d}-dome",
+                summary="perturbed Fenton-Karma dome barrier (still structural)",
+                task="falsify",
+                model={"builtin": "fenton_karma_mode", "args": {"mode": "excited"}},
+                query={
+                    "method": "ascent",
+                    "variable": "u",
+                    "from_level": jitter(0.75),
+                    "to_level": jitter(0.86),
+                    "state_bounds": {
+                        "u": [0.0, 1.2], "v": [0.0, 0.01], "w": [0.0, 1.0],
+                    },
+                    "param_ranges": {
+                        "tau_r": [jitter(10.0), jitter(38.0)],
+                        "tau_si": [jitter(28.0), jitter(130.0)],
+                    },
+                },
+                tags=("corpus", "cardiac", "falsification"),
+                family="cardiac-perturbed",
+                description=(
+                    f"Cohort member {i} (seed {seed}) of the FK dome query: "
+                    "the dome window and physiological parameter ranges are "
+                    "jittered by up to 10%, probing how far the structural "
+                    "no-dome verdict of the paper's cardiac case study "
+                    "extends."
+                ),
+            ))
+        else:
+            entries.append(Scenario(
+                name=f"bcf-s{seed}-{i:02d}-dome",
+                summary="perturbed Bueno-Cherry-Fenton dome barrier (control)",
+                task="falsify",
+                model={"builtin": "bcf_mode", "args": {"mode": "m4"}},
+                query={
+                    "method": "ascent",
+                    "variable": "u",
+                    "from_level": jitter(1.0),
+                    "to_level": jitter(1.2),
+                    "state_bounds": {
+                        "u": [0.0, 1.6], "v": [0.0, 1.0],
+                        "w": [0.0, 1.0], "s": [0.0, 1.0],
+                    },
+                    "param_ranges": {"tau_so1": [jitter(25.0), jitter(35.0)]},
+                },
+                tags=("corpus", "cardiac", "falsification"),
+                family="cardiac-perturbed",
+                description=(
+                    f"Cohort member {i} (seed {seed}) of the BCF control "
+                    "query: the epicardial dynamics keep admitting an ascent "
+                    "through the jittered dome window."
+                ),
+            ))
+    return entries
+
+
+def _ias_perturbed(seed: int, count: int) -> list[Scenario]:
+    """Perturbed burden caps / initial loads for the IAS cohort."""
+    patients = ("patient_A", "patient_B", "patient_C")
+    entries: list[Scenario] = []
+    for i in range(count):
+        rng = random.Random(f"ias:{seed}:{i}")
+        patient = patients[i % len(patients)]
+        cap = round(rng.uniform(32.0, 48.0), 4)
+        x0 = round(rng.uniform(12.0, 18.0), 4)
+        horizon = 240.0
+        entries.append(Scenario(
+            name=f"ias-s{seed}-{i:02d}-burden",
+            summary=f"perturbed IAS burden bound for {patient} (cap {cap})",
+            task="smc",
+            model={"builtin": "ias_model", "args": {"patient": patient}},
+            query={
+                "phi": {"op": "G", "bound": horizon, "arg": f"x + y <= {cap}"},
+                "init": {"x": x0, "y": 0.01, "z": 12.0},
+                "horizon": horizon,
+                "method": "bayesian",
+                "n": 16,
+            },
+            seed=i,
+            tags=("corpus", "prostate", "smc", "cohort"),
+            family="ias-perturbed",
+            description=(
+                f"Cohort member {i} (seed {seed}) of the prostate IAS "
+                f"burden study: profile {patient}, jittered burden cap "
+                f"{cap} and initial load x(0) = {x0}, scored with a "
+                "16-sample Bayesian posterior over a 240-day horizon."
+            ),
+        ))
+    return entries
+
+
+#: family name -> (generator, default count, one-line description).
+FAMILIES: dict[str, tuple[Callable[[int, int], list[Scenario]], int, str]] = {
+    "mass-action": (
+        _mass_action, 36,
+        "random conservative mass-action networks (drain barriers + SMC)",
+    ),
+    "switched": (
+        _switched, 16,
+        "thermostat variants: jittered thresholds, reach + robustness",
+    ),
+    "cardiac-perturbed": (
+        _cardiac_perturbed, 10,
+        "perturbed-parameter cohorts of the FK/BCF dome barriers",
+    ),
+    "ias-perturbed": (
+        _ias_perturbed, 8,
+        "perturbed burden caps for the prostate IAS cohort",
+    ),
+}
+
+
+def family_names() -> list[str]:
+    """The generatable family names, sorted."""
+    return sorted(FAMILIES)
+
+
+def generate_family(
+    family: str, seed: int = DEFAULT_SEED, count: int | None = None
+) -> list[Scenario]:
+    """Generate one scenario family deterministically.
+
+    Parameters
+    ----------
+    family:
+        A key of :data:`FAMILIES`.
+    seed:
+        Corpus seed; baked into entry names so corpora generated under
+        different seeds can coexist in one registry.
+    count:
+        Number of entries (defaults to the family's standard size).
+    """
+    if family not in FAMILIES:
+        raise ValueError(
+            f"unknown scenario family {family!r}; available: {family_names()}"
+        )
+    fn, default_count, _ = FAMILIES[family]
+    n = default_count if count is None else int(count)
+    if n < 0:
+        raise ValueError("count must be non-negative")
+    return fn(int(seed), n)
+
+
+def generate_corpus(seed: int = DEFAULT_SEED) -> list[Scenario]:
+    """All families at their default sizes, in family order."""
+    out: list[Scenario] = []
+    for family in family_names():
+        out.extend(generate_family(family, seed=seed))
+    return out
+
+
+def _unique_names(entries: Iterable[Scenario]) -> None:
+    """Raise on duplicate names (guards corpus regeneration)."""
+    seen: set[str] = set()
+    for s in entries:
+        if s.name in seen:
+            raise ValueError(f"duplicate generated scenario name {s.name!r}")
+        seen.add(s.name)

@@ -1,0 +1,293 @@
+"""Bulk SBML ingestion: a directory of models becomes catalog entries.
+
+The paper's tooling consumes BioModels-style SBML; ``repro.io.sbml``
+reads one file.  This module scales that to a *corpus*: point
+:func:`ingest_dir` at a directory and every parseable model is turned
+into scenario entries automatically —
+
+* **bounds inference** from initial conditions: conservation-style
+  state caps ``[0, max(2·x0, total initial mass)]`` and ±50% parameter
+  ranges around the declared rate constants;
+* **task-template instantiation** for the model classes SBML covers
+  (pure ODE networks): an ascent/barrier falsification pair (can the
+  busiest species climb through a mid-mass band? is it still moving
+  near depletion?) and a Bayesian SMC reach probe;
+* **expected-verdict triage** (:func:`triage`): a cheap budget-bound
+  solve of each entry records the verdict the corpus pins from then on.
+
+Malformed files are never fatal: parser rejections (missing initials,
+unit mismatches, non-finite sizes — see ``repro.io.sbml``) and
+inference failures (zero-width bounds, oversized models) surface as
+skip-with-reason rows in the :class:`IngestResult`, so one bad file
+cannot poison a bulk import.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.io.native import ode_to_dict
+from repro.io.sbml import SBMLError, SBMLModel, load_sbml
+
+from .catalog import Scenario
+
+__all__ = [
+    "IngestSkip",
+    "IngestResult",
+    "infer_bounds",
+    "ingest_file",
+    "ingest_dir",
+    "triage",
+    "entries_json",
+]
+
+#: Models larger than this are skipped: the corpus templates are
+#: budget-bound probes, not full-scale analyses.
+MAX_SPECIES = 8
+
+#: Number of parameter ranges included in ascent queries (keeps the
+#: paving dimension, and therefore the triage budget, bounded).
+MAX_PARAM_RANGES = 2
+
+
+class IngestSkip(ValueError):
+    """A model that parses but cannot be turned into corpus entries.
+
+    The message is the human-readable skip reason recorded in
+    :class:`IngestResult.skipped`.
+    """
+
+
+@dataclass
+class IngestResult:
+    """Outcome of a bulk import: entries plus per-file skip reasons."""
+
+    entries: list[Scenario] = field(default_factory=list)
+    skipped: list[tuple[str, str]] = field(default_factory=list)
+    files: int = 0
+
+    def summary(self) -> str:
+        """One-line human summary for CLI output."""
+        return (
+            f"{len(self.entries)} entries from "
+            f"{self.files - len(self.skipped)}/{self.files} files"
+            + (f" ({len(self.skipped)} skipped)" if self.skipped else "")
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able form: entry dicts plus skip rows."""
+        return {
+            "entries": [s.to_dict() for s in self.entries],
+            "skipped": [{"file": f, "reason": r} for f, r in self.skipped],
+            "files": self.files,
+        }
+
+
+# ----------------------------------------------------------------------
+# bounds inference
+# ----------------------------------------------------------------------
+
+
+def infer_bounds(
+    model: SBMLModel,
+) -> tuple[dict[str, list[float]], dict[str, list[float]]]:
+    """Infer state bounds and parameter ranges from a parsed model.
+
+    States get conservation-style caps ``[0, max(2·x0, total initial
+    mass)]`` — a species starting at zero can still accumulate the
+    whole conserved pool.  Parameters get ±50% ranges around their
+    declared values; zero-valued parameters are dropped (their range
+    would be zero-width and pave nothing).
+
+    Raises
+    ------
+    IngestSkip
+        When every initial concentration is zero: the inferred state
+        box would be zero-width and every template query degenerate.
+    """
+    total = sum(model.initial.values())
+    if total <= 0.0:
+        raise IngestSkip(
+            "zero-width inferred bounds: every initial concentration is zero"
+        )
+    bounds = {
+        s: [0.0, round(max(2.0 * x0, total), 9)]
+        for s, x0 in model.initial.items()
+    }
+    ranges = {
+        p: sorted([round(0.5 * v, 9), round(1.5 * v, 9)])
+        for p, v in model.system.params.items()
+        if v != 0.0
+    }
+    return bounds, ranges
+
+
+# ----------------------------------------------------------------------
+# task templates
+# ----------------------------------------------------------------------
+
+
+def _ascent_entry(
+    stem: str, model_dict: dict, kind: str, variable: str,
+    band: tuple[float, float], bounds: dict, ranges: dict, prose: str,
+) -> Scenario:
+    """One ascent/barrier falsification entry from the template."""
+    return Scenario(
+        name=f"sbml-{stem}-{kind}",
+        summary=f"can {variable} of {stem} ascend through [{band[0]}, {band[1]}]?",
+        task="falsify",
+        model=model_dict,
+        query={
+            "method": "ascent",
+            "variable": variable,
+            "from_level": band[0],
+            "to_level": band[1],
+            "state_bounds": bounds,
+            "param_ranges": dict(sorted(ranges.items())[:MAX_PARAM_RANGES]),
+        },
+        tags=("corpus", "sbml", "massaction", "falsification"),
+        family="sbml",
+        description=prose,
+    )
+
+
+def ingest_file(path: str | Path, *, horizon: float = 8.0) -> list[Scenario]:
+    """Turn one SBML file into template-instantiated catalog entries.
+
+    Returns the (untriaged, ``expected=None``) entries; raises
+    :class:`IngestSkip` or :class:`~repro.io.sbml.SBMLError` when the
+    file cannot be ingested — :func:`ingest_dir` converts both into
+    skip-with-reason rows.
+    """
+    path = Path(path)
+    parsed = load_sbml(str(path))
+    states = parsed.system.state_names
+    if not states:
+        raise IngestSkip("model has no dynamic species")
+    if len(states) > MAX_SPECIES:
+        raise IngestSkip(
+            f"model has {len(states)} dynamic species (corpus cap {MAX_SPECIES})"
+        )
+    bounds, ranges = infer_bounds(parsed)
+    stem = path.stem
+    model_dict = ode_to_dict(parsed.system)
+    n_rx = len(parsed.system.derivatives)
+
+    # the busiest species: widest inferred bound, species order on ties
+    wide = max(states, key=lambda s: (bounds[s][1], -states.index(s)))
+    hi = bounds[wide][1]
+    provenance = (
+        f"Ingested from {path.name} ({n_rx} dynamic species); bounds "
+        "inferred from initial concentrations, parameter ranges +/-50% "
+        "around declared rate constants."
+    )
+    entries = [
+        _ascent_entry(
+            stem, model_dict, "rise", wide,
+            (round(0.55 * hi, 9), round(0.7 * hi, 9)), bounds, ranges,
+            f"{provenance} Barrier query: can {wide} climb through the "
+            "upper-middle of its inferred range?",
+        ),
+        _ascent_entry(
+            stem, model_dict, "settle", wide,
+            (round(0.02 * hi, 9), round(0.1 * hi, 9)), bounds, ranges,
+            f"{provenance} Quiescence probe: near depletion, can {wide} "
+            "still be rising?",
+        ),
+    ]
+
+    # SMC reach probe on the emptiest species (growth target)
+    target = min(states, key=lambda s: (parsed.initial[s], states.index(s)))
+    level = round(0.25 * sum(parsed.initial[s] for s in states), 9)
+    entries.append(Scenario(
+        name=f"sbml-{stem}-smc",
+        summary=f"P({target} of {stem} accumulates a quarter of the pool)",
+        task="smc",
+        model=model_dict,
+        query={
+            "phi": {"op": "F", "bound": horizon, "arg": f"{target} >= {level}"},
+            "init": {s: parsed.initial[s] for s in states},
+            "horizon": horizon,
+            "method": "bayesian",
+            "n": 20,
+        },
+        seed=0,
+        tags=("corpus", "sbml", "massaction", "smc"),
+        family="sbml",
+        description=(
+            f"{provenance} Bayesian SMC probe: does the emptiest species "
+            f"{target} reach {level} within the horizon?"
+        ),
+    ))
+    return entries
+
+
+def ingest_dir(
+    directory: str | Path,
+    *,
+    patterns: Sequence[str] = ("*.xml", "*.sbml"),
+    horizon: float = 8.0,
+) -> IngestResult:
+    """Ingest every SBML file under ``directory`` (non-recursive).
+
+    Files that fail to parse or to template are recorded as
+    ``(filename, reason)`` skip rows instead of raising; duplicate
+    model stems are skipped too (entry names must stay unique).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ValueError(f"not a directory: {directory}")
+    files: list[Path] = []
+    for pattern in patterns:
+        files.extend(directory.glob(pattern))
+    result = IngestResult()
+    seen_stems: set[str] = set()
+    for path in sorted(set(files)):
+        result.files += 1
+        if path.stem in seen_stems:
+            result.skipped.append((path.name, "duplicate model stem"))
+            continue
+        try:
+            entries = ingest_file(path, horizon=horizon)
+        except (SBMLError, IngestSkip) as exc:
+            result.skipped.append((path.name, str(exc)))
+            continue
+        seen_stems.add(path.stem)
+        result.entries.extend(entries)
+    return result
+
+
+# ----------------------------------------------------------------------
+# expected-verdict triage
+# ----------------------------------------------------------------------
+
+
+def triage(
+    entries: Iterable[Scenario], *, seed: int = 0, progress=None
+) -> list[Scenario]:
+    """Solve each entry once on a small budget and pin its verdict.
+
+    Returns copies with ``expected`` set to the observed
+    :class:`~repro.status.AnalysisStatus` value.  ``progress`` (if
+    given) is called with ``(name, status)`` after each solve.
+    """
+    from repro.api import Engine
+
+    out: list[Scenario] = []
+    with Engine(seed=seed) as engine:
+        for entry in entries:
+            report = engine.run(entry.spec())
+            status = getattr(report.status, "value", str(report.status))
+            if progress is not None:
+                progress(entry.name, status)
+            out.append(dataclasses.replace(entry, expected=status))
+    return out
+
+
+def entries_json(entries: Iterable[Scenario], indent: int = 1) -> str:
+    """Serialize entries to a deterministic JSON array."""
+    return json.dumps([s.to_dict() for s in entries], indent=indent) + "\n"

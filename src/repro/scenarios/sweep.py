@@ -34,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.spec import TaskSpec
     from repro.service.jobs import JobHandle
 
-__all__ = ["ScenarioSweep", "patient_cohort"]
+__all__ = ["ScenarioSweep", "patient_cohort", "family_specs"]
 
 
 def patient_cohort() -> list[str]:
@@ -42,6 +42,29 @@ def patient_cohort() -> list[str]:
     from repro.models import PATIENT_PROFILES
 
     return sorted(PATIENT_PROFILES)
+
+
+def family_specs(family: str, seeds: list[int] | None = None) -> "list[TaskSpec]":
+    """Expand every registered entry of a corpus family into specs.
+
+    The corpus-scale analogue of a cohort sweep: ``Engine.run_batch(
+    family_specs("switched"))`` pushes one whole family through an
+    engine batch.  ``seeds`` adds the replication axis, one spec per
+    entry per seed (named ``entry#sN`` like :class:`ScenarioSweep`).
+    """
+    from .catalog import find_scenarios
+
+    specs: "list[TaskSpec]" = []
+    for entry in find_scenarios(family=family):
+        if seeds is None:
+            specs.append(entry.spec())
+        else:
+            for s in seeds:
+                spec = entry.spec(seed=int(s))
+                specs.append(spec.replace(name=f"{spec.name}#s{int(s)}"))
+    if not specs:
+        raise ValueError(f"no registered scenarios in family {family!r}")
+    return specs
 
 
 @dataclass

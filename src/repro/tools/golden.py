@@ -40,7 +40,9 @@ from typing import Any, Mapping
 __all__ = [
     "MODES",
     "PAVING_PROBLEMS",
+    "PROMOTED_SCENARIOS",
     "golden_dir",
+    "golden_scenario_names",
     "project_report",
     "projection_digest",
     "scenario_projection",
@@ -54,6 +56,41 @@ MODES: dict[str, dict[str, Any]] = {
     "vectorized": {"shards": 1},
     "sharded": {"shards": 2, "shard_backend": "thread"},
 }
+
+
+#: Corpus discoveries promoted into the golden set: ingested/generated
+#: entries whose verdicts sit close to the machinery's edges and are
+#: cheap enough to pin on every solver path alongside the hand-written
+#: core.  Highlights: ``fk-s2020-03-dome`` is a perturbed Fenton-Karma
+#: barrier whose 10% jitter *flips* the paper's structural ``falsified``
+#: verdict to ``delta-sat`` (a near-delta-boundary disagreement
+#: candidate), and the ``unknown`` entries pin budget-bound paving
+#: exhaustion identically across paths.
+PROMOTED_SCENARIOS: tuple[str, ...] = (
+    "ma-s2020-00-drain",      # cycle network, budget-bound unknown
+    "ma-s2020-02-drain",      # cycle network, delta-sat ascent witness
+    "ma-s2020-05-drain",      # chain network, head provably drains
+    "sbml-net00-rise",        # ingested SBML, unknown at corpus budget
+    "sbml-enzyme00-settle",   # boundary-species MM import, falsified
+    "fk-s2020-03-dome",       # perturbation flips the FK dome verdict
+    "sw-s2020-01-safe",       # generated hybrid robustness, validated
+    "ias-s2020-00-burden",    # perturbed IAS cohort SMC, estimated
+)
+
+
+def golden_scenario_names() -> list[str]:
+    """The golden-pinned scenario set: hand-written core + promoted.
+
+    The full corpus is conformance-checked by
+    ``tests/test_corpus_conformance.py``; the golden snapshots pin the
+    core catalog plus :data:`PROMOTED_SCENARIOS` byte-for-byte.
+    """
+    from repro.scenarios import core_scenario_names, scenario_names
+
+    names = set(core_scenario_names())
+    registered = set(scenario_names())
+    names.update(p for p in PROMOTED_SCENARIOS if p in registered)
+    return sorted(names)
 
 
 def golden_dir(start: Path | None = None) -> Path:

@@ -1,0 +1,96 @@
+"""Regenerate the committed scenario corpus (``data/corpus.json``).
+
+Usage::
+
+    python -m repro.tools.regen_corpus [--seed N] [--skip-triage]
+
+Four deterministic steps:
+
+1. rewrite the SBML file corpus (``src/repro/scenarios/data/sbml/``)
+   via :func:`repro.scenarios.generate.write_sbml_corpus`;
+2. bulk-ingest it with :func:`repro.scenarios.ingest.ingest_dir` — the
+   run **fails** if any committed file is skipped, because the shipped
+   corpus must ingest cleanly;
+3. generate every procedural family at its default size;
+4. triage each entry's expected verdict with a budget-bound solve and
+   write the combined, name-sorted JSON array.
+
+Rerun after changing the generators, the ingestion templates or solver
+behavior that shifts verdicts, then commit the diff (and rerun
+``python -m repro.tools.regen_golden`` for the promoted entries).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Regenerate SBML files + corpus JSON; nonzero exit on skips."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="corpus seed (default: generate.DEFAULT_SEED)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: data/corpus.json)")
+    parser.add_argument("--skip-triage", action="store_true",
+                        help="leave expected verdicts unset (fast dry run)")
+    args = parser.parse_args(argv)
+
+    from repro.scenarios.corpus import CORPUS_FILE, SBML_DIR
+    from repro.scenarios.generate import (
+        DEFAULT_SEED, generate_corpus, write_sbml_corpus,
+    )
+    from repro.scenarios.ingest import entries_json, ingest_dir, triage
+
+    seed = DEFAULT_SEED if args.seed is None else args.seed
+    out = Path(args.out) if args.out else CORPUS_FILE
+
+    files = write_sbml_corpus(SBML_DIR, seed=seed)
+    print(f"wrote {len(files)} SBML files to {SBML_DIR}")
+
+    result = ingest_dir(SBML_DIR)
+    print(f"ingested: {result.summary()}")
+    if result.skipped:
+        for name, reason in result.skipped:
+            print(f"SKIP {name}: {reason}", file=sys.stderr)
+        print("committed corpus files must ingest cleanly", file=sys.stderr)
+        return 1
+
+    generated = generate_corpus(seed=seed)
+    print(f"generated: {len(generated)} entries across families")
+
+    entries = sorted(result.entries + generated, key=lambda s: s.name)
+    names = [s.name for s in entries]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        print(f"duplicate corpus names: {dupes}", file=sys.stderr)
+        return 1
+
+    if not args.skip_triage:
+        t0 = time.time()
+        done = [0]
+
+        def progress(name: str, status: str) -> None:
+            done[0] += 1
+            if done[0] % 20 == 0 or done[0] == len(entries):
+                print(f"  triaged {done[0]}/{len(entries)} "
+                      f"({time.time() - t0:.1f}s) last: {name} -> {status}")
+
+        entries = triage(entries, progress=progress)
+        verdicts: dict[str, int] = {}
+        for s in entries:
+            verdicts[s.expected] = verdicts.get(s.expected, 0) + 1
+        print("verdicts:", json.dumps(dict(sorted(verdicts.items()))))
+
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(entries_json(entries), encoding="utf-8")
+    print(f"wrote {len(entries)} corpus entries to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,8 +4,10 @@ Usage::
 
     python -m repro.tools.regen_golden [--out DIR]
 
-For every catalog scenario the three solver paths (serial, vectorized,
-sharded) are executed and their report projections compared; the run
+For every golden-set scenario (the hand-written core catalog plus the
+promoted corpus discoveries in ``PROMOTED_SCENARIOS``) the three solver
+paths (serial, vectorized, sharded) are executed and their report
+projections compared; the run
 **fails** if any path disagrees, so a snapshot is only ever written for
 a verdict the whole stack reproduces.  The dedicated paving problems
 are digested the same way (their digests must be byte-identical across
@@ -43,13 +45,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    from repro.scenarios import scenario_names
+    from .golden import golden_scenario_names
 
+    names = golden_scenario_names()
     out = Path(args.out) if args.out else golden_dir()
     out.mkdir(parents=True, exist_ok=True)
     failures = 0
 
-    for name in scenario_names():
+    for name in names:
         projections = {m: scenario_projection(name, m) for m in MODES}
         reference = projections["vectorized"]
         diverged = {m: p for m, p in projections.items() if p != reference}
@@ -84,8 +87,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{failures} divergence(s); no snapshot written for them",
               file=sys.stderr)
         return 1
-    print(f"wrote {len(scenario_names()) + len(PAVING_PROBLEMS)} snapshot(s) "
-          f"to {out}")
+    print(f"wrote {len(names) + len(PAVING_PROBLEMS)} snapshot(s) to {out}")
     return 0
 
 

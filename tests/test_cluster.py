@@ -34,11 +34,11 @@ from repro.cluster.protocol import (
     send_msg,
 )
 from repro.cluster.worker import run_worker
-from repro.scenarios import scenario_names
 from repro.service.backends import BACKEND_NAMES, make_backend
 from repro.tools.golden import (
     PAVING_PROBLEMS,
     golden_dir,
+    golden_scenario_names,
     paving_digest,
     projection_digest,
     scenario_projection,
@@ -346,7 +346,9 @@ def pool(request):
 
 
 def _scenario_params():
-    for name in scenario_names():
+    # the golden set (core + promoted corpus entries); the full corpus
+    # is conformance-checked in tests/test_corpus_conformance.py
+    for name in golden_scenario_names():
         marks = [pytest.mark.slow] if name in SLOW_SCENARIOS else []
         yield pytest.param(name, marks=marks, id=name)
 

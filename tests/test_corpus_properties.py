@@ -1,0 +1,136 @@
+"""Property tests for the scenario corpus pipeline.
+
+Three invariants the corpus machinery promises:
+
+* **Generation is byte-deterministic**: the same ``(family, seed)``
+  always yields the same JSON bytes, and different seeds yield
+  different (but equally valid) entries.
+* **The SBML writer/parser are exact mirrors**: for any generated
+  :class:`~repro.scenarios.generate.ReactionNetwork`,
+  ``parse_sbml(net.to_sbml())`` reproduces ``net.to_ode()``
+  expression-for-expression, and the native JSON model format
+  round-trips the result.
+* **Every corpus entry survives the scenario JSON round-trip**:
+  ``Scenario.from_dict(json.loads(json.dumps(s.to_dict()))) == s``.
+"""
+
+import json
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.native import ode_from_dict, ode_to_dict
+from repro.io.sbml import parse_sbml
+from repro.scenarios import (
+    Scenario,
+    all_scenarios,
+    family_names,
+    generate_family,
+)
+from repro.scenarios.generate import random_network
+from repro.scenarios.ingest import entries_json, ingest_file
+
+SEEDS = st.integers(min_value=0, max_value=2 ** 16)
+
+
+# ----------------------------------------------------------------------
+# Generation determinism
+# ----------------------------------------------------------------------
+
+
+@given(family=st.sampled_from(family_names()), seed=SEEDS)
+@settings(max_examples=25, deadline=None)
+def test_generation_is_byte_deterministic(family, seed):
+    """The same (family, seed) always serializes to the same bytes."""
+    first = entries_json(generate_family(family, seed=seed, count=4))
+    second = entries_json(generate_family(family, seed=seed, count=4))
+    assert first == second
+
+
+@given(family=st.sampled_from(family_names()), seed=SEEDS)
+@settings(max_examples=10, deadline=None)
+def test_generated_entries_build_specs(family, seed):
+    """Every generated entry carries its family tag and binds to a
+    runnable TaskSpec."""
+    for entry in generate_family(family, seed=seed, count=3):
+        assert entry.family == family
+        assert "corpus" in entry.tags
+        assert entry.spec().name == entry.name
+
+
+def test_distinct_seeds_yield_distinct_corpora():
+    """Seeds are part of entry names, so corpora never collide."""
+    a = {s.name for s in generate_family("mass-action", seed=1, count=4)}
+    b = {s.name for s in generate_family("mass-action", seed=2, count=4)}
+    assert a.isdisjoint(b)
+
+
+# ----------------------------------------------------------------------
+# SBML round-trip identity
+# ----------------------------------------------------------------------
+
+
+def _exprs(mapping):
+    return {k: str(v) for k, v in mapping.items()}
+
+
+@given(seed=SEEDS, cycle=st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_sbml_writer_parser_mirror(seed, cycle):
+    """``parse_sbml(net.to_sbml())`` reproduces ``net.to_ode()``
+    expression-for-expression, numerically exactly."""
+    net = random_network(random.Random(seed), f"prop{seed}", cycle=cycle)
+    system, initial = net.to_ode()
+    model = parse_sbml(net.to_sbml())
+    assert _exprs(model.system.derivatives) == _exprs(system.derivatives)
+    assert model.system.params == system.params
+    assert model.initial == initial
+
+
+@given(seed=SEEDS, cycle=st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_imported_model_survives_native_json(seed, cycle):
+    """SBML import -> native JSON -> reload preserves the ODE system."""
+    net = random_network(random.Random(seed), f"native{seed}", cycle=cycle)
+    model = parse_sbml(net.to_sbml())
+    reloaded = ode_from_dict(json.loads(json.dumps(ode_to_dict(model.system))))
+    assert _exprs(reloaded.derivatives) == _exprs(model.system.derivatives)
+    assert reloaded.params == model.system.params
+
+
+@given(seed=SEEDS, cycle=st.booleans())
+@settings(max_examples=10, deadline=None)
+def test_ingestion_is_byte_deterministic(seed, cycle, tmp_path_factory):
+    """Re-ingesting the same SBML file yields byte-identical entries."""
+    tmp_path = tmp_path_factory.mktemp("ingest")
+    net = random_network(random.Random(seed), f"re{seed}", cycle=cycle)
+    path = tmp_path / f"re{seed}.xml"
+    path.write_text(net.to_sbml())
+    assert entries_json(ingest_file(path)) == entries_json(ingest_file(path))
+
+
+def test_ingest_entries_round_trip_scenario_json(tmp_path):
+    """Fresh ingestion output survives the scenario JSON round-trip."""
+    net = random_network(random.Random(7), "rt", cycle=False)
+    path = tmp_path / "rt.xml"
+    path.write_text(net.to_sbml())
+    entries = ingest_file(path)
+    assert entries
+    for entry in entries:
+        clone = Scenario.from_dict(json.loads(json.dumps(entry.to_dict())))
+        assert clone == entry
+
+
+# ----------------------------------------------------------------------
+# Registered corpus round-trip
+# ----------------------------------------------------------------------
+
+
+def test_every_registered_entry_round_trips():
+    """All 150+ registered entries survive dict -> JSON -> dict."""
+    entries = list(all_scenarios())
+    assert len(entries) >= 150
+    for entry in entries:
+        clone = Scenario.from_dict(json.loads(json.dumps(entry.to_dict())))
+        assert clone == entry

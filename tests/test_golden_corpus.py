@@ -1,7 +1,10 @@
 """Golden-verdict conformance: every solver path reproduces the corpus.
 
-``tests/golden/`` pins the verdict projection of all catalog scenarios
-and the byte-level paving digests of the dedicated conformance
+``tests/golden/`` pins the verdict projection of the golden scenario
+set — the hand-written core catalog plus the promoted corpus
+discoveries (``repro.tools.golden.PROMOTED_SCENARIOS``; the rest of
+the 150+ entry corpus is covered by ``tests/test_corpus_conformance``)
+— and the byte-level paving digests of the dedicated conformance
 problems.  Each entry is asserted against three execution paths of the
 delta-decision machinery -- the legacy scalar loop, the vectorized
 frontier loop, and the sharded work-stealing driver -- so any verdict
@@ -15,11 +18,11 @@ import json
 
 import pytest
 
-from repro.scenarios import scenario_names
 from repro.tools.golden import (
     MODES,
     PAVING_PROBLEMS,
     golden_dir,
+    golden_scenario_names,
     paving_digest,
     projection_digest,
     scenario_projection,
@@ -42,21 +45,24 @@ def _load(stem: str) -> dict:
 
 
 def test_corpus_is_complete():
-    """Exactly one snapshot per catalog scenario and paving problem.
+    """Exactly one snapshot per golden-set scenario and paving problem.
 
-    A scenario added without regenerating the corpus (or a stale
-    snapshot for a removed one) fails here before any solver runs.
+    A core scenario or promoted corpus entry added without regenerating
+    the snapshots (or a stale snapshot for a removed one) fails here
+    before any solver runs.
     """
     committed = {p.stem for p in GOLDEN.glob("*.json")}
-    expected = set(scenario_names()) | {f"paving-{p}" for p in PAVING_PROBLEMS}
+    expected = set(golden_scenario_names()) | {
+        f"paving-{p}" for p in PAVING_PROBLEMS
+    }
     assert committed == expected, (
-        "golden corpus out of sync with the catalog; regenerate with "
-        "`python -m repro.tools.regen_golden`"
+        "golden corpus out of sync with the golden scenario set; "
+        "regenerate with `python -m repro.tools.regen_golden`"
     )
 
 
 def _scenario_params():
-    for name in scenario_names():
+    for name in golden_scenario_names():
         for mode in MODES:
             marks = [pytest.mark.slow] if name in SLOW_SCENARIOS else []
             yield pytest.param(name, mode, marks=marks, id=f"{name}-{mode}")

@@ -1,8 +1,8 @@
-"""Warm-vs-cold conformance over the full scenario catalog.
+"""Warm-vs-cold conformance over the golden scenario set.
 
-The golden corpus (``tests/test_golden_corpus.py``) pins every
-scenario's verdict across the three solver paths; this module pins the
-*incremental* axis: for every catalog scenario, a warm-started re-solve
+The golden corpus (``tests/test_golden_corpus.py``) pins the golden
+set's verdicts across the three solver paths; this module pins the
+*incremental* axis: for each of those scenarios, a warm-started re-solve
 of a perturbed variant (delta tightened, or one query bound nudged)
 must project to exactly the report a cold solve of that variant
 produces.  The store may only ever change *how fast* an answer
@@ -19,8 +19,8 @@ from urllib.request import urlopen
 import pytest
 
 from repro.api import Engine
-from repro.scenarios import get_scenario, scenario_names
-from repro.tools.golden import project_report
+from repro.scenarios import get_scenario
+from repro.tools.golden import golden_scenario_names, project_report
 
 #: Scenarios whose repeated runs are expensive (policy search over SMC
 #: scoring); exercised only in the full (non-PR) workflow.
@@ -75,7 +75,9 @@ def _run(spec):
 
 
 def _scenario_params():
-    for name in scenario_names():
+    # the golden set (core + promoted corpus entries); warm-vs-cold over
+    # the full corpus runs in tests/test_corpus_conformance.py
+    for name in golden_scenario_names():
         marks = [pytest.mark.slow] if name in SLOW_SCENARIOS else []
         yield pytest.param(name, marks=marks, id=name)
 

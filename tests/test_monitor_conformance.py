@@ -251,8 +251,11 @@ class TestHypothesisConformance:
 # the scenario catalog
 # ----------------------------------------------------------------------
 
+# core entries only: the generated corpus families reuse the same
+# model shapes, and their SMC probes are conformance-checked in
+# tests/test_corpus_conformance.py
 _SMC_SCENARIOS = [s.name for s in all_scenarios() if s.query.get("phi")
-                  and s.task == "smc"]
+                  and s.task == "smc" and not s.family]
 
 
 class TestCatalogConformance:
@@ -281,6 +284,8 @@ class TestCatalogConformance:
         for sc in all_scenarios():
             if sc.name == "ias-policy":
                 continue  # the slow therapy pipeline; dynamics covered by ias-cohort
+            if sc.family:
+                continue  # corpus entries reuse core dynamics shapes
             spec = sc.spec()
             x0 = dict(spec.query.get("x0") or spec.model.initial or {})
             system = spec.model.system

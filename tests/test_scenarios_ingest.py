@@ -1,0 +1,283 @@
+"""Bulk SBML ingestion: bounds inference, skip-with-reason, CLI.
+
+Regression tests for the bounds-inference edge cases the ingestion
+pipeline must survive (satellite of the corpus PR): missing/ambiguous
+initial values, non-finite and non-positive numbers, zero-width
+inferred bounds and oversized models all surface as parse errors or
+skip rows — never as crashes or silently wrong entries.  Plus smoke
+tests for the ``repro scenarios ingest/generate/coverage`` CLI.
+"""
+
+import json
+
+import pytest
+
+from repro.io.sbml import SBMLError, parse_sbml
+from repro.scenarios.ingest import (
+    IngestSkip,
+    infer_bounds,
+    ingest_dir,
+    ingest_file,
+    triage,
+)
+
+
+def _sbml(species: str, params: str = "", compartment: str = "") -> str:
+    """A minimal one-reaction SBML document with injectable sections."""
+    comp = compartment or '<compartment id="cell" size="1"/>'
+    return f"""<?xml version="1.0" encoding="UTF-8"?>
+<sbml xmlns="http://www.sbml.org/sbml/level3/version2/core" level="3" version="2">
+  <model id="m">
+    <listOfCompartments>{comp}</listOfCompartments>
+    <listOfSpecies>{species}</listOfSpecies>
+    <listOfParameters>{params}</listOfParameters>
+    <listOfReactions>
+      <reaction id="r1" reversible="false">
+        <listOfReactants>
+          <speciesReference species="a" stoichiometry="1"/>
+        </listOfReactants>
+        <listOfProducts>
+          <speciesReference species="b" stoichiometry="1"/>
+        </listOfProducts>
+        <kineticLaw>
+          <math xmlns="http://www.w3.org/1998/Math/MathML">
+            <apply><times/><ci>k</ci><ci>a</ci></apply>
+          </math>
+        </kineticLaw>
+      </reaction>
+    </listOfReactions>
+  </model>
+</sbml>
+"""
+
+
+SPECIES_OK = (
+    '<species id="a" compartment="cell" initialConcentration="2.0"/>'
+    '<species id="b" compartment="cell" initialConcentration="0.5"/>'
+)
+PARAM_OK = '<parameter id="k" value="0.8"/>'
+
+
+# ----------------------------------------------------------------------
+# parser hardening (repro.io.sbml)
+# ----------------------------------------------------------------------
+
+
+class TestParserHardening:
+    """Malformed numeric inputs raise SBMLError, not ValueError/garbage."""
+
+    def test_well_formed_document_parses(self):
+        model = parse_sbml(_sbml(SPECIES_OK, PARAM_OK))
+        assert model.initial == {"a": 2.0, "b": 0.5}
+        assert model.system.params == {"k": 0.8}
+
+    def test_missing_initial_defaults_to_zero(self):
+        species = (
+            '<species id="a" compartment="cell" initialConcentration="2.0"/>'
+            '<species id="b" compartment="cell"/>'
+        )
+        model = parse_sbml(_sbml(species, PARAM_OK))
+        assert model.initial["b"] == 0.0
+
+    def test_both_initial_units_is_ambiguous(self):
+        species = (
+            '<species id="a" compartment="cell" initialConcentration="2.0"'
+            ' initialAmount="4.0"/>'
+            '<species id="b" compartment="cell" initialConcentration="0.5"/>'
+        )
+        with pytest.raises(SBMLError, match="units are ambiguous"):
+            parse_sbml(_sbml(species, PARAM_OK))
+
+    def test_negative_initial_rejected(self):
+        species = SPECIES_OK.replace('"0.5"', '"-0.5"')
+        with pytest.raises(SBMLError, match="negative initial"):
+            parse_sbml(_sbml(species, PARAM_OK))
+
+    @pytest.mark.parametrize("bad", ["nan", "inf", "-inf", "banana"])
+    def test_non_finite_initial_rejected(self, bad):
+        species = SPECIES_OK.replace('"0.5"', f'"{bad}"')
+        with pytest.raises(SBMLError, match="initial value"):
+            parse_sbml(_sbml(species, PARAM_OK))
+
+    @pytest.mark.parametrize("size", ["0", "-2", "nan", "x"])
+    def test_bad_compartment_size_rejected(self, size):
+        comp = f'<compartment id="cell" size="{size}"/>'
+        with pytest.raises(SBMLError, match="compartment"):
+            parse_sbml(_sbml(SPECIES_OK, PARAM_OK, compartment=comp))
+
+    @pytest.mark.parametrize("value", ["nan", "inf", ""])
+    def test_non_finite_parameter_rejected(self, value):
+        with pytest.raises(SBMLError, match="parameter"):
+            parse_sbml(_sbml(SPECIES_OK, f'<parameter id="k" value="{value}"/>'))
+
+    def test_non_finite_stoichiometry_rejected(self):
+        text = _sbml(SPECIES_OK, PARAM_OK).replace(
+            'stoichiometry="1"', 'stoichiometry="inf"', 1
+        )
+        with pytest.raises(SBMLError, match="stoichiometry"):
+            parse_sbml(text)
+
+
+# ----------------------------------------------------------------------
+# bounds inference
+# ----------------------------------------------------------------------
+
+
+class TestInferBounds:
+    def test_conservation_caps_and_param_ranges(self):
+        model = parse_sbml(_sbml(SPECIES_OK, PARAM_OK))
+        bounds, ranges = infer_bounds(model)
+        # cap = max(2*x0, total initial mass); total = 2.5
+        assert bounds == {"a": [0.0, 4.0], "b": [0.0, 2.5]}
+        assert ranges == {"k": [0.4, 1.2]}
+
+    def test_negative_parameter_range_is_sorted(self):
+        model = parse_sbml(_sbml(SPECIES_OK, '<parameter id="k" value="-2.0"/>'))
+        _, ranges = infer_bounds(model)
+        assert ranges["k"] == [-3.0, -1.0]
+
+    def test_zero_parameter_dropped(self):
+        model = parse_sbml(_sbml(SPECIES_OK, '<parameter id="k" value="0"/>'))
+        _, ranges = infer_bounds(model)
+        assert ranges == {}
+
+    def test_all_zero_initials_is_zero_width_skip(self):
+        species = (
+            '<species id="a" compartment="cell" initialConcentration="0"/>'
+            '<species id="b" compartment="cell"/>'
+        )
+        model = parse_sbml(_sbml(species, PARAM_OK))
+        with pytest.raises(IngestSkip, match="zero-width"):
+            infer_bounds(model)
+
+
+# ----------------------------------------------------------------------
+# file/directory ingestion
+# ----------------------------------------------------------------------
+
+
+class TestIngestion:
+    def _write(self, tmp_path, name, text):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_ingest_file_emits_three_templates(self, tmp_path):
+        path = self._write(tmp_path, "toy.xml", _sbml(SPECIES_OK, PARAM_OK))
+        entries = ingest_file(path)
+        assert [s.name for s in entries] == [
+            "sbml-toy-rise", "sbml-toy-settle", "sbml-toy-smc",
+        ]
+        assert all(s.family == "sbml" for s in entries)
+        assert all(s.expected is None for s in entries)
+
+    def test_oversized_model_skips(self, tmp_path):
+        species = "".join(
+            f'<species id="s{i}" compartment="cell" initialConcentration="1"/>'
+            for i in range(9)
+        )
+        text = _sbml(species, PARAM_OK).replace(
+            'species="a"', 'species="s0"'
+        ).replace('species="b"', 'species="s1"')
+        text = text.replace("<ci>a</ci>", "<ci>s0</ci>")
+        path = self._write(tmp_path, "big.xml", text)
+        with pytest.raises(IngestSkip, match="corpus cap"):
+            ingest_file(path)
+
+    def test_boundary_only_model_skips(self, tmp_path):
+        species = SPECIES_OK.replace(
+            "/>", ' boundaryCondition="true"/>'
+        )
+        path = self._write(tmp_path, "frozen.xml", _sbml(species, PARAM_OK))
+        with pytest.raises(IngestSkip, match="no dynamic species"):
+            ingest_file(path)
+
+    def test_ingest_dir_records_skip_rows(self, tmp_path):
+        self._write(tmp_path, "good.xml", _sbml(SPECIES_OK, PARAM_OK))
+        self._write(tmp_path, "good.sbml", _sbml(SPECIES_OK, PARAM_OK))
+        self._write(tmp_path, "broken.xml", "<not-sbml/>")
+        zero = _sbml(
+            '<species id="a" compartment="cell"/>'
+            '<species id="b" compartment="cell"/>',
+            PARAM_OK,
+        )
+        self._write(tmp_path, "zero.xml", zero)
+        result = ingest_dir(tmp_path)
+        assert result.files == 4
+        assert [s.name for s in result.entries] == [
+            "sbml-good-rise", "sbml-good-settle", "sbml-good-smc",
+        ]
+        reasons = dict(result.skipped)
+        # *.sbml sorts before *.xml, so the .xml twin is the duplicate
+        assert reasons["good.xml"] == "duplicate model stem"
+        assert "expected <sbml>" in reasons["broken.xml"]
+        assert "zero-width" in reasons["zero.xml"]
+        assert "3 entries from 1/4 files (3 skipped)" == result.summary()
+
+    def test_ingest_dir_rejects_non_directory(self, tmp_path):
+        with pytest.raises(ValueError, match="not a directory"):
+            ingest_dir(tmp_path / "missing")
+
+    def test_triage_fills_expected_verdicts(self, tmp_path):
+        path = self._write(tmp_path, "toy.xml", _sbml(SPECIES_OK, PARAM_OK))
+        triaged = triage(ingest_file(path))
+        assert all(isinstance(s.expected, str) and s.expected for s in triaged)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestCli:
+    def test_ingest_writes_entries_json(self, tmp_path, capsys):
+        from repro.api.cli import main
+
+        (tmp_path / "toy.xml").write_text(_sbml(SPECIES_OK, PARAM_OK))
+        out = tmp_path / "entries.json"
+        assert main([
+            "scenarios", "ingest", str(tmp_path), "--out", str(out),
+        ]) == 0
+        assert "3 entries from 1/1 files" in capsys.readouterr().out
+        names = [e["name"] for e in json.loads(out.read_text())]
+        assert names == ["sbml-toy-rise", "sbml-toy-settle", "sbml-toy-smc"]
+
+    def test_ingest_empty_dir_fails(self, tmp_path, capsys):
+        from repro.api.cli import main
+
+        assert main(["scenarios", "ingest", str(tmp_path)]) == 1
+        capsys.readouterr()
+
+    def test_generate_json_and_list(self, tmp_path, capsys):
+        from repro.api.cli import main
+
+        assert main([
+            "scenarios", "generate", "mass-action",
+            "--seed", "5", "--count", "2", "--json",
+        ]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert [e["name"] for e in entries] == [
+            "ma-s5-00-drain", "ma-s5-00-smc",
+        ]
+        assert main(["scenarios", "generate", "--list"]) == 0
+        listing = capsys.readouterr().out
+        for family in ("mass-action", "switched", "cardiac-perturbed"):
+            assert family in listing
+
+    def test_generate_unknown_family_errors(self, capsys):
+        from repro.api.cli import main
+
+        assert main(["scenarios", "generate", "nope"]) == 2
+        assert "unknown scenario family" in capsys.readouterr().err
+
+    def test_coverage_check_passes_and_writes_report(self, tmp_path, capsys):
+        from repro.api.cli import main
+
+        out = tmp_path / "coverage.json"
+        assert main([
+            "scenarios", "coverage", "--check", "--out", str(out),
+        ]) == 0
+        assert "falsify" in capsys.readouterr().out
+        report = json.loads(out.read_text())
+        assert report["empty_supported"] == []
+        assert report["total"] >= 150
