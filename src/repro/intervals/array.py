@@ -151,8 +151,12 @@ class IntervalArray:
         return self.lo > self.hi
 
     def width(self) -> np.ndarray:
+        # lo == hi covers degenerate infinite rows ([inf, inf] from
+        # outward rounding past _FLOAT_MAX), whose ``hi - lo`` would be
+        # ``inf - inf = NaN`` -- matching the scalar kernel's width().
         with _quiet():
-            return np.where(self.is_empty, 0.0, self.hi - self.lo)
+            degenerate = self.is_empty | (self.lo == self.hi)
+            return np.where(degenerate, 0.0, self.hi - self.lo)
 
     def contains(self, x) -> np.ndarray:
         return ~self.is_empty & (self.lo <= x) & (x <= self.hi)
@@ -287,17 +291,35 @@ class IntervalArray:
         """``self ** n`` for a fixed real exponent (the scalar ``pow``)."""
         if float(n).is_integer():
             return self.pow_int(int(n))
+        n = float(n)
         base = self.intersect(IntervalArray.constant(0.0, len(self)).replace_hi(_INF))
         with _quiet():
             # rows with base.lo > 0: exp(n * log(base))
-            pos = (base.log() * IntervalArray.constant(float(n), len(self))).exp()
-            # rows touching zero: hull with [0, 0] after flooring the base
-            floored = IntervalArray(np.maximum(base.lo, 1e-300), base.hi)
-            touch = (floored.log() * IntervalArray.constant(float(n), len(self))).exp()
-            touch = IntervalArray(np.minimum(touch.lo, 0.0), np.maximum(touch.hi, 0.0))
+            pos = (base.log() * IntervalArray.constant(n, len(self))).exp()
+            if n < 0.0:
+                # x**n blows up at 0+: zero-touching rows map to
+                # [base.hi**n, +inf) -- flooring the base (the old path)
+                # capped the upper bound and violated inclusion.  A base
+                # of exactly {0} is outside the domain entirely.
+                touch = IntervalArray(
+                    np.maximum(0.0, _down(np.power(base.hi, n))),
+                    np.full_like(base.hi, _INF),
+                )
+                at_zero = base.hi == 0.0
+            else:
+                # rows touching zero: hull with [0, 0] after flooring the base
+                floored = IntervalArray(np.maximum(base.lo, 1e-300), base.hi)
+                touch = (floored.log() * IntervalArray.constant(n, len(self))).exp()
+                touch = IntervalArray(
+                    np.minimum(touch.lo, 0.0), np.maximum(touch.hi, 0.0)
+                )
+                at_zero = np.zeros(len(self), dtype=bool)
         zero_lo = base.lo <= 0.0
         lo = np.where(zero_lo, touch.lo, pos.lo)
         hi = np.where(zero_lo, touch.hi, pos.hi)
+        dead = zero_lo & at_zero
+        lo = np.where(dead, _INF, lo)
+        hi = np.where(dead, -_INF, hi)
         return IntervalArray(lo, hi)._propagate_empty(base)
 
     def replace_hi(self, hi: float) -> "IntervalArray":
@@ -353,7 +375,15 @@ class IntervalArray:
         with _quiet():
             k_lo = np.floor((self.lo - math.pi / 2.0) / math.pi)
             k_hi = np.floor((self.hi - math.pi / 2.0) / math.pi)
-            pole = (self.width() >= math.pi) | (k_lo != k_hi)
+            # ~isfinite guards degenerate infinite rows: [inf, inf] has
+            # width 0 and floor(inf) == floor(inf), so neither clause
+            # fires and NaN tan bounds would leak through.
+            pole = (
+                (self.width() >= math.pi)
+                | (k_lo != k_hi)
+                | ~np.isfinite(self.lo)
+                | ~np.isfinite(self.hi)
+            )
             lo = np.where(pole, -_INF, _down(np.tan(self.lo)))
             hi = np.where(pole, _INF, _up(np.tan(self.hi)))
         return IntervalArray(lo, hi)._propagate_empty(self)

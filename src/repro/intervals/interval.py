@@ -74,6 +74,19 @@ def _add_up(a: float, b: float) -> float:
 _SPLITTER = 134217729.0  # 2**27 + 1, Dekker splitting constant
 
 
+def _pow_bound(x: float, n: int) -> float:
+    """``x ** n`` with float overflow mapped to the signed infinity.
+
+    CPython's ``float.__pow__`` raises :exc:`OverflowError` where the
+    vectorized kernel's ``np.power`` returns ``inf``; the two kernels
+    must agree, and a crash is never a sound enclosure.
+    """
+    try:
+        return x ** n
+    except OverflowError:
+        return -_INF if (x < 0.0 and n % 2) else _INF
+
+
 def _mul_exact(a: float, b: float, p: float) -> bool:
     """True when ``p == a*b`` exactly (Dekker two-product residual test)."""
     if not math.isfinite(p) or abs(a) > 1e150 or abs(b) > 1e150:
@@ -146,8 +159,14 @@ class Interval:
         return not self.is_empty and math.isfinite(self.lo) and math.isfinite(self.hi)
 
     def width(self) -> float:
-        """Diameter ``hi - lo``; 0 for empty intervals."""
-        if self.is_empty:
+        """Diameter ``hi - lo``; 0 for empty and degenerate intervals.
+
+        Degenerate includes infinite endpoints: ``[inf, inf]`` (produced
+        deliberately by outward rounding past ``_FLOAT_MAX``) must have
+        width 0, not ``inf - inf = NaN`` -- a NaN width poisons the
+        widest-first ordering of the ICP frontier heap.
+        """
+        if self.is_empty or self.lo == self.hi:
             return 0.0
         return self.hi - self.lo
 
@@ -343,15 +362,26 @@ class Interval:
                 return self.pow(-n).inverse()
             if n % 2 == 0:
                 a = abs(self)
-                return Interval(_down(a.lo ** n), _up(a.hi ** n))
-            return Interval(_down(self.lo ** n), _up(self.hi ** n))
+                return Interval(_down(_pow_bound(a.lo, n)), _up(_pow_bound(a.hi, n)))
+            return Interval(
+                _down(_pow_bound(self.lo, n)), _up(_pow_bound(self.hi, n))
+            )
         base = self.intersect(Interval(0.0, _INF))
         if base.is_empty:
             return EMPTY
-        return (base.log() * _as_interval(n)).exp() if base.lo > 0.0 else \
-            Interval(0.0, 0.0).hull(
-                (Interval(max(base.lo, 1e-300), base.hi).log() * _as_interval(n)).exp()
-            )
+        if base.lo > 0.0:
+            return (base.log() * _as_interval(n)).exp()
+        if n < 0.0:
+            # x**n blows up at 0+: a zero-touching base maps to
+            # [base.hi**n, +inf) -- capping the upper bound (the old
+            # log/exp path floored the base at 1e-300, i.e. capped the
+            # result near 1e150*|n|) violates inclusion.
+            if base.hi == 0.0:
+                return EMPTY
+            return Interval(max(0.0, _down(math.pow(base.hi, n))), _INF)
+        return Interval(0.0, 0.0).hull(
+            (Interval(max(base.lo, 1e-300), base.hi).log() * _as_interval(n)).exp()
+        )
 
     def __pow__(self, n: int | float) -> "Interval":
         return self.pow(n)
@@ -392,7 +422,7 @@ class Interval:
     def tan(self) -> "Interval":
         if self.is_empty:
             return EMPTY
-        if self.width() >= math.pi:
+        if not self.is_bounded or self.width() >= math.pi:
             return Interval.entire()
         # A pole x = pi/2 + k*pi lies inside?
         k_lo = math.floor((self.lo - math.pi / 2.0) / math.pi)

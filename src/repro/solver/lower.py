@@ -1,0 +1,1047 @@
+"""Compiled tape kernels: fused per-row lowering of expression tapes.
+
+The numpy tape interpreter (:mod:`repro.solver.tape`) pays one Python
+call and several array temporaries per instruction per sweep.  This
+module lowers an :class:`~repro.solver.tape.ExprTape` into a single
+generated function that walks every frontier row once, computing the
+whole forward pass (and for HC4 the backward pass) in straight-line
+scalar code -- the shape ``@njit`` compiles into one fused loop with no
+allocation.
+
+Two execution modes run the *same* generated source:
+
+``"numba"``
+    the source is wrapped in ``numba.njit`` (only offered when numba
+    imports and a probe kernel compiles -- see :func:`numba_usable`);
+``"pyexec"``
+    the source runs through the plain interpreter.  This is the
+    internal test mode: it exercises the lowering bit-for-bit against
+    the numpy interpreter even where numba is not installed, because
+    every helper calls the very same numpy scalar ufuncs the array
+    kernel calls.
+
+Bit-identity with the interpreter is the design contract, not an
+accident.  Every helper below mirrors one :class:`IntervalArray`
+operation *in evaluation order*: the same ``nextafter`` outward bumps,
+the same TwoSum/Dekker exactness shortcuts, the same NaN scrubbing of
+``0 * inf`` corner products, the same tie behavior as
+``np.maximum``/``np.minimum`` (second argument wins, NaN propagates),
+and the same ``npy_pow`` fast paths (``x ** 2.0 -> x * x``,
+``x ** 0.5 -> sqrt(x)``).  Deviating in any of these breaks the golden
+byte-identity the conformance suite enforces.
+
+Public knob surface: :data:`KERNELS` (``"numpy"``/``"numba"``) is what
+``SolverOptions.kernel`` accepts; :func:`resolve_kernel` maps a request
+onto what the process can actually run, warning once on fallback.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+
+import numpy as np
+
+from repro.intervals.array import BoxArray, IntervalArray
+
+__all__ = [
+    "HAS_NUMBA",
+    "KERNELS",
+    "PYEXEC_KERNEL",
+    "LoweredTape",
+    "available_kernels",
+    "lower_tape",
+    "numba_usable",
+    "resolve_kernel",
+    "validate_kernel",
+]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAS_NUMBA = True
+except ImportError:  # pragma: no cover
+    numba = None
+    HAS_NUMBA = False
+
+#: Kernels selectable through ``SolverOptions`` / ``--kernel``.
+KERNELS = ("numpy", "numba")
+
+#: Internal test-only kernel: runs the generated per-row source through
+#: the plain interpreter, so the lowering itself is exercised even
+#: where numba is absent.  Accepted by ``DeltaSolver`` but rejected at
+#: the ``SolverOptions`` (API/CLI/serve) boundary.
+PYEXEC_KERNEL = "pyexec"
+
+_INF = math.inf
+_SPLITTER = 134217729.0  # 2**27 + 1, Dekker splitting constant
+_PI = math.pi
+_TWO_PI = 2.0 * math.pi
+
+#: Tapes longer than this fall back to the numpy interpreter: the
+#: generated function grows ~8 locals per register and jit compile time
+#: stops paying for itself.
+_MAX_LOWER_REGS = 128
+
+
+class _Unlowerable(Exception):
+    """Raised during codegen for tapes the lowering cannot express."""
+
+
+# ----------------------------------------------------------------------
+# Kernel selection
+# ----------------------------------------------------------------------
+
+_warned_fallback = False
+_numba_ok: bool | None = None
+
+
+def available_kernels() -> tuple[str, ...]:
+    """The kernels this process can actually execute."""
+    return KERNELS if numba_usable() else ("numpy",)
+
+
+def validate_kernel(kernel: str, *, internal: bool = False) -> str:
+    """Check a kernel name, raising the boundary ``ValueError``.
+
+    ``internal=True`` additionally admits :data:`PYEXEC_KERNEL` (the
+    test-only mode), which the public option surface rejects.
+    """
+    allowed = KERNELS + ((PYEXEC_KERNEL,) if internal else ())
+    if kernel not in allowed:
+        raise ValueError(
+            f"unknown kernel {kernel!r}: expected one of "
+            + ", ".join(repr(k) for k in KERNELS)
+        )
+    return kernel
+
+
+def resolve_kernel(kernel: str) -> str:
+    """Map a requested kernel onto what this process can run.
+
+    ``"numba"`` degrades to ``"numpy"`` -- with a single
+    :class:`RuntimeWarning` per process -- when numba is missing or its
+    probe kernel fails to compile.  Results are unchanged by the
+    fallback; only throughput differs.
+    """
+    global _warned_fallback
+    validate_kernel(kernel, internal=True)
+    if kernel == "numba" and not numba_usable():
+        if not _warned_fallback:
+            _warned_fallback = True
+            reason = (
+                "numba is not installed"
+                if not HAS_NUMBA
+                else "the numba kernel failed to initialize"
+            )
+            warnings.warn(
+                f"kernel='numba' requested but {reason}; falling back to "
+                "the numpy tape interpreter",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return "numpy"
+    return kernel
+
+
+def numba_usable() -> bool:
+    """True when the jitted lowering is genuinely available.
+
+    Compiles and runs a tiny probe kernel touching the risky primitives
+    (``nextafter`` bumps, trig, integer-power inversion) the first time
+    it is asked, so a partial numba install degrades to the interpreter
+    instead of failing deep inside a solve.
+    """
+    global _numba_ok
+    if not HAS_NUMBA:
+        return False
+    if _numba_ok is None:
+        try:
+            ns = dict(_ops_namespace("numba"))
+            src = (
+                "def _probe(lo, hi, out_lo, out_hi):\n"
+                "    for _i in range(lo.shape[0]):\n"
+                "        a_lo, a_hi = B_add(lo[_i, 0], hi[_i, 0], 1.0, 1.0)\n"
+                "        b_lo, b_hi = U_sin(a_lo, a_hi)\n"
+                "        c_lo, c_hi = B_powi(b_lo, b_hi, 2)\n"
+                "        d_lo, d_hi = I_powi(c_lo, c_hi, b_lo, b_hi, 3)\n"
+                "        out_lo[_i] = d_lo\n"
+                "        out_hi[_i] = d_hi\n"
+            )
+            exec(compile(src, "<kernel-probe>", "exec"), ns)
+            fn = numba.njit(cache=False)(ns["_probe"])
+            out_lo, out_hi = np.empty(1), np.empty(1)
+            fn(np.array([[0.25]]), np.array([[0.5]]), out_lo, out_hi)
+            _numba_ok = bool(np.isfinite(out_lo[0]))
+        except Exception:  # pragma: no cover - depends on the install
+            _numba_ok = False
+    return _numba_ok
+
+
+# ----------------------------------------------------------------------
+# Scalar op library (mirrors IntervalArray operation by operation)
+# ----------------------------------------------------------------------
+
+
+def _make_ops(jit):
+    """Build the helper namespace, each function wrapped by ``jit``.
+
+    Helpers reference each other through closure cells, so the jitted
+    namespace calls jitted helpers and the plain namespace calls plain
+    ones.
+    """
+
+    def dn(x):
+        return np.nextafter(x, -_INF)
+
+    dn = jit(dn)
+
+    def up(x):
+        return np.nextafter(x, _INF)
+
+    up = jit(up)
+
+    def MX(a, b):
+        # np.maximum semantics: NaN propagates, second argument wins ties
+        if a != a:
+            return a
+        if b != b:
+            return b
+        if a > b:
+            return a
+        return b
+
+    MX = jit(MX)
+
+    def MN(a, b):
+        if a != a:
+            return a
+        if b != b:
+            return b
+        if a < b:
+            return a
+        return b
+
+    MN = jit(MN)
+
+    def pwf(x, y):
+        # npy_pow fast paths, replicated so the jitted kernel agrees
+        # with numpy's power ufunc bit-for-bit
+        if y == 2.0:
+            return x * x
+        if y == 0.5:
+            return np.sqrt(x)
+        return np.power(x, y)
+
+    pwf = jit(pwf)
+
+    def mexact(a, b, p):
+        if (not np.isfinite(p)) or np.abs(a) > 1e150 or np.abs(b) > 1e150:
+            return p == 0.0 and (a == 0.0 or b == 0.0)
+        ca = _SPLITTER * a
+        ah = ca - (ca - a)
+        al = a - ah
+        cb = _SPLITTER * b
+        bh = cb - (cb - b)
+        bl = b - bh
+        err = ((ah * bh - p) + ah * bl + al * bh) + al * bl
+        return err == 0.0
+
+    mexact = jit(mexact)
+
+    # -- forward ops ---------------------------------------------------
+
+    def B_add(al, ah, bl, bh):
+        if al > ah or bl > bh:
+            return _INF, -_INF
+        s = al + bl
+        bb = s - al
+        err = (al - (s - bb)) + (bl - bb)
+        if np.isfinite(s) and err == 0.0:
+            rl = s
+        else:
+            rl = dn(s)
+        t = ah + bh
+        bb2 = t - ah
+        err2 = (ah - (t - bb2)) + (bh - bb2)
+        if np.isfinite(t) and err2 == 0.0:
+            rh = t
+        else:
+            rh = up(t)
+        return rl, rh
+
+    B_add = jit(B_add)
+
+    def U_neg(al, ah):
+        return -ah, -al
+
+    U_neg = jit(U_neg)
+
+    def B_sub(al, ah, bl, bh):
+        return B_add(al, ah, -bh, -bl)
+
+    B_sub = jit(B_sub)
+
+    def B_mul(al, ah, bl, bh):
+        if al > ah or bl > bh:
+            return _INF, -_INF
+        p0 = al * bl
+        if p0 != p0:
+            p0 = 0.0
+        p1 = al * bh
+        if p1 != p1:
+            p1 = 0.0
+        p2 = ah * bl
+        if p2 != p2:
+            p2 = 0.0
+        p3 = ah * bh
+        if p3 != p3:
+            p3 = 0.0
+        plo = MN(MN(p0, p1), MN(p2, p3))
+        phi = MX(MX(p0, p1), MX(p2, p3))
+        if p0 == plo:
+            xa, xb = al, bl
+        elif p1 == plo:
+            xa, xb = al, bh
+        elif p2 == plo:
+            xa, xb = ah, bl
+        else:
+            xa, xb = ah, bh
+        if mexact(xa, xb, plo):
+            rl = plo
+        else:
+            rl = dn(plo)
+        if p0 == phi:
+            ya, yb = al, bl
+        elif p1 == phi:
+            ya, yb = al, bh
+        elif p2 == phi:
+            ya, yb = ah, bl
+        else:
+            ya, yb = ah, bh
+        if mexact(ya, yb, phi):
+            rh = phi
+        else:
+            rh = up(phi)
+        return rl, rh
+
+    B_mul = jit(B_mul)
+
+    def U_inv(al, ah):
+        if al > ah:
+            return _INF, -_INF
+        if al == 0.0 and ah == 0.0:
+            return _INF, -_INF
+        if al <= 0.0 <= ah:
+            if al == 0.0:
+                return dn(1.0 / ah), _INF
+            if ah == 0.0:
+                return -_INF, up(1.0 / al)
+            return -_INF, _INF
+        return dn(1.0 / ah), up(1.0 / al)
+
+    U_inv = jit(U_inv)
+
+    def B_div(al, ah, bl, bh):
+        if al > ah or bl > bh:
+            return _INF, -_INF
+        il, ih = U_inv(bl, bh)
+        return B_mul(al, ah, il, ih)
+
+    B_div = jit(B_div)
+
+    def U_abs(al, ah):
+        if al > ah:
+            return _INF, -_INF
+        if al >= 0.0:
+            return al, ah
+        if ah <= 0.0:
+            return -ah, -al
+        return 0.0, MX(-al, ah)
+
+    U_abs = jit(U_abs)
+
+    def U_sqr(al, ah):
+        if al > ah:
+            return _INF, -_INF
+        bl, bh = U_abs(al, ah)
+        return dn(bl * bl), up(bh * bh)
+
+    U_sqr = jit(U_sqr)
+
+    def U_sqrt(al, ah):
+        sl = MX(al, 0.0)
+        if sl > ah:
+            return _INF, -_INF
+        return dn(np.sqrt(sl)), up(np.sqrt(ah))
+
+    U_sqrt = jit(U_sqrt)
+
+    def U_exp(al, ah):
+        if al > ah:
+            return _INF, -_INF
+        return MX(0.0, dn(np.exp(al))), up(np.exp(ah))
+
+    U_exp = jit(U_exp)
+
+    def U_log(al, ah):
+        sl = MX(al, 0.0)
+        if sl == 0.0:
+            rl = -_INF
+        else:
+            rl = dn(np.log(sl))
+        if ah == 0.0:
+            rh = -_INF
+        else:
+            rh = up(np.log(ah))
+        if rl != rl or rh != rh:  # IntervalArray.make: NaN bounds -> empty
+            return _INF, -_INF
+        if sl > ah:
+            return _INF, -_INF
+        return rl, rh
+
+    U_log = jit(U_log)
+
+    def T_trig(al, ah, offset, use_sin):
+        if al > ah:
+            return _INF, -_INF
+        if al == ah:
+            w = 0.0
+        else:
+            w = ah - al
+        wide = (w >= _TWO_PI) or (not np.isfinite(al)) or (not np.isfinite(ah))
+        if use_sin:
+            lov = np.sin(al)
+            hiv = np.sin(ah)
+        else:
+            lov = np.cos(al)
+            hiv = np.cos(ah)
+        rl = MN(lov, hiv)
+        rh = MX(lov, hiv)
+        k_max = np.ceil((al + offset - _PI / 2.0) / _TWO_PI)
+        if (_PI / 2.0 - offset) + k_max * _TWO_PI <= ah:
+            rh = 1.0
+        k_min = np.ceil((al + offset + _PI / 2.0) / _TWO_PI)
+        if (-_PI / 2.0 - offset) + k_min * _TWO_PI <= ah:
+            rl = -1.0
+        if wide:
+            return -1.0, 1.0
+        return MX(-1.0, dn(rl)), MN(1.0, up(rh))
+
+    T_trig = jit(T_trig)
+
+    def U_sin(al, ah):
+        return T_trig(al, ah, 0.0, True)
+
+    U_sin = jit(U_sin)
+
+    def U_cos(al, ah):
+        return T_trig(al, ah, _PI / 2.0, False)
+
+    U_cos = jit(U_cos)
+
+    def U_tan(al, ah):
+        if al > ah:
+            return _INF, -_INF
+        if al == ah:
+            w = 0.0
+        else:
+            w = ah - al
+        k_lo = np.floor((al - _PI / 2.0) / _PI)
+        k_hi = np.floor((ah - _PI / 2.0) / _PI)
+        if (
+            (w >= _PI)
+            or (k_lo != k_hi)
+            or (not np.isfinite(al))
+            or (not np.isfinite(ah))
+        ):
+            return -_INF, _INF
+        return dn(np.tan(al)), up(np.tan(ah))
+
+    U_tan = jit(U_tan)
+
+    def U_tanh(al, ah):
+        if al > ah:
+            return _INF, -_INF
+        return MX(-1.0, dn(np.tanh(al))), MN(1.0, up(np.tanh(ah)))
+
+    U_tanh = jit(U_tanh)
+
+    def sig(x):
+        if x >= 0:
+            return 1.0 / (1.0 + np.exp(-x))
+        e = np.exp(x)
+        return e / (1.0 + e)
+
+    sig = jit(sig)
+
+    def U_sigmoid(al, ah):
+        if al > ah:
+            return _INF, -_INF
+        return MX(0.0, dn(sig(al))), MN(1.0, up(sig(ah)))
+
+    U_sigmoid = jit(U_sigmoid)
+
+    def B_min(al, ah, bl, bh):
+        if al > ah or bl > bh:
+            return _INF, -_INF
+        return MN(al, bl), MN(ah, bh)
+
+    B_min = jit(B_min)
+
+    def B_max(al, ah, bl, bh):
+        if al > ah or bl > bh:
+            return _INF, -_INF
+        return MX(al, bl), MX(ah, bh)
+
+    B_max = jit(B_max)
+
+    def B_powi(al, ah, n):
+        if al > ah:
+            return _INF, -_INF
+        if n == 0:
+            return 1.0, 1.0
+        if n < 0:
+            m = -n
+            if m % 2 == 0:
+                xl, xh = U_abs(al, ah)
+            else:
+                xl, xh = al, ah
+            pl = dn(pwf(xl, 1.0 * m))
+            ph = up(pwf(xh, 1.0 * m))
+            return U_inv(pl, ph)
+        if n % 2 == 0:
+            xl, xh = U_abs(al, ah)
+        else:
+            xl, xh = al, ah
+        return dn(pwf(xl, 1.0 * n)), up(pwf(xh, 1.0 * n))
+
+    B_powi = jit(B_powi)
+
+    def B_powf(al, ah, n):
+        # pow_scalar's fractional-exponent branch, row-local
+        bl = MX(al, 0.0)
+        bh = ah
+        ll, lh = U_log(bl, bh)
+        ml, mh = B_mul(ll, lh, n, n)
+        pl, ph = U_exp(ml, mh)
+        if n < 0.0:
+            tl = MX(0.0, dn(pwf(bh, n)))
+            th = _INF
+            at_zero = bh == 0.0
+        else:
+            fl = MX(bl, 1e-300)
+            l2l, l2h = U_log(fl, bh)
+            m2l, m2h = B_mul(l2l, l2h, n, n)
+            el, eh = U_exp(m2l, m2h)
+            tl = MN(el, 0.0)
+            th = MX(eh, 0.0)
+            at_zero = False
+        if bl <= 0.0:
+            if at_zero:
+                return _INF, -_INF
+            rl, rh = tl, th
+        else:
+            rl, rh = pl, ph
+        if bl > bh:
+            return _INF, -_INF
+        return rl, rh
+
+    B_powf = jit(B_powf)
+
+    def B_powg(al, ah, bl, bh):
+        # runtime exponent: exp(b * log a) with the per-row
+        # point-exponent specialization of _pow_general
+        ll, lh = U_log(al, ah)
+        ml, mh = B_mul(ll, lh, bl, bh)
+        rl, rh = U_exp(ml, mh)
+        if bl <= bh and bl == bh:
+            n = bl
+            if np.isfinite(n) and n == np.floor(n) and np.abs(n) <= 9.007199254740992e15:
+                rl, rh = B_powi(al, ah, int(n))
+            else:
+                rl, rh = B_powf(al, ah, n)
+        if al > ah or bl > bh:
+            return _INF, -_INF
+        return rl, rh
+
+    B_powg = jit(B_powg)
+
+    # -- inversion (backward) ops --------------------------------------
+
+    def I_neg(wl, wh):
+        return -wh, -wl
+
+    I_neg = jit(I_neg)
+
+    def I_exp(wl, wh):
+        return U_log(wl, wh)
+
+    I_exp = jit(I_exp)
+
+    def I_log(wl, wh):
+        return U_exp(wl, wh)
+
+    I_log = jit(I_log)
+
+    def I_sqrt(wl, wh):
+        return U_sqr(MX(wl, 0.0), wh)
+
+    I_sqrt = jit(I_sqrt)
+
+    def I_abs(wl, wh):
+        h = wh  # intersect with [0, inf) only moves the lower bound
+        return -h, h
+
+    I_abs = jit(I_abs)
+
+    def I_tanh(wl, wh):
+        l = MX(wl, -1.0)
+        h = MN(wh, 1.0)
+        if l <= -1.0:
+            rl = -_INF
+        else:
+            rl = np.arctanh(l)
+        if h >= 1.0:
+            rh = _INF
+        else:
+            rh = np.arctanh(h)
+        if not (rl > rh):
+            rl = rl - 1e-12
+            rh = rh + 1e-12
+        if l > h:
+            return _INF, -_INF
+        return rl, rh
+
+    I_tanh = jit(I_tanh)
+
+    def I_sigmoid(wl, wh):
+        l = MX(wl, 0.0)
+        h = MN(wh, 1.0)
+        if l <= 0.0:
+            rl = -_INF
+        else:
+            rl = np.log(l / (1.0 - l))
+        if h >= 1.0:
+            rh = _INF
+        else:
+            rh = np.log(h / (1.0 - h))
+        if not (rl > rh):
+            rl = rl - 1e-12
+            rh = rh + 1e-12
+        if l > h:
+            return _INF, -_INF
+        return rl, rh
+
+    I_sigmoid = jit(I_sigmoid)
+
+    def SDIV(nl, nh, dl, dh):
+        if dl <= dh and dl <= 0.0 <= dh:
+            return -_INF, _INF
+        return B_div(nl, nh, dl, dh)
+
+    SDIV = jit(SDIV)
+
+    def I_add(wl, wh, al, ah, bl, bh):
+        xl, xh = B_sub(wl, wh, bl, bh)
+        yl, yh = B_sub(wl, wh, al, ah)
+        return xl, xh, yl, yh
+
+    I_add = jit(I_add)
+
+    def I_sub(wl, wh, al, ah, bl, bh):
+        xl, xh = B_add(wl, wh, bl, bh)
+        yl, yh = B_sub(al, ah, wl, wh)
+        return xl, xh, yl, yh
+
+    I_sub = jit(I_sub)
+
+    def I_mul(wl, wh, al, ah, bl, bh):
+        xl, xh = SDIV(wl, wh, bl, bh)
+        yl, yh = SDIV(wl, wh, al, ah)
+        return xl, xh, yl, yh
+
+    I_mul = jit(I_mul)
+
+    def I_div(wl, wh, al, ah, bl, bh):
+        xl, xh = B_mul(wl, wh, bl, bh)
+        yl, yh = SDIV(al, ah, wl, wh)
+        return xl, xh, yl, yh
+
+    I_div = jit(I_div)
+
+    def I_min(wl, wh, al, ah, bl, bh):
+        return wl, _INF, wl, _INF
+
+    I_min = jit(I_min)
+
+    def I_max(wl, wh, al, ah, bl, bh):
+        return -_INF, wh, -_INF, wh
+
+    I_max = jit(I_max)
+
+    def I_powi(wl, wh, al, ah, n):
+        if n == 0:
+            if wl <= wh and wl <= 1.0 <= wh:
+                return -_INF, _INF
+            return _INF, -_INF
+        if n < 0:
+            wl, wh = U_inv(wl, wh)
+            n = -n
+        if n % 2 == 1:
+            if np.isfinite(wl):
+                rl = np.copysign(pwf(np.abs(wl), 1.0 / n), wl)
+            else:
+                rl = wl
+            if np.isfinite(wh):
+                rh = np.copysign(pwf(np.abs(wh), 1.0 / n), wh)
+            else:
+                rh = wh
+            if not (rl > rh):
+                rl = rl - 1e-12
+                rh = rh + 1e-12
+            return rl, rh
+        el = MX(wl, 0.0)
+        eh = wh
+        if np.isfinite(eh):
+            hr = pwf(eh, 1.0 / n)
+        else:
+            hr = _INF
+        pl = pwf(el, 1.0 / n)
+        ph = hr
+        if not (pl > ph):
+            pl = pl - 1e-12
+            ph = ph + 1e-12
+        nl = -ph
+        nh = -pl
+        if nl > nh:
+            hl, hh = pl, ph
+        elif pl > ph:
+            hl, hh = nl, nh
+        else:
+            hl = MN(nl, pl)
+            hh = MX(nh, ph)
+        if al >= 0.0:
+            rl, rh = pl, ph
+        elif ah <= 0.0:
+            rl, rh = nl, nh
+        else:
+            rl, rh = hl, hh
+        if el > eh:
+            return _INF, -_INF
+        return rl, rh
+
+    I_powi = jit(I_powi)
+
+    return {
+        "np": np,
+        "_INF": _INF,
+        "dn": dn,
+        "up": up,
+        "MX": MX,
+        "MN": MN,
+        "pwf": pwf,
+        "mexact": mexact,
+        "B_add": B_add,
+        "B_sub": B_sub,
+        "B_mul": B_mul,
+        "B_div": B_div,
+        "B_min": B_min,
+        "B_max": B_max,
+        "B_powi": B_powi,
+        "B_powf": B_powf,
+        "B_powg": B_powg,
+        "U_neg": U_neg,
+        "U_inv": U_inv,
+        "U_abs": U_abs,
+        "U_sqr": U_sqr,
+        "U_sqrt": U_sqrt,
+        "U_exp": U_exp,
+        "U_log": U_log,
+        "U_sin": U_sin,
+        "U_cos": U_cos,
+        "U_tan": U_tan,
+        "U_tanh": U_tanh,
+        "U_sigmoid": U_sigmoid,
+        "I_neg": I_neg,
+        "I_exp": I_exp,
+        "I_log": I_log,
+        "I_sqrt": I_sqrt,
+        "I_abs": I_abs,
+        "I_tanh": I_tanh,
+        "I_sigmoid": I_sigmoid,
+        "SDIV": SDIV,
+        "I_add": I_add,
+        "I_sub": I_sub,
+        "I_mul": I_mul,
+        "I_div": I_div,
+        "I_min": I_min,
+        "I_max": I_max,
+        "I_powi": I_powi,
+    }
+
+
+_OPS_CACHE: dict[str, dict] = {}
+
+
+def _ops_namespace(mode: str) -> dict:
+    ns = _OPS_CACHE.get(mode)
+    if ns is None:
+        if mode == "numba":
+            jit = numba.njit(cache=False)
+        else:
+            jit = lambda f: f  # noqa: E731 - identity "jit" for pyexec
+        ns = _make_ops(jit)
+        _OPS_CACHE[mode] = ns
+    return ns
+
+
+# ----------------------------------------------------------------------
+# Codegen
+# ----------------------------------------------------------------------
+
+_UNARY_FWD = {
+    "neg": "U_neg",
+    "abs": "U_abs",
+    "sqrt": "U_sqrt",
+    "exp": "U_exp",
+    "log": "U_log",
+    "sin": "U_sin",
+    "cos": "U_cos",
+    "tan": "U_tan",
+    "tanh": "U_tanh",
+    "sigmoid": "U_sigmoid",
+}
+#: unary ops whose inverse is the sound identity (multivalued)
+_UNARY_INV = {
+    "neg": "I_neg",
+    "exp": "I_exp",
+    "log": "I_log",
+    "sqrt": "I_sqrt",
+    "abs": "I_abs",
+    "tanh": "I_tanh",
+    "sigmoid": "I_sigmoid",
+}
+_BINARY_FWD = {
+    "add": "B_add",
+    "sub": "B_sub",
+    "mul": "B_mul",
+    "div": "B_div",
+    "min": "B_min",
+    "max": "B_max",
+    "pow": "B_powg",
+}
+#: binary ops with a componentwise preimage ("pow" has none)
+_BINARY_INV = {
+    "add": "I_add",
+    "sub": "I_sub",
+    "mul": "I_mul",
+    "div": "I_div",
+    "min": "I_min",
+    "max": "I_max",
+}
+
+
+def _const_lit(v: float) -> str:
+    if math.isnan(v):
+        return "np.nan"
+    if v == _INF:
+        return "_INF"
+    if v == -_INF:
+        return "-_INF"
+    return repr(float(v))
+
+
+def _forward_lines(instrs, col) -> list[str]:
+    lines = []
+    for ins in instrs:
+        tag, dst = ins[0], ins[1]
+        if tag == "var":
+            if ins[2] not in col:
+                raise _Unlowerable(f"unbound variable {ins[2]!r}")
+            j = col[ins[2]]
+            lines.append(f"r{dst}_lo = lo[_i, {j}]")
+            lines.append(f"r{dst}_hi = hi[_i, {j}]")
+        elif tag == "const":
+            lit = _const_lit(ins[2])
+            lines.append(f"r{dst}_lo = {lit}")
+            lines.append(f"r{dst}_hi = {lit}")
+        elif tag == "un":
+            fn = _UNARY_FWD.get(ins[2])
+            if fn is None:
+                raise _Unlowerable(f"unary op {ins[2]!r}")
+            a = ins[3]
+            lines.append(f"r{dst}_lo, r{dst}_hi = {fn}(r{a}_lo, r{a}_hi)")
+        elif tag == "pow_const":
+            a, nexp = ins[2], ins[3]
+            if float(nexp).is_integer():
+                lines.append(
+                    f"r{dst}_lo, r{dst}_hi = B_powi(r{a}_lo, r{a}_hi, {int(nexp)})"
+                )
+            else:
+                lines.append(
+                    f"r{dst}_lo, r{dst}_hi = B_powf(r{a}_lo, r{a}_hi, "
+                    f"{_const_lit(float(nexp))})"
+                )
+        elif tag == "bin":
+            op, a, b = ins[2], ins[3], ins[4]
+            fn = _BINARY_FWD.get(op)
+            if fn is None:
+                raise _Unlowerable(f"binary op {op!r}")
+            lines.append(
+                f"r{dst}_lo, r{dst}_hi = {fn}(r{a}_lo, r{a}_hi, r{b}_lo, r{b}_hi)"
+            )
+        else:
+            raise _Unlowerable(f"instruction {tag!r}")
+    return lines
+
+
+def _backward_lines(instrs, col) -> list[str]:
+    lines = []
+    for ins in reversed(instrs):
+        tag, d = ins[0], ins[1]
+        if tag == "var":
+            j = col[ins[2]]
+            lines.append(f"_t = MX(out_lo[_i, {j}], w{d}_lo)")
+            lines.append(f"out_lo[_i, {j}] = _t")
+            lines.append(f"_t2 = MN(out_hi[_i, {j}], w{d}_hi)")
+            lines.append(f"out_hi[_i, {j}] = _t2")
+            lines.append("_d = _d or (_t > _t2)")
+        elif tag == "const":
+            lit = _const_lit(ins[2])
+            lines.append(f"_d = _d or not (w{d}_lo <= {lit} <= w{d}_hi)")
+        elif tag == "un":
+            op, a = ins[2], ins[3]
+            fn = _UNARY_INV.get(op)
+            if fn is not None:
+                lines.append(f"_il, _ih = {fn}(w{d}_lo, w{d}_hi)")
+                lines.append(f"w{a}_lo = MX(w{a}_lo, _il)")
+                lines.append(f"w{a}_hi = MN(w{a}_hi, _ih)")
+            lines.append(f"_d = _d or (w{a}_lo > w{a}_hi)")
+        elif tag == "pow_const":
+            a, nexp = ins[2], ins[3]
+            if float(nexp).is_integer():
+                lines.append(
+                    f"_il, _ih = I_powi(w{d}_lo, w{d}_hi, w{a}_lo, w{a}_hi, "
+                    f"{int(nexp)})"
+                )
+                lines.append(f"w{a}_lo = MX(w{a}_lo, _il)")
+                lines.append(f"w{a}_hi = MN(w{a}_hi, _ih)")
+            lines.append(f"_d = _d or (w{a}_lo > w{a}_hi)")
+        else:  # bin
+            op, a, b = ins[2], ins[3], ins[4]
+            fn = _BINARY_INV.get(op)
+            if fn is not None:
+                lines.append(
+                    f"_al, _ah, _bl, _bh = {fn}(w{d}_lo, w{d}_hi, "
+                    f"w{a}_lo, w{a}_hi, w{b}_lo, w{b}_hi)"
+                )
+                lines.append(f"w{a}_lo = MX(w{a}_lo, _al)")
+                lines.append(f"w{a}_hi = MN(w{a}_hi, _ah)")
+                lines.append(f"w{b}_lo = MX(w{b}_lo, _bl)")
+                lines.append(f"w{b}_hi = MN(w{b}_hi, _bh)")
+            lines.append(
+                f"_d = _d or (w{a}_lo > w{a}_hi) or (w{b}_lo > w{b}_hi)"
+            )
+    return lines
+
+
+def _emit_source(instrs, root: int, col: dict[str, int]) -> str:
+    fwd = _forward_lines(instrs, col)
+    body = "        "
+    ev = [
+        "def _t_eval(lo, hi, out_lo, out_hi):",
+        "    for _i in range(lo.shape[0]):",
+    ]
+    ev += [body + ln for ln in fwd]
+    ev += [body + f"out_lo[_i] = r{root}_lo", body + f"out_hi[_i] = r{root}_hi"]
+
+    hc = [
+        "def _t_hc4(lo, hi, out_lo, out_hi, dead):",
+        "    for _i in range(lo.shape[0]):",
+    ]
+    hc += [body + ln for ln in fwd]
+    # output constraint: the root term must be able to reach [0, +inf)
+    hc += [
+        body + f"w{root}_lo = MX(r{root}_lo, 0.0)",
+        body + f"w{root}_hi = r{root}_hi",
+        body + f"_d = (r{root}_lo > r{root}_hi) or (w{root}_lo > w{root}_hi)",
+    ]
+    for k in range(len(instrs)):
+        if k != root:
+            hc += [body + f"w{k}_lo = r{k}_lo", body + f"w{k}_hi = r{k}_hi"]
+    hc += [body + ln for ln in _backward_lines(instrs, col)]
+    hc += [body + "dead[_i] = _d"]
+    return "\n".join(ev) + "\n\n" + "\n".join(hc) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Lowered tape objects
+# ----------------------------------------------------------------------
+
+
+class LoweredTape:
+    """A tape lowered to one fused per-row function (eval + HC4)."""
+
+    __slots__ = ("names", "mode", "source", "_eval_fn", "_hc4_fn")
+
+    def __init__(self, instrs, root: int, names: tuple[str, ...], mode: str):
+        self.names = tuple(names)
+        self.mode = mode
+        col = {n: j for j, n in enumerate(self.names)}
+        self.source = _emit_source(instrs, root, col)
+        ns = dict(_ops_namespace(mode))
+        exec(compile(self.source, f"<lowered-tape-{mode}>", "exec"), ns)
+        ev, hc = ns["_t_eval"], ns["_t_hc4"]
+        if mode == "numba":
+            ev = numba.njit(cache=False)(ev)
+            hc = numba.njit(cache=False)(hc)
+        self._eval_fn = ev
+        self._hc4_fn = hc
+
+    def eval(self, boxes: BoxArray) -> IntervalArray:
+        n = len(boxes)
+        out_lo = np.empty(n)
+        out_hi = np.empty(n)
+        with np.errstate(all="ignore"):
+            self._eval_fn(boxes.lo, boxes.hi, out_lo, out_hi)
+        return IntervalArray(out_lo, out_hi)
+
+    def hc4(self, boxes: BoxArray) -> BoxArray:
+        new_lo = boxes.lo.copy()
+        new_hi = boxes.hi.copy()
+        dead = np.zeros(len(boxes), dtype=np.bool_)
+        with np.errstate(all="ignore"):
+            self._hc4_fn(boxes.lo, boxes.hi, new_lo, new_hi, dead)
+        if dead.any():
+            new_lo[dead] = _INF
+            new_hi[dead] = -_INF
+        return BoxArray(boxes.names, new_lo, new_hi)
+
+
+#: (instrs, root, names, mode) -> LoweredTape | False (False caches
+#: "not lowerable" so unsupported tapes skip codegen on every call).
+_LOWER_CACHE: dict[tuple, "LoweredTape | bool"] = {}
+_LOWER_CACHE_MAX = 256
+
+
+def lower_tape(tape, names, mode: str) -> LoweredTape | None:
+    """Lower ``tape`` for boxes over ``names``; None -> use the interpreter.
+
+    Lowered kernels are cached process-wide by tape content, so the
+    one-time (jit) compile cost is shared across every
+    ``CompiledFormula`` built from the same terms.
+    """
+    if tape.n_regs > _MAX_LOWER_REGS:
+        return None
+    key = (tuple(tape.instrs), tape.root, tuple(names), mode)
+    hit = _LOWER_CACHE.get(key)
+    if hit is None:
+        try:
+            hit = LoweredTape(tape.instrs, tape.root, tuple(names), mode)
+        except _Unlowerable:
+            hit = False
+        if len(_LOWER_CACHE) >= _LOWER_CACHE_MAX:
+            _LOWER_CACHE.clear()
+        _LOWER_CACHE[key] = hit
+    return hit or None

@@ -124,18 +124,24 @@ def split_into_shards(box: Box, shards: int) -> list[Box]:
 # Worker side: one vectorized epoch pass per chunk
 # ----------------------------------------------------------------------
 
-#: Per-process compiled-tape cache, keyed on the pickled formula so one
-#: worker process compiles each formula exactly once across epochs.
-_TAPE_CACHE: dict[bytes, CompiledFormula] = {}
+#: Per-process compiled-tape cache, keyed on the pickled formula plus
+#: the execution kernel and variable order, so one worker process
+#: compiles each (formula, kernel) pair exactly once across epochs.
+_TAPE_CACHE: dict[tuple, CompiledFormula] = {}
 
 
-def _compiled(phi_blob: bytes) -> CompiledFormula:
-    tape = _TAPE_CACHE.get(phi_blob)
+def _compiled(
+    phi_blob: bytes,
+    kernel: str = "numpy",
+    names: tuple[str, ...] | None = None,
+) -> CompiledFormula:
+    key = (phi_blob, kernel, names)
+    tape = _TAPE_CACHE.get(key)
     if tape is None:
         if len(_TAPE_CACHE) >= 32:
             _TAPE_CACHE.clear()
-        tape = compile_formula(pickle.loads(phi_blob))
-        _TAPE_CACHE[phi_blob] = tape
+        tape = compile_formula(pickle.loads(phi_blob), kernel=kernel, names=names)
+        _TAPE_CACHE[key] = tape
     return tape
 
 
@@ -149,6 +155,7 @@ def _solve_epoch(
     contract_tol: float,
     min_width: float,
     record_cover: bool = False,
+    kernel: str = "numpy",
 ) -> dict:
     """One branch-and-prune pass over a chunk of a shard's frontier.
 
@@ -161,7 +168,7 @@ def _solve_epoch(
     (:mod:`repro.solver.incremental`) ships back too: pruned boxes plus
     the shells contraction peeled off pruned and split nodes.
     """
-    compiled = _compiled(phi_blob)
+    compiled = _compiled(phi_blob, kernel, names)
     frontier = BoxArray(names, lo, hi)
     contracted = compiled.fixpoint_contract(frontier, tol=contract_tol)
     judgment = compiled.judge(contracted, 0.0)
@@ -225,9 +232,10 @@ def _pave_epoch(
     delta: float,
     contract_tol: float,
     min_width: float,
+    kernel: str = "numpy",
 ) -> dict:
     """One paving pass over a chunk: classify rows or split them."""
-    compiled = _compiled(phi_blob)
+    compiled = _compiled(phi_blob, kernel, names)
     frontier = BoxArray(names, lo, hi)
     contracted = compiled.fixpoint_contract(frontier, tol=contract_tol)
     judgment = compiled.judge(contracted, 0.0)
@@ -281,7 +289,13 @@ class _ShardQueue:
         self._tie = tie if tie is not None else itertools.count()
 
     def push(self, lo: np.ndarray, hi: np.ndarray, depth: int) -> None:
-        width = float(np.max(hi - lo, initial=0.0))
+        # NaN-safe width: a degenerate infinite dimension ([inf, inf])
+        # would make ``hi - lo`` NaN and the heap ordering ill-defined
+        # (matches Interval.width / BoxArray.widths).
+        with np.errstate(invalid="ignore"):
+            w = hi - lo
+        w = np.where(np.isnan(w), 0.0, w)
+        width = float(np.max(w, initial=0.0))
         heapq.heappush(
             self.entries,
             (-width, lex_key(lo, hi), next(self._tie), lo, hi, depth),
@@ -416,6 +430,7 @@ def solve_sharded(
     workers: int | None = None,
     recorder=None,
     anytime: bool = False,
+    kernel: str = "numpy",
 ):
     """Decide ``exists box . phi`` across ``shards`` parallel pavers.
 
@@ -483,7 +498,7 @@ def solve_sharded(
                 phi_blob, names,
                 np.array([e[3] for e in chunk]), np.array([e[4] for e in chunk]),
                 np.array([e[5] for e in chunk], dtype=int),
-                delta, contract_tol, min_width, record_cover,
+                delta, contract_tol, min_width, record_cover, kernel,
             ),
             boot,
         )
@@ -536,7 +551,7 @@ def solve_sharded(
                     np.array([e[3] for e in chunk]),
                     np.array([e[4] for e in chunk]),
                     np.array([e[5] for e in chunk], dtype=int),
-                    delta, contract_tol, min_width, record_cover,
+                    delta, contract_tol, min_width, record_cover, kernel,
                 )
                 for i, chunk in chunks
             ]
@@ -576,6 +591,7 @@ def pave_sharded(
     workers: int | None = None,
     seeds: list[Box] | None = None,
     anytime: bool = False,
+    kernel: str = "numpy",
 ) -> tuple[list[Box], list[Box], list[Box], int, bool]:
     """Partition ``box`` into (delta-sat, unsat, undecided) sub-boxes
     across ``shards`` parallel pavers.
@@ -635,7 +651,7 @@ def pave_sharded(
             _pave_epoch(
                 phi_blob, names,
                 np.array([e[3] for e in chunk]), np.array([e[4] for e in chunk]),
-                delta, contract_tol, min_width,
+                delta, contract_tol, min_width, kernel,
             ),
             boot,
         )
@@ -681,7 +697,7 @@ def pave_sharded(
                     _pave_epoch, phi_blob, names,
                     np.array([e[3] for e in chunk]),
                     np.array([e[4] for e in chunk]),
-                    delta, contract_tol, min_width,
+                    delta, contract_tol, min_width, kernel,
                 )
                 for i, chunk in chunks
             ]

@@ -220,3 +220,123 @@ class TestOutwardRoundingMonotonicity:
             assert s.lo <= x * y <= s.hi
             assert v.lo <= x * y <= v.hi
             assert s.width() >= 0.0 and v.width() >= 0.0
+
+
+class TestWidthOrdering:
+    """Regression: widths feed the widest-first heaps of the solver, so
+    they must be totally ordered floats -- an ``inf - inf = NaN`` width
+    (boxes with one endpoint pushed past the float range by outward
+    rounding) used to poison every heap comparison after it."""
+
+    def test_doubly_infinite_endpoint_width_is_zero(self):
+        # [inf, inf] is a degenerate point at infinity, not a NaN width
+        assert Interval(INF, INF).width() == 0.0
+        assert Interval(-INF, -INF).width() == 0.0
+        assert batch1(Interval(INF, INF)).width()[0] == 0.0
+
+    def test_half_infinite_width_is_inf(self):
+        assert Interval(2.0, INF).width() == INF
+        assert Interval(-INF, 2.0).width() == INF
+        assert Interval(-INF, INF).width() == INF
+        assert batch1(Interval(2.0, INF)).width()[0] == INF
+
+    def test_no_nan_widths_in_batch(self):
+        ia = IntervalArray.from_intervals([
+            Interval(INF, INF), Interval(-INF, -INF), Interval(1.0, INF),
+            Interval(-INF, INF), EMPTY, Interval(0.0, 1.0),
+        ])
+        w = ia.width()
+        assert not np.isnan(w).any()
+        assert list(w) == [0.0, 0.0, INF, INF, 0.0, 1.0]
+
+    def test_box_max_width_never_nan(self):
+        from repro.intervals import BoxArray
+
+        lo = np.array([[0.0, INF], [0.0, 0.0]])
+        hi = np.array([[1.0, INF], [2.0, 0.5]])
+        boxes = BoxArray(("x", "y"), lo, hi)
+        w = boxes.max_width()
+        assert not np.isnan(w).any()
+        # the [inf, inf] dimension is degenerate: row 0's width is its
+        # finite x-extent, so widest-first ordering picks row 1 first
+        assert list(w) == [1.0, 2.0]
+        assert sorted(range(2), key=lambda i: -w[i]) == [1, 0]
+
+    def test_heap_ordering_is_well_defined(self):
+        import heapq
+
+        widths = [
+            Interval(INF, INF).width(),
+            Interval(0.0, 3.0).width(),
+            Interval(-INF, INF).width(),
+            Interval(1.0, 1.0).width(),
+        ]
+        heap = [(-w, i) for i, w in enumerate(widths)]
+        heapq.heapify(heap)
+        order = [heapq.heappop(heap)[1] for _ in range(len(heap))]
+        assert order == [2, 1, 0, 3]  # entire line first, points last
+
+
+class TestPowDomainEdges:
+    """Regression: fractional/integer pow at domain boundaries, checked
+    identically through both kernels."""
+
+    @staticmethod
+    def _pow_both(iv: Interval, n) -> tuple[Interval, Interval]:
+        ia = batch1(iv)
+        v = ia.pow_int(n) if isinstance(n, int) else ia.pow_scalar(n)
+        return iv.pow(n), as_interval(v)
+
+    def test_zero_pow_zero_is_one(self):
+        s, v = self._pow_both(Interval(0.0, 0.0), 0)
+        assert (s.lo, s.hi) == (v.lo, v.hi) == (1.0, 1.0)
+
+    def test_negative_base_fractional_exponent_is_empty(self):
+        s, v = self._pow_both(Interval(-2.0, -1.0), 0.5)
+        assert s.is_empty and v.is_empty
+
+    def test_zero_base_negative_fractional_exponent_is_empty(self):
+        s, v = self._pow_both(Interval(0.0, 0.0), -1.5)
+        assert s.is_empty and v.is_empty
+
+    def test_zero_crossing_base_clips_to_domain(self):
+        # [-1, 4] ** 0.5: the negative part leaves the real domain, the
+        # rest must still bracket sqrt on [0, 4]
+        s, v = self._pow_both(Interval(-1.0, 4.0), 0.5)
+        assert (s.lo, s.hi) == (v.lo, v.hi)
+        assert s.lo == 0.0 and s.hi >= 2.0
+
+    def test_zero_touching_negative_exponent_unbounded(self):
+        # [0, 4] ** -0.5 blows up at 0: the result must contain every
+        # x**-0.5 for x in (0, 4], e.g. 10.0 at x = 0.01
+        s, v = self._pow_both(Interval(0.0, 4.0), -0.5)
+        assert (s.lo, s.hi) == (v.lo, v.hi)
+        assert s.hi == INF and s.lo <= 0.5
+        assert s.contains(10.0)
+
+    def test_huge_base_integer_pow_saturates(self):
+        # 1e200 ** 3 overflows the double range; the bound must saturate
+        # to inf instead of raising OverflowError
+        s, v = self._pow_both(Interval(1e200, 1e200), 3)
+        assert (s.hi, v.hi) == (INF, INF)
+        assert s.lo == v.lo == math.nextafter(INF, 0.0)
+
+    def test_infinite_point_base_even_pow(self):
+        s, v = self._pow_both(Interval(INF, INF), 2)
+        assert (s.lo, s.hi) == (v.lo, v.hi)
+        assert s.hi == INF and not s.is_empty
+
+    def test_inclusion_across_fractional_exponents(self):
+        # dense member-point inclusion sweep over the bugfixed branches
+        rngs = [(-3.0, 5.0), (0.0, 2.0), (1e-8, 1e8), (-1.0, 0.0)]
+        for n in (0.5, 1.5, 2.5, -0.5, -1.5):
+            for lo, hi in rngs:
+                iv = Interval(lo, hi)
+                s, v = self._pow_both(iv, n)
+                for x in np.linspace(lo, hi, 25):
+                    # only member points inside the real domain of x**n
+                    if x < 0 or (x == 0 and n < 0):
+                        continue
+                    y = x ** n
+                    assert s.is_empty or (s.lo <= y <= s.hi), (n, lo, hi, x)
+                    assert v.is_empty or (v.lo <= y <= v.hi), (n, lo, hi, x)

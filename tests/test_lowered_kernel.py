@@ -1,0 +1,297 @@
+"""The compiled tape kernel (`repro.solver.lower`) vs the interpreter.
+
+The lowering's contract is *bit-identity*: judge, contract and
+fixpoint results of a lowered kernel must equal the numpy tape
+interpreter's exactly, so verdicts, witnesses and paving digests never
+depend on ``SolverOptions.kernel``.
+
+Locally that contract is checked through the ``"pyexec"`` mode -- the
+same generated per-row source run by the plain interpreter -- which is
+bit-identical to numpy by construction (scalar numpy ufunc calls match
+array ufunc calls).  The ``"numba"`` mode runs the identical source
+jitted; the tests marked ``needs numba`` execute it for real on the CI
+kernel job and fall back to a skip when the extra is not installed.
+"""
+
+import math
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import abs_, maximum, minimum, sin, sqrt, tanh, var
+from repro.intervals import Box, BoxArray
+from repro.logic import Atom, in_range
+from repro.solver import DeltaSolver, Status
+from repro.solver.lower import (
+    HAS_NUMBA,
+    KERNELS,
+    PYEXEC_KERNEL,
+    available_kernels,
+    lower_tape,
+    numba_usable,
+    resolve_kernel,
+    validate_kernel,
+)
+from repro.solver.tape import ExprTape, compile_formula
+
+needs_numba = pytest.mark.skipif(
+    not numba_usable(), reason="numba not installed (the [jit] extra)"
+)
+
+x, y = var("x"), var("y")
+NAMES = ("x", "y")
+
+
+def random_frontier(rng: np.random.Generator, n: int) -> BoxArray:
+    """Random boxes incl. degenerate, inf-endpoint and empty rows."""
+    lo = rng.uniform(-3.0, 3.0, size=(n, 2))
+    hi = lo + rng.uniform(0.0, 2.0, size=(n, 2))
+    lo[0] = hi[0] = (0.0, 0.0)          # degenerate at the origin
+    if n > 3:
+        hi[1, 0] = math.inf             # half-infinite
+        lo[2, 1] = math.inf             # empty row (lo > hi)
+        hi[2, 1] = -math.inf
+        lo[3] = (-0.0, 0.0)             # signed-zero bounds
+        hi[3] = (0.0, 0.0)
+    return BoxArray(NAMES, lo, hi)
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: pyexec (and numba when present) vs the interpreter
+# ----------------------------------------------------------------------
+
+EXPRS = [
+    x * y + 0.5,
+    x * x - y * y + x * 0.25,
+    sin(x) * y + sqrt(abs_(y)),
+    x ** 2 + y ** 3 - 1.0,
+    x ** 0.5 + y ** 2,
+    minimum(x, y) * maximum(x, y) - 0.1,
+    tanh(x) / (y + 2.5),
+    x ** y,
+]
+
+
+def _identity_kernels():
+    ks = [PYEXEC_KERNEL]
+    if numba_usable():
+        ks.append("numba")
+    return ks
+
+
+@pytest.mark.parametrize("expr", EXPRS, ids=[str(i) for i in range(len(EXPRS))])
+def test_judge_and_contract_bit_identical(expr):
+    phi = Atom(expr, strict=False)
+    ref = compile_formula(phi, kernel="numpy")
+    rng = np.random.default_rng(7)
+    boxes = random_frontier(rng, 64)
+    for kernel in _identity_kernels():
+        cf = compile_formula(phi, kernel=kernel, names=NAMES)
+        assert (cf.judge(boxes, 0.0) == ref.judge(boxes, 0.0)).all(), kernel
+        assert (cf.judge(boxes, 0.1) == ref.judge(boxes, 0.1)).all(), kernel
+        a, b = cf.contract(boxes), ref.contract(boxes)
+        np.testing.assert_array_equal(a.lo, b.lo, err_msg=kernel)
+        np.testing.assert_array_equal(a.hi, b.hi, err_msg=kernel)
+        # signbits too: -0.0 == 0.0 compares equal but hashes differently
+        assert (np.signbit(a.lo) == np.signbit(b.lo)).all(), kernel
+        assert (np.signbit(a.hi) == np.signbit(b.hi)).all(), kernel
+        fa = cf.fixpoint_contract(boxes, tol=1e-2)
+        fb = ref.fixpoint_contract(boxes, tol=1e-2)
+        np.testing.assert_array_equal(fa.lo, fb.lo, err_msg=kernel)
+        np.testing.assert_array_equal(fa.hi, fb.hi, err_msg=kernel)
+
+
+COEF = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
+UNARY = st.sampled_from([None, sin, tanh, abs_])
+
+
+@st.composite
+def random_atom(draw):
+    """Random two-variable term mixing rational and lowered unary ops."""
+    a, b, c, d = (draw(COEF) for _ in range(4))
+    term = a * x * y + b * x + c * y + d
+    f = draw(UNARY)
+    if f is not None:
+        term = f(term) + draw(COEF) * x
+    if draw(st.booleans()):
+        term = term + x ** draw(st.sampled_from([2, 3, 0.5]))
+    return Atom(term, strict=False)
+
+
+@given(random_atom(), st.integers(min_value=0, max_value=2 ** 31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_property_lowered_equals_interpreter(atom, seed):
+    rng = np.random.default_rng(seed)
+    boxes = random_frontier(rng, 16)
+    ref = compile_formula(atom, kernel="numpy")
+    for kernel in _identity_kernels():
+        cf = compile_formula(atom, kernel=kernel, names=NAMES)
+        assert (cf.judge(boxes, 0.0) == ref.judge(boxes, 0.0)).all()
+        a, b = cf.contract(boxes), ref.contract(boxes)
+        np.testing.assert_array_equal(a.lo, b.lo)
+        np.testing.assert_array_equal(a.hi, b.hi)
+
+
+def test_lowered_tape_unit():
+    tape = ExprTape(sin(x) * y + x ** 2)
+    lt = lower_tape(tape, NAMES, PYEXEC_KERNEL)
+    assert lt is not None
+    rng = np.random.default_rng(3)
+    boxes = random_frontier(rng, 32)
+    ia, ib = lt.eval(boxes), tape.eval(boxes)
+    np.testing.assert_array_equal(ia.lo, ib.lo)
+    np.testing.assert_array_equal(ia.hi, ib.hi)
+    ca, cb = lt.hc4(boxes), tape.hc4(boxes, strict=False)
+    np.testing.assert_array_equal(ca.lo, cb.lo)
+    np.testing.assert_array_equal(ca.hi, cb.hi)
+    # the lowering is cached by tape content
+    assert lower_tape(ExprTape(sin(x) * y + x ** 2), NAMES, PYEXEC_KERNEL) is lt
+
+
+# ----------------------------------------------------------------------
+# Solver-level equivalence
+# ----------------------------------------------------------------------
+
+PHI = in_range(x ** 2 + y ** 2 + 0.3 * sin(3 * x), 0.5, 0.9)
+BOX = Box.from_bounds({"x": (-1.5, 1.5), "y": (-1.5, 1.5)})
+
+
+def test_solver_results_identical_across_kernels():
+    base = DeltaSolver(delta=1e-3, max_boxes=20_000)._solve_impl(PHI, BOX)
+    for kernel in _identity_kernels():
+        res = DeltaSolver(
+            delta=1e-3, max_boxes=20_000, kernel=kernel
+        )._solve_impl(PHI, BOX)
+        assert res.status == base.status
+        if base.witness is not None:
+            assert res.witness is not None
+            for n in NAMES:
+                assert res.witness[n] == base.witness[n]
+
+
+def test_paving_identical_across_kernels():
+    base = DeltaSolver(delta=1e-3, max_boxes=50_000).pave(PHI, BOX, min_width=0.1)
+    for kernel in _identity_kernels():
+        parts = DeltaSolver(
+            delta=1e-3, max_boxes=50_000, kernel=kernel
+        ).pave(PHI, BOX, min_width=0.1)
+        for got, want in zip(parts, base):
+            assert len(got) == len(want)
+            for bg, bw in zip(got, want):
+                for n in bg.names:
+                    assert (bg[n].lo, bg[n].hi) == (bw[n].lo, bw[n].hi)
+
+
+def test_numba_fallback_solves_identically():
+    # with numba absent "numba" degrades to the interpreter; with numba
+    # present it must still produce the same status either way
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        res = DeltaSolver(
+            delta=1e-3, max_boxes=20_000, kernel="numba"
+        )._solve_impl(PHI, BOX)
+    base = DeltaSolver(delta=1e-3, max_boxes=20_000)._solve_impl(PHI, BOX)
+    assert res.status == base.status is Status.DELTA_SAT
+
+
+# ----------------------------------------------------------------------
+# Knob validation and fallback behavior
+# ----------------------------------------------------------------------
+
+
+def test_validate_kernel_boundary():
+    assert validate_kernel("numpy") == "numpy"
+    assert validate_kernel("numba") == "numba"
+    with pytest.raises(ValueError, match="unknown kernel 'avx'"):
+        validate_kernel("avx")
+    # pyexec is internal-only: the public surface rejects it
+    with pytest.raises(ValueError, match="unknown kernel 'pyexec'"):
+        validate_kernel(PYEXEC_KERNEL)
+    assert validate_kernel(PYEXEC_KERNEL, internal=True) == PYEXEC_KERNEL
+
+
+def test_solver_options_reject_bad_knobs():
+    from repro.api.spec import SolverOptions
+
+    with pytest.raises(ValueError, match="frontier_size must be >= 1, got 0"):
+        SolverOptions(frontier_size=0)
+    with pytest.raises(ValueError, match="shards must be >= 1, got -2"):
+        SolverOptions(shards=-2)
+    with pytest.raises(ValueError, match="unknown kernel 'avx'"):
+        SolverOptions(kernel="avx")
+    with pytest.raises(ValueError, match="unknown kernel"):
+        SolverOptions(kernel=PYEXEC_KERNEL)
+    # the serve/CLI door builds options through from_dict: same message
+    with pytest.raises(ValueError, match="frontier_size must be >= 1"):
+        SolverOptions.from_dict({"frontier_size": 0})
+    with pytest.raises(ValueError, match="unknown kernel"):
+        SolverOptions.from_dict({"kernel": "avx"})
+
+
+def test_delta_solver_rejects_bad_knobs():
+    with pytest.raises(ValueError, match="frontier_size must be >= 1, got 0"):
+        DeltaSolver(frontier_size=0)
+    with pytest.raises(ValueError, match="shards must be >= 1, got 0"):
+        DeltaSolver(shards=0)
+    with pytest.raises(ValueError, match="unknown kernel"):
+        DeltaSolver(kernel="avx")
+    # pyexec is admitted internally (tests drive it through DeltaSolver)
+    DeltaSolver(kernel=PYEXEC_KERNEL)
+
+
+def test_available_kernels_consistent():
+    ks = available_kernels()
+    assert "numpy" in ks
+    assert set(ks) <= set(KERNELS)
+    assert ("numba" in ks) == numba_usable()
+
+
+def test_resolve_kernel_fallback_warns_once():
+    import repro.solver.lower as lower
+
+    if numba_usable():
+        assert resolve_kernel("numba") == "numba"
+        return
+    old = lower._warned_fallback
+    lower._warned_fallback = False
+    try:
+        with pytest.warns(RuntimeWarning, match="falling back to the numpy"):
+            assert resolve_kernel("numba") == "numpy"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second resolve stays silent
+            assert resolve_kernel("numba") == "numpy"
+    finally:
+        lower._warned_fallback = old
+
+
+@pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+def test_numba_canary():
+    """CI canary: when numba imports, the lowering must actually engage.
+
+    Without this, a silently broken probe would make the CI kernel job
+    test the numpy interpreter twice and report green.
+    """
+    assert numba_usable(), "numba imported but the probe kernel failed"
+    tape = ExprTape(x * y + x ** 2)
+    lt = lower_tape(tape, NAMES, "numba")
+    assert lt is not None and lt.mode == "numba"
+
+
+@needs_numba
+def test_numba_rational_ops_bit_identical():
+    # rational ops share exact IEEE arithmetic everywhere; unlike the
+    # libm-backed transcendentals this identity is guaranteed, not
+    # merely observed
+    expr = (x * y - 0.25) / (y + 3.0) + minimum(x, y) + abs_(x) ** 2
+    phi = Atom(expr, strict=False)
+    ref = compile_formula(phi, kernel="numpy")
+    cf = compile_formula(phi, kernel="numba", names=NAMES)
+    rng = np.random.default_rng(11)
+    boxes = random_frontier(rng, 256)
+    assert (cf.judge(boxes, 0.0) == ref.judge(boxes, 0.0)).all()
+    a, b = cf.fixpoint_contract(boxes, tol=1e-2), ref.fixpoint_contract(boxes, tol=1e-2)
+    np.testing.assert_array_equal(a.lo, b.lo)
+    np.testing.assert_array_equal(a.hi, b.hi)
